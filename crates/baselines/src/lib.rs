@@ -1,0 +1,24 @@
+//! The two comparison protocols of the B-SUB evaluation
+//! (Section VII-A):
+//!
+//! - [`Push`] — epidemic flooding: "a node replicates an event it
+//!   stores to every node it encounters that has not received a copy."
+//!   Its delivery ratio and delay are the best achievable, at the cost
+//!   of the most forwardings.
+//! - [`Pull`] — one-hop collection: "a node only collects messages
+//!   that it is interested in from its directly encountered
+//!   neighbors." The most conservative scheme: almost no overhead, but
+//!   delivery requires the producer and consumer to meet directly.
+//!
+//! Both deliver by *exact* key matching against the consumer's own
+//! interests, so neither ever produces a false delivery — the
+//! false-positive metric is B-SUB-specific.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod pull;
+mod push;
+
+pub use crate::pull::Pull;
+pub use crate::push::Push;

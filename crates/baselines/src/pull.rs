@@ -1,0 +1,213 @@
+//! PULL: one-hop interest collection.
+
+use bsub_sim::{Link, Message, MessageId, Protocol, SimCtx};
+use bsub_traces::{ContactEvent, NodeId, SimTime};
+use std::collections::HashSet;
+
+/// The PULL baseline: on a contact, each node announces its own
+/// interests (as raw strings) and collects matching messages from the
+/// peer's *own published* store. Nothing is ever relayed, so delivery
+/// requires a direct producer–consumer meeting — the paper's most
+/// conservative scheme, with near-optimal per-delivery overhead
+/// (Fig. 7(c): "PULL actually has the best performance because it is
+/// the most conservative") but the worst delivery ratio and delay.
+#[derive(Debug)]
+pub struct Pull {
+    nodes: Vec<NodeState>,
+}
+
+#[derive(Debug, Default)]
+struct NodeState {
+    /// Messages this node itself published (nobody relays in PULL).
+    published: Vec<Message>,
+    /// Message ids this node already pulled (suppresses re-transfer).
+    collected: HashSet<MessageId>,
+}
+
+impl Pull {
+    /// Creates PULL state for `nodes` nodes.
+    #[must_use]
+    pub fn new(nodes: u32) -> Self {
+        Self {
+            nodes: (0..nodes).map(|_| NodeState::default()).collect(),
+        }
+    }
+
+    fn prune(&mut self, node: NodeId, now: SimTime) {
+        self.nodes[node.index()]
+            .published
+            .retain(|m| !m.is_expired(now));
+    }
+
+    /// `consumer` pulls matching messages from `producer`'s published
+    /// store.
+    fn pull_from(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        link: &mut Link,
+        consumer: NodeId,
+        producer: NodeId,
+    ) {
+        // The consumer announces its interests as raw strings (plus
+        // 2-byte length prefixes), the control cost PULL pays.
+        let interests: Vec<_> = ctx.subscriptions().interests_of(consumer).to_vec();
+        if interests.is_empty() {
+            return;
+        }
+        let announce: u64 = interests.iter().map(|k| 2 + k.len() as u64).sum();
+        if !ctx.send_control(link, announce) {
+            return;
+        }
+        let now = ctx.now();
+        let mut pulled = Vec::new();
+        {
+            let producer_state = &self.nodes[producer.index()];
+            let consumer_state = &self.nodes[consumer.index()];
+            for msg in &producer_state.published {
+                if msg.is_expired(now)
+                    || consumer_state.collected.contains(&msg.id)
+                    || !interests.iter().any(|k| **k == *msg.key)
+                {
+                    continue;
+                }
+                if !ctx.transfer_message(link, msg) {
+                    break;
+                }
+                pulled.push(msg.clone());
+            }
+        }
+        for msg in pulled {
+            self.nodes[consumer.index()].collected.insert(msg.id);
+            let _ = ctx.deliver(consumer, &msg);
+        }
+    }
+}
+
+impl Protocol for Pull {
+    fn name(&self) -> &str {
+        "PULL"
+    }
+
+    fn on_message(&mut self, _ctx: &mut SimCtx<'_>, msg: &Message) {
+        self.nodes[msg.producer.index()].published.push(msg.clone());
+    }
+
+    fn on_contact(&mut self, ctx: &mut SimCtx<'_>, contact: &ContactEvent, link: &mut Link) {
+        self.prune(contact.a, ctx.now());
+        self.prune(contact.b, ctx.now());
+        self.pull_from(ctx, link, contact.a, contact.b);
+        self.pull_from(ctx, link, contact.b, contact.a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsub_sim::{GeneratedMessage, SimConfig, Simulation, SubscriptionTable};
+    use bsub_traces::{ContactTrace, SimDuration};
+
+    fn contact(a: u32, b: u32, start: u64, end: u64) -> ContactEvent {
+        ContactEvent::new(
+            NodeId::new(a),
+            NodeId::new(b),
+            SimTime::from_secs(start),
+            SimTime::from_secs(end),
+        )
+    }
+
+    fn message(at: u64, producer: u32, key: &str) -> GeneratedMessage {
+        GeneratedMessage {
+            at: SimTime::from_secs(at),
+            producer: NodeId::new(producer),
+            key: key.into(),
+            size: 100,
+        }
+    }
+
+    #[test]
+    fn direct_meeting_delivers() {
+        let trace =
+            ContactTrace::new("d", 2, vec![contact(0, 1, 100, 200)]).unwrap();
+        let mut subs = SubscriptionTable::new(2);
+        subs.subscribe(NodeId::new(1), "news");
+        let sched = vec![message(10, 0, "news")];
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let report = sim.run(&mut Pull::new(2));
+        assert_eq!(report.delivered, 1);
+        assert_eq!(report.forwardings, 1);
+        assert!(report.control_bytes > 0, "interest announcement costs bytes");
+    }
+
+    #[test]
+    fn never_relays() {
+        // 0 → 1 → 2 path exists, but PULL must not use node 1 as relay.
+        let trace = ContactTrace::new(
+            "line",
+            3,
+            vec![contact(0, 1, 100, 200), contact(1, 2, 300, 400)],
+        )
+        .unwrap();
+        let mut subs = SubscriptionTable::new(3);
+        subs.subscribe(NodeId::new(2), "news");
+        let sched = vec![message(10, 0, "news")];
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let report = sim.run(&mut Pull::new(3));
+        assert_eq!(report.delivered, 0, "no producer-consumer meeting");
+        assert_eq!(report.forwardings, 0);
+    }
+
+    #[test]
+    fn only_matching_keys_pulled() {
+        let trace = ContactTrace::new("m", 2, vec![contact(0, 1, 50, 150)]).unwrap();
+        let mut subs = SubscriptionTable::new(2);
+        subs.subscribe(NodeId::new(1), "sports");
+        let sched = vec![message(10, 0, "news"), message(11, 0, "sports")];
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let report = sim.run(&mut Pull::new(2));
+        assert_eq!(report.delivered, 1);
+        assert_eq!(report.forwardings, 1, "only the matching message moves");
+    }
+
+    #[test]
+    fn repeat_contacts_do_not_redeliver() {
+        let trace = ContactTrace::new(
+            "rep",
+            2,
+            vec![contact(0, 1, 50, 150), contact(0, 1, 500, 600)],
+        )
+        .unwrap();
+        let mut subs = SubscriptionTable::new(2);
+        subs.subscribe(NodeId::new(1), "news");
+        let sched = vec![message(10, 0, "news")];
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let report = sim.run(&mut Pull::new(2));
+        assert_eq!(report.forwardings, 1, "collected set suppresses re-pull");
+        assert_eq!(report.delivered, 1);
+    }
+
+    #[test]
+    fn ttl_respected() {
+        let trace = ContactTrace::new("t", 2, vec![contact(0, 1, 500, 600)]).unwrap();
+        let mut subs = SubscriptionTable::new(2);
+        subs.subscribe(NodeId::new(1), "news");
+        let sched = vec![message(10, 0, "news")];
+        let config = SimConfig {
+            ttl: SimDuration::from_secs(100), // expires at 110 < 500
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&trace, &subs, &sched, config);
+        let report = sim.run(&mut Pull::new(2));
+        assert_eq!(report.delivered, 0);
+        assert_eq!(report.forwardings, 0);
+    }
+
+    #[test]
+    fn uninterested_consumer_costs_nothing() {
+        let trace = ContactTrace::new("u", 2, vec![contact(0, 1, 50, 150)]).unwrap();
+        let subs = SubscriptionTable::new(2); // nobody subscribed
+        let sched = vec![message(10, 0, "news")];
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let report = sim.run(&mut Pull::new(2));
+        assert_eq!(report.total_bytes(), 0);
+    }
+}

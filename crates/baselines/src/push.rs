@@ -1,0 +1,299 @@
+//! PUSH: epidemic flooding.
+
+use bsub_sim::{Link, Message, Protocol, SimCtx};
+use bsub_traces::{ContactEvent, NodeId};
+
+/// The PUSH baseline: every node replicates every message it stores to
+/// every encountered node that has not received a copy yet, within the
+/// contact's bandwidth budget and the message's TTL.
+///
+/// PUSH floods, so (modulo bandwidth) its delivery ratio and delay are
+/// the optimum any forwarding scheme can reach — the paper uses it as
+/// the upper bound in Figs. 7–8.
+///
+/// Internally each node's holdings are a bit set over message ids
+/// (the simulator assigns them densely from 0), so a contact is an
+/// anti-entropy sweep: the candidate set is
+/// `src.has & !dst.has & !expired`, computed word-wise — this is what
+/// keeps full-trace PUSH runs fast despite millions of replications.
+#[derive(Debug)]
+pub struct Push {
+    /// Registry of every generated message, indexed by raw id.
+    messages: Vec<Message>,
+    /// Per-node holdings.
+    has: Vec<BitSet>,
+    /// Globally expired messages (lazily discovered).
+    expired: BitSet,
+}
+
+impl Push {
+    /// Creates PUSH state for `nodes` nodes.
+    #[must_use]
+    pub fn new(nodes: u32) -> Self {
+        Self {
+            messages: Vec::new(),
+            has: (0..nodes).map(|_| BitSet::default()).collect(),
+            expired: BitSet::default(),
+        }
+    }
+
+    /// Number of live (unexpired-so-far-as-known) copies across nodes —
+    /// diagnostics for tests.
+    #[must_use]
+    pub fn known_live_copies(&self) -> usize {
+        self.has
+            .iter()
+            .map(|h| h.count_and_not(&self.expired))
+            .sum()
+    }
+
+    /// Replicates from `src` to `dst` until the link budget runs out.
+    fn replicate(&mut self, ctx: &mut SimCtx<'_>, link: &mut Link, src: NodeId, dst: NodeId) {
+        let now = ctx.now();
+        let words = self.has[src.index()].words.len();
+        for w in 0..words {
+            let src_w = self.has[src.index()].word(w);
+            let dst_w = self.has[dst.index()].word(w);
+            let exp_w = self.expired.word(w);
+            let mut candidates = src_w & !dst_w & !exp_w;
+            while candidates != 0 {
+                let bit = candidates.trailing_zeros() as usize;
+                candidates &= candidates - 1;
+                let id = w * 64 + bit;
+                let msg = &self.messages[id];
+                if msg.is_expired(now) {
+                    self.expired.set(id);
+                    continue;
+                }
+                if !ctx.transfer_message(link, msg) {
+                    return; // bandwidth exhausted for this direction
+                }
+                self.has[dst.index()].set(id);
+                // A node hands a message to its application only when
+                // the key matches its own interest (exact match — no
+                // filters, hence no false deliveries in PUSH).
+                if ctx.subscriptions().is_interested(dst, &msg.key) {
+                    let _ = ctx.deliver(dst, msg);
+                }
+            }
+        }
+    }
+}
+
+impl Protocol for Push {
+    fn name(&self) -> &str {
+        "PUSH"
+    }
+
+    fn on_message(&mut self, ctx: &mut SimCtx<'_>, msg: &Message) {
+        let id = msg.id.raw() as usize;
+        // The simulator assigns ids densely in generation order.
+        debug_assert_eq!(id, self.messages.len(), "dense message ids expected");
+        self.messages.push(msg.clone());
+        self.has[msg.producer.index()].set(id);
+        if ctx.subscriptions().is_interested(msg.producer, &msg.key) {
+            let _ = ctx.deliver(msg.producer, msg);
+        }
+    }
+
+    fn on_contact(&mut self, ctx: &mut SimCtx<'_>, contact: &ContactEvent, link: &mut Link) {
+        self.replicate(ctx, link, contact.a, contact.b);
+        self.replicate(ctx, link, contact.b, contact.a);
+    }
+}
+
+/// A growable bit set over dense message ids.
+#[derive(Debug, Default, Clone)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn set(&mut self, idx: usize) {
+        let w = idx / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << (idx % 64);
+    }
+
+    fn word(&self, w: usize) -> u64 {
+        self.words.get(w).copied().unwrap_or(0)
+    }
+
+    #[cfg(test)]
+    fn get(&self, idx: usize) -> bool {
+        self.word(idx / 64) & (1 << (idx % 64)) != 0
+    }
+
+    fn count_and_not(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(w, &bits)| (bits & !other.word(w)).count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsub_sim::{GeneratedMessage, SimConfig, Simulation, SubscriptionTable};
+    use bsub_traces::{ContactTrace, SimDuration, SimTime};
+
+    fn line_trace() -> ContactTrace {
+        // 0 meets 1, later 1 meets 2: a two-hop path.
+        ContactTrace::new(
+            "line",
+            3,
+            vec![
+                ContactEvent::new(
+                    NodeId::new(0),
+                    NodeId::new(1),
+                    SimTime::from_secs(100),
+                    SimTime::from_secs(200),
+                ),
+                ContactEvent::new(
+                    NodeId::new(1),
+                    NodeId::new(2),
+                    SimTime::from_secs(300),
+                    SimTime::from_secs(400),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn one_message(key: &str) -> Vec<GeneratedMessage> {
+        vec![GeneratedMessage {
+            at: SimTime::from_secs(10),
+            producer: NodeId::new(0),
+            key: key.into(),
+            size: 100,
+        }]
+    }
+
+    #[test]
+    fn floods_across_multiple_hops() {
+        let trace = line_trace();
+        let mut subs = SubscriptionTable::new(3);
+        subs.subscribe(NodeId::new(2), "news");
+        let sched = one_message("news");
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let report = sim.run(&mut Push::new(3));
+        assert_eq!(report.delivered, 1, "two-hop delivery via flooding");
+        assert_eq!(report.forwardings, 2, "0→1 and 1→2");
+        assert_eq!(report.false_delivered, 0, "PUSH never falsely delivers");
+    }
+
+    #[test]
+    fn no_duplicate_replication() {
+        // Two contacts between the same pair: the second must not
+        // re-transfer.
+        let trace = ContactTrace::new(
+            "pair",
+            2,
+            vec![
+                ContactEvent::new(
+                    NodeId::new(0),
+                    NodeId::new(1),
+                    SimTime::from_secs(100),
+                    SimTime::from_secs(200),
+                ),
+                ContactEvent::new(
+                    NodeId::new(0),
+                    NodeId::new(1),
+                    SimTime::from_secs(300),
+                    SimTime::from_secs(400),
+                ),
+            ],
+        )
+        .unwrap();
+        let mut subs = SubscriptionTable::new(2);
+        subs.subscribe(NodeId::new(1), "news");
+        let sched = one_message("news");
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let report = sim.run(&mut Push::new(2));
+        assert_eq!(report.forwardings, 1);
+        assert_eq!(report.delivered, 1);
+    }
+
+    #[test]
+    fn respects_ttl() {
+        let trace = line_trace();
+        let mut subs = SubscriptionTable::new(3);
+        subs.subscribe(NodeId::new(2), "news");
+        let sched = one_message("news");
+        let config = SimConfig {
+            ttl: SimDuration::from_secs(150), // expires at t=160 < 300
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&trace, &subs, &sched, config);
+        let mut push = Push::new(3);
+        let report = sim.run(&mut push);
+        // First hop may happen (contact at 100 < 160) but the second
+        // cannot.
+        assert_eq!(report.delivered, 0);
+        assert!(report.forwardings <= 1);
+        // The second contact lazily discovers the expiry.
+        assert_eq!(push.known_live_copies(), 0);
+    }
+
+    #[test]
+    fn respects_bandwidth() {
+        let trace = ContactTrace::new(
+            "tight",
+            2,
+            vec![ContactEvent::new(
+                NodeId::new(0),
+                NodeId::new(1),
+                SimTime::from_secs(100),
+                SimTime::from_secs(101), // 1 s contact
+            )],
+        )
+        .unwrap();
+        let mut subs = SubscriptionTable::new(2);
+        subs.subscribe(NodeId::new(1), "news");
+        // Three 100-byte messages, budget 150 bytes => at most 1 fits.
+        let sched: Vec<GeneratedMessage> = (0..3)
+            .map(|i| GeneratedMessage {
+                at: SimTime::from_secs(10 + i),
+                producer: NodeId::new(0),
+                key: "news".into(),
+                size: 100,
+            })
+            .collect();
+        let config = SimConfig {
+            bytes_per_sec: 150,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&trace, &subs, &sched, config);
+        let report = sim.run(&mut Push::new(2));
+        assert_eq!(report.forwardings, 1);
+        assert_eq!(report.delivered, 1);
+    }
+
+    #[test]
+    fn bitset_set_get_across_words() {
+        let mut b = BitSet::default();
+        for idx in [0usize, 63, 64, 127, 1000] {
+            assert!(!b.get(idx));
+            b.set(idx);
+            assert!(b.get(idx));
+        }
+        assert!(!b.get(500));
+        assert_eq!(b.word(100), 0, "unset high words read as zero");
+    }
+
+    #[test]
+    fn bitset_count_and_not() {
+        let mut a = BitSet::default();
+        let mut b = BitSet::default();
+        a.set(1);
+        a.set(70);
+        a.set(200);
+        b.set(70);
+        assert_eq!(a.count_and_not(&b), 2);
+        assert_eq!(b.count_and_not(&a), 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Microbenchmarks of the TCBF's primitive operations — the paper's
+//! "simple and fast" claims (Sections IV-B and V-A): insertion,
+//! existential and preferential queries, the two merges, decay, and
+//! the compressed wire codec, with classic BF/CBF operations for
+//! scale.
+
+use bsub_bloom::wire::{self, CounterMode};
+use bsub_bloom::{BloomFilter, CountingBloomFilter, Tcbf};
+use bsub_workload::keys::trend_keys;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const M: usize = 256;
+const K: usize = 4;
+const C: u32 = 50;
+
+fn loaded_tcbf(n: usize) -> Tcbf {
+    Tcbf::from_keys(M, K, C, trend_keys().iter().take(n).map(|k| k.name))
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert");
+    group.bench_function("bloom", |b| {
+        let mut f = BloomFilter::new(M, K);
+        b.iter(|| f.insert(black_box("NewMoon")));
+    });
+    group.bench_function("cbf", |b| {
+        let mut f = CountingBloomFilter::new(M, K);
+        b.iter(|| f.insert(black_box("NewMoon")));
+    });
+    group.bench_function("tcbf", |b| {
+        b.iter_batched(
+            || Tcbf::new(M, K, C),
+            |mut f| f.insert(black_box("NewMoon")).expect("fresh"),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query");
+    let tcbf = loaded_tcbf(38);
+    let bloom = tcbf.to_bloom();
+    group.bench_function("bloom_hit", |b| {
+        b.iter(|| bloom.contains(black_box("NewMoon")));
+    });
+    group.bench_function("tcbf_existential_hit", |b| {
+        b.iter(|| tcbf.contains(black_box("NewMoon")));
+    });
+    group.bench_function("tcbf_existential_miss", |b| {
+        b.iter(|| tcbf.contains(black_box("definitely-absent")));
+    });
+    group.bench_function("tcbf_min_counter", |b| {
+        b.iter(|| tcbf.min_counter(black_box("NewMoon")));
+    });
+    let other = loaded_tcbf(20);
+    group.bench_function("tcbf_preferential", |b| {
+        b.iter(|| tcbf.preference(&other, black_box("NewMoon")).expect("params"));
+    });
+    group.finish();
+}
+
+fn bench_merges(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge");
+    let left = loaded_tcbf(20);
+    let right = loaded_tcbf(38);
+    group.bench_function("a_merge", |b| {
+        b.iter_batched(
+            || left.clone(),
+            |mut f| f.a_merge(black_box(&right)).expect("params"),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("m_merge", |b| {
+        b.iter_batched(
+            || left.clone(),
+            |mut f| f.m_merge(black_box(&right)).expect("params"),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("decay", |b| {
+        b.iter_batched(
+            || right.clone(),
+            |mut f| f.decay(black_box(3)),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let filter = loaded_tcbf(38);
+    let full = wire::encode(&filter, CounterMode::Full).expect("encodes");
+    let ripped = wire::encode(&filter, CounterMode::Ripped).expect("encodes");
+    group.bench_function("encode_full", |b| {
+        b.iter(|| wire::encode(black_box(&filter), CounterMode::Full).expect("encodes"));
+    });
+    group.bench_function("encode_ripped", |b| {
+        b.iter(|| wire::encode(black_box(&filter), CounterMode::Ripped).expect("encodes"));
+    });
+    group.bench_function("decode_full", |b| {
+        b.iter(|| wire::decode(black_box(&full)).expect("decodes"));
+    });
+    group.bench_function("decode_ripped", |b| {
+        b.iter(|| wire::decode(black_box(&ripped)).expect("decodes"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_queries, bench_merges, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Ablation study of B-SUB's design choices. See DESIGN.md §3.
+fn main() {
+    bsub_bench::experiments::ablation();
+}

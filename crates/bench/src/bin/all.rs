@@ -1,0 +1,10 @@
+//! Regenerates every table and figure in one run (several minutes).
+fn main() {
+    bsub_bench::experiments::table1();
+    bsub_bench::experiments::table2();
+    bsub_bench::experiments::analysis();
+    bsub_bench::experiments::ablation();
+    bsub_bench::experiments::fig7();
+    bsub_bench::experiments::fig8();
+    bsub_bench::experiments::fig9();
+}

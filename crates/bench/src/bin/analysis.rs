@@ -1,0 +1,4 @@
+//! Regenerates the paper's analysis artifact. See DESIGN.md §3.
+fn main() {
+    bsub_bench::experiments::analysis();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig7 artifact. See DESIGN.md §3.
+fn main() {
+    bsub_bench::experiments::fig7();
+}

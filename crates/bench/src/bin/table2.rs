@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 artifact. See DESIGN.md §3.
+fn main() {
+    bsub_bench::experiments::table2();
+}

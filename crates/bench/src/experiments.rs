@@ -1,0 +1,440 @@
+//! One function per table/figure of the paper. See DESIGN.md §3 for
+//! the experiment index and EXPERIMENTS.md for recorded results.
+
+use crate::output::{f1, f3, f4, render_table, write_csv};
+use crate::{Experiment, ProtocolKind, MASTER_SEED};
+use bsub_bloom::wire::{self, CounterMode};
+use bsub_bloom::{math, AllocationPlan, Tcbf};
+use bsub_core::{BrokerPolicy, BsubConfig, BsubProtocol, DfMode, ForwardingPolicy, MergeRule};
+use bsub_sim::{SimConfig, Simulation};
+use bsub_traces::stats::TraceStats;
+use bsub_traces::SimDuration;
+use bsub_workload::keys::{average_key_len, trend_keys};
+
+/// The TTL grid of Figs. 7–8 (minutes, log-scale axis in the paper).
+pub const TTL_GRID_MINS: [u64; 7] = [10, 20, 50, 100, 200, 500, 1000];
+
+/// The DF grid of Fig. 9 (counter units per minute, 0 ⇒ no decay).
+pub const DF_GRID: [f64; 8] = [0.0, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0];
+
+/// Table I — parameters of the two data sets.
+pub fn table1() {
+    let rows: Vec<Vec<String>> = [
+        (
+            "Haggle(Infocom06)-like",
+            bsub_traces::synthetic::haggle_like(MASTER_SEED),
+            "79 / 67,360 / 3d",
+        ),
+        (
+            "MIT-Reality-like (full)",
+            bsub_traces::synthetic::reality_like_full(MASTER_SEED),
+            "97 / 54,667 / 246d",
+        ),
+        (
+            "MIT-Reality-like (3-day sim slice)",
+            bsub_traces::synthetic::reality_like(MASTER_SEED),
+            "n/a (sim input)",
+        ),
+    ]
+    .into_iter()
+    .map(|(name, trace, paper)| {
+        let s = TraceStats::compute(&trace);
+        vec![
+            name.to_string(),
+            s.nodes.to_string(),
+            s.contacts.to_string(),
+            f1(s.duration.as_hours() / 24.0),
+            f1(s.contacts_per_node_day),
+            f1(s.mean_contact_secs),
+            f1(s.mean_degree),
+            paper.to_string(),
+        ]
+    })
+    .collect();
+    let headers = [
+        "trace",
+        "nodes",
+        "contacts",
+        "days",
+        "contacts/node/day",
+        "mean contact (s)",
+        "mean degree",
+        "paper (nodes/contacts/days)",
+    ];
+    print!("{}", render_table("Table I — trace parameters", &headers, &rows));
+    write_csv("table1", &headers, &rows);
+}
+
+/// Table II — distribution of the top-4 keys, plus the workload's
+/// empirical interest shares.
+pub fn table2() {
+    let keys = trend_keys();
+    let e = Experiment::haggle(MASTER_SEED);
+    let n = f64::from(e.trace.node_count());
+    let rows: Vec<Vec<String>> = keys
+        .iter()
+        .take(4)
+        .map(|k| {
+            let subscribed = e
+                .subscriptions
+                .subscribers_of(k.name)
+                .count() as f64;
+            vec![
+                k.name.to_string(),
+                f4(k.weight),
+                f4(subscribed / n),
+            ]
+        })
+        .collect();
+    let headers = ["key", "paper weight", "assigned share (79 nodes)"];
+    print!("{}", render_table("Table II — top-4 key weights", &headers, &rows));
+    println!(
+        "38 keys total, weight sum {:.4}, average key length {:.1} bytes (paper: 11.5)",
+        keys.iter().map(|k| k.weight).sum::<f64>(),
+        average_key_len(keys),
+    );
+    write_csv("table2", &headers, &rows);
+}
+
+/// Shared TTL sweep for Figs. 7 and 8: delivery ratio, delay, and
+/// forwardings per delivered message for PUSH, B-SUB, PULL.
+fn ttl_sweep(figure: &str, experiment: &Experiment) {
+    let headers = [
+        "ttl_mins",
+        "push_delivery",
+        "bsub_delivery",
+        "pull_delivery",
+        "push_delay_min",
+        "bsub_delay_min",
+        "pull_delay_min",
+        "push_fwd",
+        "bsub_fwd",
+        "pull_fwd",
+    ];
+    let mut rows = Vec::new();
+    for &mins in &TTL_GRID_MINS {
+        let ttl = SimDuration::from_mins(mins);
+        let df = experiment.df_for_ttl(ttl);
+        let push = experiment.run(ProtocolKind::Push, ttl);
+        let bsub = experiment.run(
+            ProtocolKind::Bsub {
+                df: DfMode::Fixed(df),
+            },
+            ttl,
+        );
+        let pull = experiment.run(ProtocolKind::Pull, ttl);
+        rows.push(vec![
+            mins.to_string(),
+            f3(push.delivery_ratio()),
+            f3(bsub.delivery_ratio()),
+            f3(pull.delivery_ratio()),
+            f1(push.mean_delay_mins()),
+            f1(bsub.mean_delay_mins()),
+            f1(pull.mean_delay_mins()),
+            f1(push.forwardings_per_delivered()),
+            f1(bsub.forwardings_per_delivered()),
+            f1(pull.forwardings_per_delivered()),
+        ]);
+        eprintln!("[{figure}] ttl={mins}min df={df:.3}/min done");
+    }
+    print!(
+        "{}",
+        render_table(
+            &format!("{figure} — delivery ratio / delay / forwardings vs TTL"),
+            &headers,
+            &rows
+        )
+    );
+    write_csv(figure, &headers, &rows);
+}
+
+/// Fig. 7 — the three TTL-sweep panels on the Haggle-like trace.
+pub fn fig7() {
+    ttl_sweep("fig7", &Experiment::haggle(MASTER_SEED));
+}
+
+/// Fig. 8 — the three TTL-sweep panels on the Reality-like trace.
+pub fn fig8() {
+    ttl_sweep("fig8", &Experiment::reality(MASTER_SEED));
+}
+
+/// Fig. 9 — the four metrics vs the decaying factor, both traces,
+/// TTL = 20 h.
+pub fn fig9() {
+    let ttl = SimDuration::from_hours(20);
+    let headers = [
+        "df_per_min",
+        "haggle_delivery",
+        "reality_delivery",
+        "haggle_delay_min",
+        "reality_delay_min",
+        "haggle_fwd",
+        "reality_fwd",
+        "haggle_inj_fpr",
+        "reality_inj_fpr",
+    ];
+    let haggle = Experiment::haggle(MASTER_SEED);
+    let reality = Experiment::reality(MASTER_SEED);
+    let mut rows = Vec::new();
+    for &df in &DF_GRID {
+        let mode = if df == 0.0 {
+            DfMode::Disabled
+        } else {
+            DfMode::Fixed(df)
+        };
+        let h = haggle.run(ProtocolKind::Bsub { df: mode }, ttl);
+        let r = reality.run(ProtocolKind::Bsub { df: mode }, ttl);
+        rows.push(vec![
+            format!("{df:.2}"),
+            f3(h.delivery_ratio()),
+            f3(r.delivery_ratio()),
+            f1(h.mean_delay_mins()),
+            f1(r.mean_delay_mins()),
+            f1(h.forwardings_per_delivered()),
+            f1(r.forwardings_per_delivered()),
+            f4(h.injection_fpr()),
+            f4(r.injection_fpr()),
+        ]);
+        eprintln!("[fig9] df={df} done");
+    }
+    print!(
+        "{}",
+        render_table("fig9 — four metrics vs decaying factor (TTL = 20 h)", &headers, &rows)
+    );
+    write_csv("fig9", &headers, &rows);
+}
+
+/// Ablation study of B-SUB's design choices (not a paper figure, but
+/// each row corresponds to an argument the paper makes in prose):
+///
+/// - **A-merge between brokers** — Fig. 6's bogus-counter loop;
+/// - **AnyMatch hand-off** — dropping the preferential query;
+/// - **static brokers** — dropping the social election (Section V-B's
+///   claim that socially-active brokers forward better).
+pub fn ablation() {
+    let ttl = SimDuration::from_mins(500);
+    let experiment = Experiment::haggle(MASTER_SEED);
+    let df = experiment.df_for_ttl(ttl);
+
+    let variants: Vec<(&str, BsubConfig)> = vec![
+        (
+            "paper (M-merge, preferential, elected)",
+            BsubConfig::builder().df(DfMode::Fixed(df)).build(),
+        ),
+        (
+            "A-merge between brokers (Fig. 6 pathology)",
+            BsubConfig::builder()
+                .df(DfMode::Fixed(df))
+                .merge_rule(MergeRule::Additive)
+                .build(),
+        ),
+        (
+            "AnyMatch hand-off (no preferential query)",
+            BsubConfig::builder()
+                .df(DfMode::Fixed(df))
+                .forwarding(ForwardingPolicy::AnyMatch)
+                .build(),
+        ),
+        (
+            "static brokers, 15% of nodes",
+            BsubConfig::builder()
+                .df(DfMode::Fixed(df))
+                .broker_policy(BrokerPolicy::Static(0.15))
+                .build(),
+        ),
+        (
+            "static brokers, 30% of nodes",
+            BsubConfig::builder()
+                .df(DfMode::Fixed(df))
+                .broker_policy(BrokerPolicy::Static(0.30))
+                .build(),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, config) in variants {
+        let mut bsub = BsubProtocol::new(config, &experiment.subscriptions);
+        let sim_config = SimConfig {
+            ttl,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(
+            &experiment.trace,
+            &experiment.subscriptions,
+            &experiment.schedule,
+            sim_config,
+        );
+        let r = sim.run(&mut bsub);
+        rows.push(vec![
+            name.to_string(),
+            f3(r.delivery_ratio()),
+            f1(r.mean_delay_mins()),
+            f1(r.forwardings_per_delivered()),
+            f4(r.injection_fpr()),
+            f3(bsub.broker_fraction()),
+            bsub.max_relay_counter().to_string(),
+        ]);
+        eprintln!("[ablation] {name} done");
+    }
+    let headers = [
+        "variant",
+        "delivery",
+        "delay_min",
+        "fwd/dlv",
+        "inj_fpr",
+        "broker_frac",
+        "max_counter",
+    ];
+    print!(
+        "{}",
+        render_table(
+            "ablation — B-SUB design choices (Haggle-like, TTL = 500 min)",
+            &headers,
+            &rows
+        )
+    );
+    write_csv("ablation", &headers, &rows);
+}
+
+/// Section VI-C / VII-A analysis artifacts: worst-case FPR, memory
+/// comparison, and the Eq. 9–10 optimal allocation.
+pub fn analysis() {
+    // Worst-case FPR claim: 38 keys, m=256, k=4 ⇒ ~0.04.
+    let keys = trend_keys();
+    let mut rows = Vec::new();
+    for n in [10usize, 20, 38, 60, 100] {
+        rows.push(vec![
+            n.to_string(),
+            f4(math::false_positive_rate(256, 4, n as f64)),
+            f3(math::fill_ratio(256, 4, n as f64)),
+        ]);
+    }
+    let headers = ["keys", "fpr (Eq.1)", "fill ratio (Eq.3)"];
+    print!(
+        "{}",
+        render_table(
+            "analysis — Eq. 1 FPR (paper: 0.04 worst case at 38 keys)",
+            &headers,
+            &rows
+        )
+    );
+    write_csv("analysis_fpr", &headers, &rows);
+
+    // Memory: TCBF wire forms vs raw strings (paper: "the TCBF uses
+    // half of the space used by the raw strings").
+    let mut rows = Vec::new();
+    for n in [5usize, 10, 20, 38] {
+        let subset: Vec<&str> = keys.iter().take(n).map(|k| k.name).collect();
+        let filter = Tcbf::from_keys(256, 4, 50, subset.iter().map(|s| s.as_bytes()));
+        let raw = wire::raw_strings_len(subset.iter().copied());
+        let full = wire::encode(&filter, CounterMode::Full).expect("encodes").len();
+        let shared = wire::encode(&filter, CounterMode::Shared).expect("encodes").len();
+        let ripped = wire::encode(&filter, CounterMode::Ripped).expect("encodes").len();
+        rows.push(vec![
+            n.to_string(),
+            raw.to_string(),
+            full.to_string(),
+            shared.to_string(),
+            ripped.to_string(),
+            f3(shared as f64 / raw as f64),
+        ]);
+    }
+    let headers = [
+        "keys",
+        "raw strings (B)",
+        "tcbf full (B)",
+        "tcbf shared (B)",
+        "tcbf ripped (B)",
+        "shared/raw",
+    ];
+    print!(
+        "{}",
+        render_table(
+            "analysis — memory: TCBF wire forms vs raw strings (Section VI-C)",
+            &headers,
+            &rows
+        )
+    );
+    write_csv("analysis_memory", &headers, &rows);
+
+    // Eq. 9–10: optimal filter count under a storage bound.
+    let mut rows = Vec::new();
+    for budget in [300usize, 600, 1200, 2400, 4800] {
+        match AllocationPlan::solve(256, 4, 100, budget) {
+            Ok(plan) => rows.push(vec![
+                budget.to_string(),
+                plan.filters.to_string(),
+                f1(plan.keys_per_filter),
+                f3(plan.fr_threshold),
+                f4(plan.joint_fpr),
+                plan.memory_bytes.to_string(),
+            ]),
+            Err(_) => rows.push(vec![
+                budget.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "infeasible".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    let headers = [
+        "budget (B)",
+        "filters h",
+        "keys/filter",
+        "θ (FR threshold)",
+        "joint FPR",
+        "memory (B)",
+    ];
+    print!(
+        "{}",
+        render_table(
+            "analysis — Eq. 9-10 optimal TCBF allocation (100 keys)",
+            &headers,
+            &rows
+        )
+    );
+    write_csv("analysis_allocation", &headers, &rows);
+
+    // Eq. 6: unique interests among ℕ collected keys (k̄ = 1 per node,
+    // 38-key universe) — the duplicate discount a broker's filter
+    // enjoys.
+    let mut rows = Vec::new();
+    for ncol in [10u64, 50, 100, 300, 800] {
+        let unique = math::expected_unique_keys(ncol as f64, 1.0, 38);
+        rows.push(vec![
+            ncol.to_string(),
+            f1(unique),
+            f3(unique / ncol as f64),
+        ]);
+    }
+    let headers = ["keys collected ℕ", "unique (Eq.6)", "unique/collected"];
+    print!(
+        "{}",
+        render_table(
+            "analysis — Eq. 6 unique interests per broker (38-key universe)",
+            &headers,
+            &rows
+        )
+    );
+    write_csv("analysis_unique", &headers, &rows);
+
+    // Eq. 4-5: the DF table for the TTL grid, on the Haggle-like trace.
+    let e = Experiment::haggle(MASTER_SEED);
+    let mut rows = Vec::new();
+    for &mins in &TTL_GRID_MINS {
+        let df = e.df_for_ttl(SimDuration::from_mins(mins));
+        rows.push(vec![mins.to_string(), f4(df)]);
+    }
+    let headers = ["ttl_mins", "df_per_min (Eq.5)"];
+    print!(
+        "{}",
+        render_table(
+            "analysis — Eq. 5 decaying factors (paper: 0.138/min at D = 10 h)",
+            &headers,
+            &rows
+        )
+    );
+    write_csv("analysis_df", &headers, &rows);
+}

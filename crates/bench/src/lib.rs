@@ -1,0 +1,169 @@
+//! Experiment harness regenerating every table and figure of the
+//! B-SUB paper (see DESIGN.md §3 for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results).
+//!
+//! Each `fig*`/`table*` binary in `src/bin/` is a thin wrapper around
+//! a function in [`experiments`]; the functions print aligned tables
+//! to stdout and write machine-readable CSV into `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod experiments;
+pub mod output;
+
+use bsub_baselines::{Pull, Push};
+use bsub_core::{BsubConfig, BsubProtocol, DfMode};
+use bsub_sim::{GeneratedMessage, SimConfig, SimReport, Simulation, SubscriptionTable};
+use bsub_traces::{ContactTrace, SimDuration};
+use bsub_workload::{interests, keys, WorkloadBuilder};
+
+/// A fully prepared evaluation environment: trace, ground-truth
+/// subscriptions, and a message schedule, all from one seed.
+#[derive(Debug)]
+pub struct Experiment {
+    /// The contact trace driving the simulation.
+    pub trace: ContactTrace,
+    /// Ground-truth subscriptions (one weighted key per node).
+    pub subscriptions: SubscriptionTable,
+    /// The centrality-scaled message schedule.
+    pub schedule: Vec<GeneratedMessage>,
+}
+
+/// The master seed all experiment binaries use, so every figure is
+/// regenerated from identical inputs.
+pub const MASTER_SEED: u64 = 20100621; // ICDCS 2010 opening day
+
+impl Experiment {
+    /// Builds an environment over an arbitrary trace.
+    #[must_use]
+    pub fn over(trace: ContactTrace, seed: u64) -> Self {
+        let subscriptions =
+            interests::assign_interests(trace.node_count(), keys::trend_keys(), seed ^ 0x1111);
+        let schedule = WorkloadBuilder::new(&trace).seed(seed ^ 0x2222).build();
+        Self {
+            trace,
+            subscriptions,
+            schedule,
+        }
+    }
+
+    /// The Haggle (Infocom'06)-like environment of Figs. 7 and 9.
+    #[must_use]
+    pub fn haggle(seed: u64) -> Self {
+        Self::over(bsub_traces::synthetic::haggle_like(seed), seed)
+    }
+
+    /// The MIT Reality-like environment of Figs. 8 and 9.
+    #[must_use]
+    pub fn reality(seed: u64) -> Self {
+        Self::over(bsub_traces::synthetic::reality_like(seed), seed)
+    }
+
+    /// Runs one protocol over this environment with the given TTL.
+    #[must_use]
+    pub fn run(&self, protocol: ProtocolKind, ttl: SimDuration) -> SimReport {
+        let config = SimConfig {
+            ttl,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&self.trace, &self.subscriptions, &self.schedule, config);
+        match protocol {
+            ProtocolKind::Push => sim.run(&mut Push::new(self.trace.node_count())),
+            ProtocolKind::Pull => sim.run(&mut Pull::new(self.trace.node_count())),
+            ProtocolKind::Bsub { df } => {
+                let config = BsubConfig::builder().df(df).delay_limit(ttl).build();
+                let mut bsub = BsubProtocol::new(config, &self.subscriptions);
+                sim.run(&mut bsub)
+            }
+        }
+    }
+
+    /// The Eq. 5 decaying factor for a given TTL, exactly as the paper
+    /// sets up Figs. 7–8: "we set \[D\] the same as the TTL, and
+    /// calculate DFs using Eq. 5. ... The number of encountered nodes
+    /// in \[D\] is obtained by analyzing the traces", plus "a small
+    /// constant ... to account for the missed cases".
+    #[must_use]
+    pub fn df_for_ttl(&self, ttl: SimDuration) -> f64 {
+        let duration = self.trace.duration().as_secs().max(1);
+        let per_node_total = 2.0 * self.trace.len() as f64 / f64::from(self.trace.node_count());
+        let window_frac = (ttl.as_secs() as f64 / duration as f64).min(1.0);
+        let ncol = (per_node_total * window_frac).round() as u64;
+        bsub_core::df::decaying_factor_per_min(50, ncol, 256, 4, ttl.as_mins(), 0.005)
+    }
+}
+
+/// Which protocol to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProtocolKind {
+    /// Epidemic flooding (upper bound).
+    Push,
+    /// One-hop collection (lower bound).
+    Pull,
+    /// B-SUB with the given decay mode.
+    Bsub {
+        /// Relay decay behavior.
+        df: DfMode,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Experiment {
+        let trace = bsub_traces::synthetic::SyntheticTrace::new(
+            "tiny",
+            12,
+            SimDuration::from_hours(6),
+            600,
+        )
+        .seed(5)
+        .build();
+        Experiment::over(trace, 5)
+    }
+
+    #[test]
+    fn experiment_environment_is_consistent() {
+        let e = tiny();
+        assert_eq!(e.subscriptions.node_count(), e.trace.node_count());
+        assert!(!e.schedule.is_empty());
+    }
+
+    #[test]
+    fn protocol_ordering_holds_on_tiny_trace() {
+        let e = tiny();
+        let ttl = SimDuration::from_hours(3);
+        let push = e.run(ProtocolKind::Push, ttl);
+        let pull = e.run(ProtocolKind::Pull, ttl);
+        let bsub = e.run(
+            ProtocolKind::Bsub {
+                df: DfMode::Fixed(0.05),
+            },
+            ttl,
+        );
+        assert!(push.delivery_ratio() >= bsub.delivery_ratio());
+        assert!(bsub.delivery_ratio() >= pull.delivery_ratio());
+        assert!(push.forwardings >= bsub.forwardings);
+        assert!(bsub.forwardings >= pull.forwardings);
+    }
+
+    #[test]
+    fn df_for_ttl_decreases_with_ttl() {
+        let e = tiny();
+        let short = e.df_for_ttl(SimDuration::from_mins(10));
+        let long = e.df_for_ttl(SimDuration::from_mins(1000));
+        assert!(short > long);
+        assert!(long > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let e = tiny();
+        let ttl = SimDuration::from_hours(2);
+        let a = e.run(ProtocolKind::Push, ttl);
+        let b = e.run(ProtocolKind::Push, ttl);
+        assert_eq!(a, b);
+    }
+}

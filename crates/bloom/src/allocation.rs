@@ -1,0 +1,374 @@
+//! Dynamic TCBF allocation for optimal false-positive rate
+//! (Section VI-D of the paper).
+//!
+//! Instead of letting one filter saturate, a node can spread its keys
+//! across a small collection of TCBFs, allocating a new one whenever
+//! the current filter's fill ratio exceeds a threshold θ. Querying the
+//! collection has the *joint* FPR of Eq. 7, and the memory cost follows
+//! the wire model of Eq. 8. Given a storage bound `S_max`, Eq. 9–10 ask
+//! for the filter count `h` minimizing the joint FPR; since both the
+//! memory and the FPR-relevant quantities are monotone in `h`, the
+//! optimum is the **largest feasible `h`**, found by binary search
+//! ([`AllocationPlan::solve`]). The fill ratio corresponding to
+//! `n_keys / h` keys per filter becomes the allocation threshold θ.
+
+use crate::error::Error;
+use crate::math;
+use crate::tcbf::Tcbf;
+use crate::wire::{self, CounterMode};
+
+/// The solved parameters of a multi-TCBF allocation (Eq. 9–10).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocationPlan {
+    /// Number of filters `h`.
+    pub filters: usize,
+    /// Expected keys per filter (`n / h`).
+    pub keys_per_filter: f64,
+    /// Fill-ratio threshold θ at which a new filter is allocated.
+    pub fr_threshold: f64,
+    /// Joint false-positive rate of the plan (Eq. 7).
+    pub joint_fpr: f64,
+    /// Expected wire memory of the plan in bytes (Eq. 8 model).
+    pub memory_bytes: usize,
+}
+
+impl AllocationPlan {
+    /// Solves Eq. 9–10: finds the largest `h` whose expected memory fits
+    /// in `max_bytes` when `n_keys` keys are split evenly across `h`
+    /// filters of `m` bits and `k` hashes, and derives the fill-ratio
+    /// threshold θ.
+    ///
+    /// The paper notes the FPR-minimizing `h` is the maximum feasible
+    /// one, found here by binary search over `[1, n_keys]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Infeasible`] if even a single filter exceeds
+    /// `max_bytes`, and [`Error::InvalidParams`] for zero `m`, `k`, or
+    /// `n_keys`.
+    pub fn solve(m: usize, k: usize, n_keys: usize, max_bytes: usize) -> Result<Self, Error> {
+        if m == 0 || k == 0 {
+            return Err(Error::InvalidParams {
+                reason: "m and k must be positive",
+            });
+        }
+        if n_keys == 0 {
+            return Err(Error::InvalidParams {
+                reason: "allocation needs at least one key",
+            });
+        }
+        if Self::memory_for(m, k, n_keys, 1) > max_bytes {
+            return Err(Error::Infeasible {
+                reason: "even one filter exceeds the storage bound",
+            });
+        }
+        // Memory is monotone non-decreasing in h (splitting keys lowers
+        // per-filter collisions, so the total number of distinct set
+        // bits grows), so binary search for the largest feasible h.
+        let (mut lo, mut hi) = (1usize, n_keys);
+        while lo < hi {
+            let mid = lo + (hi - lo).div_ceil(2);
+            if Self::memory_for(m, k, n_keys, mid) <= max_bytes {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let h = lo;
+        let per = n_keys as f64 / h as f64;
+        Ok(Self {
+            filters: h,
+            keys_per_filter: per,
+            fr_threshold: math::fill_ratio(m, k, per),
+            joint_fpr: math::joint_false_positive_rate(m, k, &vec![per; h]),
+            memory_bytes: Self::memory_for(m, k, n_keys, h),
+        })
+    }
+
+    /// Expected wire memory (bytes) of `h` filters evenly holding
+    /// `n_keys` keys, using the full-counter wire mode.
+    fn memory_for(m: usize, k: usize, n_keys: usize, h: usize) -> usize {
+        let per = n_keys as f64 / h as f64;
+        let set_bits = math::expected_set_bits(m, k, per).ceil() as usize;
+        h * wire::encoded_len(set_bits.min(m), m, CounterMode::Full)
+    }
+}
+
+/// A growable collection of TCBFs that allocates a new filter whenever
+/// the active one's fill ratio would exceed the threshold θ
+/// (Section VI-D's dynamic allocation strategy).
+///
+/// Queries consult every filter, so the collection behaves as one big
+/// filter with the joint FPR of Eq. 7. Decay applies to all members;
+/// fully decayed filters are reclaimed.
+///
+/// # Examples
+///
+/// ```
+/// use bsub_bloom::TcbfPool;
+///
+/// let mut pool = TcbfPool::new(256, 4, 50, 0.3);
+/// for i in 0..60 {
+///     pool.insert(format!("key-{i}"));
+/// }
+/// assert!(pool.filter_count() > 1, "pool spilled into extra filters");
+/// assert!(pool.contains("key-0"));
+/// assert!(pool.contains("key-59"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TcbfPool {
+    filters: Vec<Tcbf>,
+    bits: usize,
+    hashes: usize,
+    initial: u32,
+    fr_threshold: f64,
+}
+
+impl TcbfPool {
+    /// Creates an empty pool. A new filter is allocated whenever
+    /// inserting into the active filter would push its fill ratio past
+    /// `fr_threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are zero or `fr_threshold` is outside
+    /// `(0, 1]`.
+    #[must_use]
+    pub fn new(bits: usize, hashes: usize, initial: u32, fr_threshold: f64) -> Self {
+        assert!(
+            fr_threshold > 0.0 && fr_threshold <= 1.0,
+            "fill-ratio threshold must be in (0, 1]"
+        );
+        Self {
+            filters: vec![Tcbf::new(bits, hashes, initial)],
+            bits,
+            hashes,
+            initial,
+            fr_threshold,
+        }
+    }
+
+    /// Creates a pool from a solved [`AllocationPlan`].
+    #[must_use]
+    pub fn from_plan(bits: usize, hashes: usize, initial: u32, plan: &AllocationPlan) -> Self {
+        Self::new(bits, hashes, initial, plan.fr_threshold)
+    }
+
+    /// Inserts a key into the active filter, spilling into a freshly
+    /// allocated filter if the active one is past the threshold.
+    pub fn insert<K: AsRef<[u8]>>(&mut self, key: K) {
+        let key = key.as_ref();
+        let active = self.filters.last_mut().expect("pool is never empty");
+        if active.fill_ratio() <= self.fr_threshold
+            && active.insert(key).is_ok() {
+                return;
+            }
+        let mut fresh = Tcbf::new(self.bits, self.hashes, self.initial);
+        fresh.insert(key).expect("fresh filter accepts inserts");
+        self.filters.push(fresh);
+    }
+
+    /// Existential query across all filters (joint FPR of Eq. 7).
+    #[must_use]
+    pub fn contains<K: AsRef<[u8]>>(&self, key: K) -> bool {
+        let key = key.as_ref();
+        self.filters.iter().any(|f| f.contains(key))
+    }
+
+    /// The largest min-counter of the key across all filters; zero if
+    /// absent everywhere.
+    #[must_use]
+    pub fn min_counter<K: AsRef<[u8]>>(&self, key: K) -> u32 {
+        let key = key.as_ref();
+        self.filters
+            .iter()
+            .map(|f| f.min_counter(key))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Decays every filter and reclaims the ones that fully expire (at
+    /// least one filter is always retained).
+    pub fn decay(&mut self, amount: u32) {
+        for f in &mut self.filters {
+            f.decay(amount);
+        }
+        if self.filters.len() > 1 {
+            self.filters.retain(|f| !f.is_empty());
+            if self.filters.is_empty() {
+                self.filters
+                    .push(Tcbf::new(self.bits, self.hashes, self.initial));
+            }
+        }
+    }
+
+    /// Number of filters currently allocated.
+    #[must_use]
+    pub fn filter_count(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Total set bits across filters.
+    #[must_use]
+    pub fn set_bits(&self) -> usize {
+        self.filters.iter().map(Tcbf::set_bits).sum()
+    }
+
+    /// Wire size in bytes of shipping every filter in full-counter
+    /// mode — the quantity Eq. 8 models.
+    #[must_use]
+    pub fn wire_bytes(&self) -> usize {
+        self.filters
+            .iter()
+            .map(|f| wire::encoded_len(f.set_bits(), f.bit_len(), CounterMode::Full))
+            .sum()
+    }
+
+    /// Read-only access to the member filters.
+    #[must_use]
+    pub fn filters(&self) -> &[Tcbf] {
+        &self.filters
+    }
+
+    /// The allocation threshold θ.
+    #[must_use]
+    pub fn fr_threshold(&self) -> f64 {
+        self.fr_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_maximizes_filter_count_under_budget() {
+        let tight = AllocationPlan::solve(256, 4, 100, 600).unwrap();
+        let loose = AllocationPlan::solve(256, 4, 100, 4000).unwrap();
+        assert!(loose.filters >= tight.filters);
+        assert!(loose.joint_fpr <= tight.joint_fpr + 1e-12);
+        assert!(tight.memory_bytes <= 600);
+        assert!(loose.memory_bytes <= 4000);
+    }
+
+    #[test]
+    fn plan_infeasible_budget() {
+        assert!(matches!(
+            AllocationPlan::solve(256, 4, 100, 10),
+            Err(Error::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn plan_rejects_zero_keys() {
+        assert!(matches!(
+            AllocationPlan::solve(256, 4, 0, 1000),
+            Err(Error::InvalidParams { .. })
+        ));
+    }
+
+    #[test]
+    fn plan_threshold_matches_keys_per_filter() {
+        let plan = AllocationPlan::solve(256, 4, 80, 2000).unwrap();
+        let fr = math::fill_ratio(256, 4, plan.keys_per_filter);
+        assert!((plan.fr_threshold - fr).abs() < 1e-12);
+        assert!(plan.fr_threshold > 0.0 && plan.fr_threshold < 1.0);
+    }
+
+    #[test]
+    fn plan_h_bounded_by_keys() {
+        let plan = AllocationPlan::solve(256, 4, 5, usize::MAX / 2).unwrap();
+        assert!(plan.filters <= 5);
+    }
+
+    #[test]
+    fn pool_spills_when_threshold_exceeded() {
+        let mut pool = TcbfPool::new(256, 4, 10, 0.2);
+        for i in 0..50 {
+            pool.insert(format!("spill-{i}"));
+        }
+        assert!(pool.filter_count() >= 2);
+        for i in 0..50 {
+            assert!(pool.contains(format!("spill-{i}")));
+        }
+    }
+
+    #[test]
+    fn pool_single_filter_when_threshold_high() {
+        let mut pool = TcbfPool::new(4096, 4, 10, 0.9);
+        for i in 0..30 {
+            pool.insert(format!("fit-{i}"));
+        }
+        assert_eq!(pool.filter_count(), 1);
+    }
+
+    #[test]
+    fn pool_decay_reclaims_empty_filters() {
+        let mut pool = TcbfPool::new(256, 4, 5, 0.1);
+        for i in 0..60 {
+            pool.insert(format!("tmp-{i}"));
+        }
+        let before = pool.filter_count();
+        assert!(before > 1);
+        pool.decay(5);
+        assert_eq!(pool.filter_count(), 1, "fully decayed pool collapses");
+        assert!(!pool.contains("tmp-0"));
+    }
+
+    #[test]
+    fn pool_min_counter_max_across_filters() {
+        let mut pool = TcbfPool::new(256, 4, 7, 0.05);
+        pool.insert("a");
+        for i in 0..40 {
+            pool.insert(format!("fill-{i}"));
+        }
+        assert_eq!(pool.min_counter("a"), 7);
+        assert_eq!(pool.min_counter("absent-key"), 0);
+    }
+
+    #[test]
+    fn pool_wire_bytes_positive_after_insert() {
+        let mut pool = TcbfPool::new(256, 4, 10, 0.5);
+        let empty = pool.wire_bytes();
+        pool.insert("k");
+        assert!(pool.wire_bytes() > empty);
+    }
+
+    #[test]
+    fn pool_joint_fpr_matches_eq7_shape() {
+        // A pool that spilled into h filters has empirical FPR close to
+        // the joint formula.
+        let mut pool = TcbfPool::new(256, 4, 10, 0.25);
+        for i in 0..80 {
+            pool.insert(format!("member-{i}"));
+        }
+        let per: Vec<f64> = pool
+            .filters()
+            .iter()
+            .map(|f| math::keys_from_fill_ratio(256, 4, f.fill_ratio()))
+            .collect();
+        let theory = math::joint_false_positive_rate(256, 4, &per);
+        let trials = 20_000;
+        let fp = (0..trials)
+            .filter(|i| pool.contains(format!("absent-{i}")))
+            .count();
+        let empirical = fp as f64 / f64::from(trials);
+        assert!(
+            (empirical - theory).abs() < 0.05,
+            "empirical {empirical} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn pool_rejects_zero_threshold() {
+        let _ = TcbfPool::new(256, 4, 10, 0.0);
+    }
+
+    #[test]
+    fn from_plan_uses_plan_threshold() {
+        let plan = AllocationPlan::solve(256, 4, 60, 1500).unwrap();
+        let pool = TcbfPool::from_plan(256, 4, 10, &plan);
+        assert!((pool.fr_threshold() - plan.fr_threshold).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,380 @@
+//! The classic Bloom filter (Section III of the paper).
+
+use crate::bitvec::BitVec;
+use crate::error::Error;
+use crate::hash::KeyHasher;
+use crate::math;
+
+/// A classic Bloom filter: a space-efficient probabilistic set.
+///
+/// A key is inserted by setting the `k` bits chosen by the hash
+/// functions; a query returns `true` iff all `k` bits of the key are
+/// set. Queries never produce false negatives but may produce false
+/// positives at the rate of Eq. 1 of the paper, available as
+/// [`math::false_positive_rate`].
+///
+/// In B-SUB, plain (counter-less) Bloom filters are what consumers and
+/// brokers hand to producers when requesting messages (Section V-D):
+/// the counters of a [`Tcbf`](crate::Tcbf) are "ripped off" to save
+/// bandwidth, leaving exactly this structure.
+///
+/// # Examples
+///
+/// ```
+/// use bsub_bloom::BloomFilter;
+///
+/// let mut f = BloomFilter::new(256, 4);
+/// f.insert("Thanksgiving");
+/// assert!(f.contains("Thanksgiving"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: BitVec,
+    hashes: usize,
+    hasher: KeyHasher,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter of `bits` bits and `hashes` hash
+    /// functions, using the default network-wide hasher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0` or `hashes == 0`; use
+    /// [`BloomFilter::try_new`] to handle these as errors.
+    #[must_use]
+    pub fn new(bits: usize, hashes: usize) -> Self {
+        Self::try_new(bits, hashes).expect("invalid Bloom filter parameters")
+    }
+
+    /// Fallible version of [`BloomFilter::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] if `bits == 0` or `hashes == 0`.
+    pub fn try_new(bits: usize, hashes: usize) -> Result<Self, Error> {
+        Self::with_hasher(bits, hashes, KeyHasher::default())
+    }
+
+    /// Creates an empty filter with an explicit [`KeyHasher`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] if `bits == 0` or `hashes == 0`.
+    pub fn with_hasher(bits: usize, hashes: usize, hasher: KeyHasher) -> Result<Self, Error> {
+        if bits == 0 {
+            return Err(Error::InvalidParams {
+                reason: "bit-vector length must be positive",
+            });
+        }
+        if hashes == 0 {
+            return Err(Error::InvalidParams {
+                reason: "hash count must be positive",
+            });
+        }
+        Ok(Self {
+            bits: BitVec::new(bits),
+            hashes,
+            hasher,
+        })
+    }
+
+    /// Builds a filter containing every key in `keys`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0` or `hashes == 0`.
+    #[must_use]
+    pub fn from_keys<I, K>(bits: usize, hashes: usize, keys: I) -> Self
+    where
+        I: IntoIterator<Item = K>,
+        K: AsRef<[u8]>,
+    {
+        let mut f = Self::new(bits, hashes);
+        for key in keys {
+            f.insert(key);
+        }
+        f
+    }
+
+    /// Inserts a key. Returns `true` if the key tested as already
+    /// present before insertion (which may itself be a false positive).
+    pub fn insert<K: AsRef<[u8]>>(&mut self, key: K) -> bool {
+        let mut already = true;
+        for pos in self.hasher.positions(key.as_ref(), self.hashes, self.bits.len()) {
+            already &= self.bits.set(pos);
+        }
+        already
+    }
+
+    /// Probabilistic membership query: `true` iff all hashed bits of the
+    /// key are set.
+    ///
+    /// A `false` answer is always correct; a `true` answer is wrong with
+    /// the probability of Eq. 1 ([`math::false_positive_rate`]).
+    #[must_use]
+    pub fn contains<K: AsRef<[u8]>>(&self, key: K) -> bool {
+        self.hasher
+            .positions(key.as_ref(), self.hashes, self.bits.len())
+            .all(|pos| self.bits.get(pos))
+    }
+
+    /// Merges `other` into `self` by bit-wise OR (set union).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ParamMismatch`] if the two filters differ in
+    /// length, hash count, or hasher seeds.
+    pub fn merge(&mut self, other: &Self) -> Result<(), Error> {
+        self.check_compatible(other.bits.len(), other.hashes, other.hasher)?;
+        self.bits.or_assign(&other.bits);
+        Ok(())
+    }
+
+    /// Length of the bit vector (the paper's `m`).
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Number of hash functions (the paper's `k`).
+    #[must_use]
+    pub fn hash_count(&self) -> usize {
+        self.hashes
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn set_bits(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    /// Fill ratio: set bits over total bits (Section III, Eq. 3).
+    #[must_use]
+    pub fn fill_ratio(&self) -> f64 {
+        self.bits.count_ones() as f64 / self.bits.len() as f64
+    }
+
+    /// Whether no key has been inserted (no bit set).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.all_zero()
+    }
+
+    /// Resets the filter to empty.
+    pub fn reset(&mut self) {
+        self.bits.reset();
+    }
+
+    /// Estimates the number of distinct keys in the filter by inverting
+    /// the fill-ratio formula (Eq. 3): `n ≈ -(m/k)·ln(1 - FR)`.
+    ///
+    /// Returns `f64::INFINITY` when the filter is saturated (all bits
+    /// set).
+    #[must_use]
+    pub fn estimate_keys(&self) -> f64 {
+        math::keys_from_fill_ratio(self.bits.len(), self.hashes, self.fill_ratio())
+    }
+
+    /// The theoretical false-positive rate for the *current* number of
+    /// set bits: the probability that a random absent key hashes only
+    /// to set bits, `FR^k`.
+    #[must_use]
+    pub fn current_fpr(&self) -> f64 {
+        self.fill_ratio().powi(self.hashes as i32)
+    }
+
+    /// Read-only view of the underlying bits.
+    #[must_use]
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// The hasher used by this filter.
+    #[must_use]
+    pub fn hasher(&self) -> KeyHasher {
+        self.hasher
+    }
+
+    pub(crate) fn from_parts(bits: BitVec, hashes: usize, hasher: KeyHasher) -> Self {
+        Self {
+            bits,
+            hashes,
+            hasher,
+        }
+    }
+
+    pub(crate) fn check_compatible(
+        &self,
+        bits: usize,
+        hashes: usize,
+        hasher: KeyHasher,
+    ) -> Result<(), Error> {
+        if self.bits.len() != bits || self.hashes != hashes || self.hasher != hasher {
+            return Err(Error::ParamMismatch {
+                ours: (self.bits.len(), self.hashes),
+                theirs: (bits, hashes),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter() -> BloomFilter {
+        BloomFilter::new(256, 4)
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = filter();
+        let keys: Vec<String> = (0..30).map(|i| format!("key-{i}")).collect();
+        for k in &keys {
+            f.insert(k);
+        }
+        for k in &keys {
+            assert!(f.contains(k), "false negative for {k}");
+        }
+    }
+
+    #[test]
+    fn empty_contains_nothing() {
+        let f = filter();
+        assert!(!f.contains("anything"));
+        assert!(f.is_empty());
+        assert_eq!(f.set_bits(), 0);
+    }
+
+    #[test]
+    fn insert_reports_prior_membership() {
+        let mut f = filter();
+        assert!(!f.insert("a"));
+        assert!(f.insert("a"));
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = filter();
+        let mut b = filter();
+        a.insert("left");
+        b.insert("right");
+        a.merge(&b).unwrap();
+        assert!(a.contains("left"));
+        assert!(a.contains("right"));
+    }
+
+    #[test]
+    fn merge_mismatched_params_fails() {
+        let mut a = BloomFilter::new(256, 4);
+        let b = BloomFilter::new(128, 4);
+        let c = BloomFilter::new(256, 2);
+        assert!(matches!(a.merge(&b), Err(Error::ParamMismatch { .. })));
+        assert!(matches!(a.merge(&c), Err(Error::ParamMismatch { .. })));
+    }
+
+    #[test]
+    fn merge_mismatched_hasher_fails() {
+        let mut a = BloomFilter::new(256, 4);
+        let b = BloomFilter::with_hasher(256, 4, KeyHasher::with_seeds(1, 2)).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn fill_ratio_grows_with_keys() {
+        let mut f = filter();
+        let mut last = 0.0;
+        for i in 0..20 {
+            f.insert(format!("grow-{i}"));
+            let fr = f.fill_ratio();
+            assert!(fr >= last);
+            last = fr;
+        }
+        assert!(last > 0.0 && last < 1.0);
+    }
+
+    #[test]
+    fn paper_setting_38_keys() {
+        // Section VII-A: 256 bits, 4 hashes, 38 keys => worst-case FPR
+        // about 0.04 in theory. The empirical structure should be close
+        // to the analytic prediction.
+        let mut f = filter();
+        for i in 0..38 {
+            f.insert(format!("trend-{i}"));
+        }
+        let expected_bits = math::expected_set_bits(256, 4, 38.0);
+        let got = f.set_bits() as f64;
+        assert!(
+            (got - expected_bits).abs() / expected_bits < 0.15,
+            "set bits {got} vs expected {expected_bits}"
+        );
+    }
+
+    #[test]
+    fn empirical_fpr_matches_eq1() {
+        let mut f = filter();
+        for i in 0..38 {
+            f.insert(format!("member-{i}"));
+        }
+        let trials = 20_000;
+        let fp = (0..trials)
+            .filter(|i| f.contains(format!("absent-{i}")))
+            .count();
+        let empirical = fp as f64 / f64::from(trials);
+        let theory = math::false_positive_rate(256, 4, 38.0);
+        assert!(
+            (empirical - theory).abs() < 0.03,
+            "empirical {empirical} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    fn estimate_keys_tracks_reality() {
+        let mut f = BloomFilter::new(1024, 4);
+        for i in 0..50 {
+            f.insert(format!("est-{i}"));
+        }
+        let est = f.estimate_keys();
+        assert!((est - 50.0).abs() < 10.0, "estimate {est}");
+    }
+
+    #[test]
+    fn from_keys_builder() {
+        let f = BloomFilter::from_keys(256, 4, ["a", "b", "c"]);
+        assert!(f.contains("a") && f.contains("b") && f.contains("c"));
+    }
+
+    #[test]
+    fn reset_empties() {
+        let mut f = filter();
+        f.insert("x");
+        f.reset();
+        assert!(f.is_empty());
+        assert!(!f.contains("x"));
+    }
+
+    #[test]
+    fn try_new_rejects_zero_params() {
+        assert!(matches!(
+            BloomFilter::try_new(0, 4),
+            Err(Error::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            BloomFilter::try_new(256, 0),
+            Err(Error::InvalidParams { .. })
+        ));
+    }
+
+    #[test]
+    fn current_fpr_bounds() {
+        let mut f = filter();
+        assert_eq!(f.current_fpr(), 0.0);
+        for i in 0..38 {
+            f.insert(format!("fpr-{i}"));
+        }
+        let fpr = f.current_fpr();
+        assert!(fpr > 0.0 && fpr < 0.1, "fpr {fpr}");
+    }
+}

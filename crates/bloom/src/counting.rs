@@ -1,0 +1,270 @@
+//! The counting Bloom filter (CBF) of Fan et al., "Summary Cache"
+//! (IEEE/ACM ToN 2000), cited as the TCBF's ancestor in Section III.
+
+use crate::bloom::BloomFilter;
+use crate::error::Error;
+use crate::hash::KeyHasher;
+
+/// A counting Bloom filter: a Bloom filter whose bits carry a counter of
+/// how many inserted keys hash to them, enabling deletion.
+///
+/// Unlike the [`Tcbf`](crate::Tcbf), whose counters encode *recency*,
+/// a CBF's counters encode *multiplicity*: inserting a key increments
+/// its `k` counters, deleting decrements them, and a bit is considered
+/// set while its counter is non-zero.
+///
+/// Counters saturate at [`u8::MAX`]; a saturated counter is never
+/// decremented (the classic "stuck counter" behavior that keeps
+/// deletions safe — it can only cause false positives, never false
+/// negatives).
+///
+/// # Examples
+///
+/// ```
+/// use bsub_bloom::CountingBloomFilter;
+///
+/// let mut f = CountingBloomFilter::new(256, 4);
+/// f.insert("Phillies");
+/// assert!(f.contains("Phillies"));
+/// f.remove("Phillies");
+/// assert!(!f.contains("Phillies"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountingBloomFilter {
+    counters: Vec<u8>,
+    hashes: usize,
+    hasher: KeyHasher,
+}
+
+impl CountingBloomFilter {
+    /// Creates an empty CBF of `bits` counters and `hashes` hash
+    /// functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0` or `hashes == 0`.
+    #[must_use]
+    pub fn new(bits: usize, hashes: usize) -> Self {
+        assert!(bits > 0, "bit-vector length must be positive");
+        assert!(hashes > 0, "hash count must be positive");
+        Self {
+            counters: vec![0; bits],
+            hashes,
+            hasher: KeyHasher::default(),
+        }
+    }
+
+    /// Inserts a key, incrementing its counters (saturating).
+    pub fn insert<K: AsRef<[u8]>>(&mut self, key: K) {
+        for pos in self
+            .hasher
+            .positions(key.as_ref(), self.hashes, self.counters.len())
+        {
+            self.counters[pos] = self.counters[pos].saturating_add(1);
+        }
+    }
+
+    /// Removes one occurrence of a key, decrementing its counters.
+    ///
+    /// Returns `false` (and changes nothing) if the key does not test as
+    /// present — decrementing counters of an absent key could introduce
+    /// false negatives for other keys.
+    ///
+    /// Saturated counters are left untouched.
+    pub fn remove<K: AsRef<[u8]>>(&mut self, key: K) -> bool {
+        let key = key.as_ref();
+        if !self.contains(key) {
+            return false;
+        }
+        for pos in self.hasher.positions(key, self.hashes, self.counters.len()) {
+            let c = &mut self.counters[pos];
+            if *c != u8::MAX {
+                *c -= 1;
+            }
+        }
+        true
+    }
+
+    /// Probabilistic membership query.
+    #[must_use]
+    pub fn contains<K: AsRef<[u8]>>(&self, key: K) -> bool {
+        self.hasher
+            .positions(key.as_ref(), self.hashes, self.counters.len())
+            .all(|pos| self.counters[pos] > 0)
+    }
+
+    /// The count-min estimate of a key's multiplicity: the minimum of
+    /// its `k` counters. Zero means the key is (definitely) absent.
+    #[must_use]
+    pub fn count<K: AsRef<[u8]>>(&self, key: K) -> u8 {
+        self.hasher
+            .positions(key.as_ref(), self.hashes, self.counters.len())
+            .map(|pos| self.counters[pos])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Merges `other` into `self` by adding counters (saturating), the
+    /// multiset-union analogue of Bloom-filter OR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ParamMismatch`] if parameters differ.
+    pub fn merge(&mut self, other: &Self) -> Result<(), Error> {
+        if self.counters.len() != other.counters.len()
+            || self.hashes != other.hashes
+            || self.hasher != other.hasher
+        {
+            return Err(Error::ParamMismatch {
+                ours: (self.counters.len(), self.hashes),
+                theirs: (other.counters.len(), other.hashes),
+            });
+        }
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a = a.saturating_add(*b);
+        }
+        Ok(())
+    }
+
+    /// Projects the CBF to a plain [`BloomFilter`] (counter > 0 ⇒ bit
+    /// set).
+    #[must_use]
+    pub fn to_bloom(&self) -> BloomFilter {
+        let mut bits = crate::bitvec::BitVec::new(self.counters.len());
+        for (i, &c) in self.counters.iter().enumerate() {
+            if c > 0 {
+                bits.set(i);
+            }
+        }
+        BloomFilter::from_parts(bits, self.hashes, self.hasher)
+    }
+
+    /// Length of the counter vector (the paper's `m`).
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Number of hash functions (the paper's `k`).
+    #[must_use]
+    pub fn hash_count(&self) -> usize {
+        self.hashes
+    }
+
+    /// Number of non-zero counters.
+    #[must_use]
+    pub fn set_bits(&self) -> usize {
+        self.counters.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Whether no counter is non-zero.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|&c| c == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_remove_roundtrip() {
+        let mut f = CountingBloomFilter::new(256, 4);
+        f.insert("a");
+        f.insert("b");
+        assert!(f.remove("a"));
+        assert!(!f.contains("a") || f.contains("b"), "b must survive");
+        assert!(f.contains("b"));
+    }
+
+    #[test]
+    fn remove_absent_is_noop() {
+        let mut f = CountingBloomFilter::new(256, 4);
+        f.insert("present");
+        let before = f.clone();
+        assert!(!f.remove("definitely-absent-key-xyz"));
+        assert_eq!(f, before);
+    }
+
+    #[test]
+    fn duplicate_inserts_need_matching_removes() {
+        let mut f = CountingBloomFilter::new(256, 4);
+        f.insert("dup");
+        f.insert("dup");
+        assert_eq!(f.count("dup"), 2);
+        assert!(f.remove("dup"));
+        assert!(f.contains("dup"));
+        assert!(f.remove("dup"));
+        assert!(!f.contains("dup"));
+    }
+
+    #[test]
+    fn count_is_min_estimate() {
+        let mut f = CountingBloomFilter::new(256, 4);
+        for _ in 0..5 {
+            f.insert("five");
+        }
+        assert!(f.count("five") >= 5);
+        assert_eq!(f.count("zero"), 0);
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut f = CountingBloomFilter::new(64, 2);
+        for _ in 0..300 {
+            f.insert("sat");
+        }
+        assert_eq!(f.count("sat"), u8::MAX);
+        // Saturated counters are not decremented.
+        assert!(f.remove("sat"));
+        assert_eq!(f.count("sat"), u8::MAX);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = CountingBloomFilter::new(256, 4);
+        let mut b = CountingBloomFilter::new(256, 4);
+        a.insert("k");
+        b.insert("k");
+        b.insert("other");
+        a.merge(&b).unwrap();
+        assert_eq!(a.count("k"), 2);
+        assert!(a.contains("other"));
+    }
+
+    #[test]
+    fn merge_mismatch_fails() {
+        let mut a = CountingBloomFilter::new(256, 4);
+        let b = CountingBloomFilter::new(128, 4);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn to_bloom_preserves_membership() {
+        let mut f = CountingBloomFilter::new(256, 4);
+        for k in ["x", "y", "z"] {
+            f.insert(k);
+        }
+        let b = f.to_bloom();
+        for k in ["x", "y", "z"] {
+            assert!(b.contains(k));
+        }
+        assert_eq!(b.set_bits(), f.set_bits());
+    }
+
+    #[test]
+    fn empty_properties() {
+        let f = CountingBloomFilter::new(32, 2);
+        assert!(f.is_empty());
+        assert_eq!(f.set_bits(), 0);
+        assert_eq!(f.bit_len(), 32);
+        assert_eq!(f.hash_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bits_panics() {
+        let _ = CountingBloomFilter::new(0, 2);
+    }
+}

@@ -1,0 +1,93 @@
+use std::fmt;
+
+/// Errors produced by filter operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Two filters with different parameters (bit-vector length or hash
+    /// count) were combined. Merging such filters is meaningless because
+    /// the same key maps to different bit locations in each.
+    ParamMismatch {
+        /// `(bits, hashes)` of the receiver.
+        ours: (usize, usize),
+        /// `(bits, hashes)` of the argument.
+        theirs: (usize, usize),
+    },
+    /// A key was inserted into a TCBF that has already been merged.
+    ///
+    /// The paper only defines insertion for never-merged filters
+    /// (Section IV-A): "We can only insert a key into a filter that has
+    /// never been merged before." Insert into a fresh [`Tcbf`](crate::Tcbf) and then
+    /// A-merge or M-merge it instead.
+    InsertAfterMerge,
+    /// Invalid constructor parameter (zero bits or zero hash functions).
+    InvalidParams {
+        /// Human-readable description of the offending parameter.
+        reason: &'static str,
+    },
+    /// A wire-format payload could not be decoded.
+    Decode {
+        /// Human-readable description of the corruption.
+        reason: &'static str,
+    },
+    /// No allocation satisfies the requested storage bound.
+    Infeasible {
+        /// Human-readable description of the violated constraint.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ParamMismatch { ours, theirs } => write!(
+                f,
+                "filter parameter mismatch: ours (m={}, k={}) vs theirs (m={}, k={})",
+                ours.0, ours.1, theirs.0, theirs.1
+            ),
+            Error::InsertAfterMerge => {
+                write!(f, "cannot insert into a TCBF that has been merged")
+            }
+            Error::InvalidParams { reason } => write!(f, "invalid filter parameters: {reason}"),
+            Error::Decode { reason } => write!(f, "wire decode failed: {reason}"),
+            Error::Infeasible { reason } => write!(f, "infeasible allocation: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_param_mismatch() {
+        let e = Error::ParamMismatch {
+            ours: (256, 4),
+            theirs: (128, 4),
+        };
+        let s = e.to_string();
+        assert!(s.contains("m=256"));
+        assert!(s.contains("m=128"));
+    }
+
+    #[test]
+    fn display_insert_after_merge() {
+        assert!(Error::InsertAfterMerge.to_string().contains("merged"));
+    }
+
+    #[test]
+    fn display_decode() {
+        let e = Error::Decode {
+            reason: "truncated header",
+        };
+        assert!(e.to_string().contains("truncated header"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: std::error::Error>(_e: E) {}
+        takes_err(Error::InsertAfterMerge);
+    }
+}

@@ -1,0 +1,341 @@
+//! Protocol configuration.
+
+use bsub_traces::SimDuration;
+
+/// How brokers' relay filters decay over time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DfMode {
+    /// No decay (the paper's "DF = 0" point in Fig. 9): interests
+    /// accumulate forever, behavior approaches flooding, limited only
+    /// by the TTL.
+    Disabled,
+    /// A fixed decaying factor in counter units per minute — how the
+    /// paper runs Figs. 7–9, computing the value offline from Eq. 5.
+    Fixed(f64),
+    /// Online adaptation (Section VII-B: "it is straightforward to set
+    /// an appropriate DF online by counting the number of nodes a
+    /// broker meets in the time window"): each broker counts contacts
+    /// within the delay limit and re-derives its DF from Eq. 4/5, plus
+    /// the safety constant `delta`.
+    Auto {
+        /// The paper's Δ of Eq. 5 — a small constant covering the
+        /// counter inflation Eq. 4 ignores (M-merges).
+        delta: f64,
+    },
+}
+
+/// How two brokers combine their relay filters — an ablation switch
+/// for the paper's Fig. 6 argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeRule {
+    /// M-merge (counter-wise maximum) — the paper's choice, which
+    /// prevents the bogus-counter feedback loop of Fig. 6.
+    #[default]
+    Maximum,
+    /// A-merge (counter-wise sum) between brokers — the design the
+    /// paper warns against: two frequently meeting brokers inflate
+    /// each other's counters without any consumer nearby, so they get
+    /// selected as forwarders for interests they cannot serve.
+    Additive,
+}
+
+/// How a broker picks messages to hand to a peer broker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ForwardingPolicy {
+    /// The paper's preferential query: move only messages the peer's
+    /// relay filter scores strictly higher for.
+    #[default]
+    Preferential,
+    /// Ablation: move every message whose key the peer's relay filter
+    /// contains at all, ignoring relative counter strength.
+    AnyMatch,
+}
+
+/// How nodes become brokers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum BrokerPolicy {
+    /// The paper's decentralized election (Section V-B).
+    #[default]
+    Elected,
+    /// Ablation: a fixed fraction of node ids are brokers from the
+    /// start (no social awareness); the fraction is clamped to
+    /// `[0, 1]` and at least one broker is always designated.
+    Static(f64),
+}
+
+
+/// B-SUB parameters, defaulting to the evaluation settings of
+/// Section VII-A.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BsubConfig {
+    /// Bit-vector length `m` of every filter (paper: 256).
+    pub bits: usize,
+    /// Hash count `k` (paper: 4).
+    pub hashes: usize,
+    /// Initial counter value `C` set on insertion (paper: 50).
+    pub initial_counter: u32,
+    /// Maximum copies `ℂ` a producer replicates to brokers (paper: 3).
+    pub copies: u32,
+    /// Broker-election lower bound `L` (paper: 3).
+    pub lower: usize,
+    /// Broker-election upper bound `U` (paper: 5).
+    pub upper: usize,
+    /// Broker-election time window `W` (paper: 5 hours).
+    pub window: SimDuration,
+    /// Decay behavior of relay filters.
+    pub df: DfMode,
+    /// The delay budget `D` used by [`DfMode::Auto`] to derive the DF
+    /// (the paper sets it to the message TTL).
+    pub delay_limit: SimDuration,
+    /// Broker↔broker relay combination rule (ablation; paper:
+    /// [`MergeRule::Maximum`]).
+    pub merge_rule: MergeRule,
+    /// Broker↔broker message hand-off policy (ablation; paper:
+    /// [`ForwardingPolicy::Preferential`]).
+    pub forwarding: ForwardingPolicy,
+    /// Broker designation scheme (ablation; paper:
+    /// [`BrokerPolicy::Elected`]).
+    pub broker_policy: BrokerPolicy,
+}
+
+impl BsubConfig {
+    /// Starts a builder with the paper's defaults.
+    #[must_use]
+    pub fn builder() -> BsubConfigBuilder {
+        BsubConfigBuilder {
+            config: Self::default(),
+        }
+    }
+}
+
+impl Default for BsubConfig {
+    fn default() -> Self {
+        Self {
+            bits: 256,
+            hashes: 4,
+            initial_counter: 50,
+            copies: 3,
+            lower: 3,
+            upper: 5,
+            window: SimDuration::from_hours(5),
+            df: DfMode::Auto { delta: 0.005 },
+            delay_limit: SimDuration::from_hours(20),
+            merge_rule: MergeRule::Maximum,
+            forwarding: ForwardingPolicy::Preferential,
+            broker_policy: BrokerPolicy::Elected,
+        }
+    }
+}
+
+/// Builder for [`BsubConfig`]; validates on [`BsubConfigBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct BsubConfigBuilder {
+    config: BsubConfig,
+}
+
+impl BsubConfigBuilder {
+    /// Bit-vector length `m`.
+    #[must_use]
+    pub fn bits(mut self, bits: usize) -> Self {
+        self.config.bits = bits;
+        self
+    }
+
+    /// Hash count `k`.
+    #[must_use]
+    pub fn hashes(mut self, hashes: usize) -> Self {
+        self.config.hashes = hashes;
+        self
+    }
+
+    /// Initial counter value `C`.
+    #[must_use]
+    pub fn initial_counter(mut self, c: u32) -> Self {
+        self.config.initial_counter = c;
+        self
+    }
+
+    /// Copy limit `ℂ`.
+    #[must_use]
+    pub fn copies(mut self, copies: u32) -> Self {
+        self.config.copies = copies;
+        self
+    }
+
+    /// Election lower bound `L`.
+    #[must_use]
+    pub fn lower(mut self, lower: usize) -> Self {
+        self.config.lower = lower;
+        self
+    }
+
+    /// Election upper bound `U`.
+    #[must_use]
+    pub fn upper(mut self, upper: usize) -> Self {
+        self.config.upper = upper;
+        self
+    }
+
+    /// Election window `W`.
+    #[must_use]
+    pub fn window(mut self, window: SimDuration) -> Self {
+        self.config.window = window;
+        self
+    }
+
+    /// Decay mode.
+    #[must_use]
+    pub fn df(mut self, df: DfMode) -> Self {
+        self.config.df = df;
+        self
+    }
+
+    /// Delay budget `D` for [`DfMode::Auto`].
+    #[must_use]
+    pub fn delay_limit(mut self, delay_limit: SimDuration) -> Self {
+        self.config.delay_limit = delay_limit;
+        self
+    }
+
+    /// Broker↔broker merge rule (ablation).
+    #[must_use]
+    pub fn merge_rule(mut self, rule: MergeRule) -> Self {
+        self.config.merge_rule = rule;
+        self
+    }
+
+    /// Broker↔broker hand-off policy (ablation).
+    #[must_use]
+    pub fn forwarding(mut self, policy: ForwardingPolicy) -> Self {
+        self.config.forwarding = policy;
+        self
+    }
+
+    /// Broker designation scheme (ablation).
+    #[must_use]
+    pub fn broker_policy(mut self, policy: BrokerPolicy) -> Self {
+        self.config.broker_policy = policy;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is out of range (`bits`/`hashes`/
+    /// `initial_counter`/`copies` zero, `lower > upper`, a negative or
+    /// non-finite fixed DF, or a zero window/delay limit).
+    #[must_use]
+    pub fn build(self) -> BsubConfig {
+        let c = self.config;
+        assert!(c.bits > 0, "bits must be positive");
+        assert!(c.hashes > 0, "hashes must be positive");
+        assert!(c.initial_counter > 0, "initial counter must be positive");
+        assert!(c.copies > 0, "copy limit must be positive");
+        assert!(c.lower <= c.upper, "election bounds must satisfy L <= U");
+        assert!(!c.window.is_zero(), "election window must be positive");
+        assert!(!c.delay_limit.is_zero(), "delay limit must be positive");
+        if let DfMode::Fixed(df) = c.df {
+            assert!(
+                df >= 0.0 && df.is_finite(),
+                "fixed DF must be finite and non-negative"
+            );
+        }
+        if let DfMode::Auto { delta } = c.df {
+            assert!(
+                delta >= 0.0 && delta.is_finite(),
+                "delta must be finite and non-negative"
+            );
+        }
+        if let BrokerPolicy::Static(fraction) = c.broker_policy {
+            assert!(
+                (0.0..=1.0).contains(&fraction),
+                "static broker fraction must be in [0, 1]"
+            );
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = BsubConfig::default();
+        assert_eq!(c.bits, 256);
+        assert_eq!(c.hashes, 4);
+        assert_eq!(c.initial_counter, 50);
+        assert_eq!(c.copies, 3);
+        assert_eq!(c.lower, 3);
+        assert_eq!(c.upper, 5);
+        assert_eq!(c.window, SimDuration::from_hours(5));
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = BsubConfig::builder()
+            .bits(512)
+            .hashes(6)
+            .initial_counter(10)
+            .copies(5)
+            .lower(2)
+            .upper(7)
+            .window(SimDuration::from_hours(1))
+            .df(DfMode::Fixed(0.2))
+            .delay_limit(SimDuration::from_hours(10))
+            .build();
+        assert_eq!(c.bits, 512);
+        assert_eq!(c.hashes, 6);
+        assert_eq!(c.copies, 5);
+        assert_eq!(c.df, DfMode::Fixed(0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "L <= U")]
+    fn inverted_bounds_rejected() {
+        let _ = BsubConfig::builder().lower(6).upper(2).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_fixed_df_rejected() {
+        let _ = BsubConfig::builder().df(DfMode::Fixed(-1.0)).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bits_rejected() {
+        let _ = BsubConfig::builder().bits(0).build();
+    }
+
+    #[test]
+    fn ablation_defaults_follow_paper() {
+        let c = BsubConfig::default();
+        assert_eq!(c.merge_rule, MergeRule::Maximum);
+        assert_eq!(c.forwarding, ForwardingPolicy::Preferential);
+        assert_eq!(c.broker_policy, BrokerPolicy::Elected);
+    }
+
+    #[test]
+    fn ablation_switches_settable() {
+        let c = BsubConfig::builder()
+            .merge_rule(MergeRule::Additive)
+            .forwarding(ForwardingPolicy::AnyMatch)
+            .broker_policy(BrokerPolicy::Static(0.3))
+            .build();
+        assert_eq!(c.merge_rule, MergeRule::Additive);
+        assert_eq!(c.forwarding, ForwardingPolicy::AnyMatch);
+        assert_eq!(c.broker_policy, BrokerPolicy::Static(0.3));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn static_fraction_out_of_range_rejected() {
+        let _ = BsubConfig::builder()
+            .broker_policy(BrokerPolicy::Static(1.5))
+            .build();
+    }
+}

@@ -1,0 +1,164 @@
+//! Decaying-factor selection (Section VI-A/B, Eq. 4–5).
+//!
+//! The DF must remove an interest `D` time units after its last
+//! insertion, where `D` is the message delay budget (the TTL). A key's
+//! counters start at `C` but may be accidentally incremented when
+//! other keys hash onto its bits, so Eq. 5 inflates the rate by the
+//! expected minimum accidental increment of Eq. 4:
+//!
+//! `DF = C · (1 + E[min increments]) / D + Δ`
+
+use bsub_bloom::math;
+
+/// Computes the Eq. 5 decaying factor, in counter units per minute.
+///
+/// - `initial` — the counter value `C` set on insertion;
+/// - `keys_collected` — ℕ, the number of keys a broker accumulates
+///   within the delay budget (with single-interest nodes, this is the
+///   number of consumer contacts in `D`);
+/// - `bits` / `hashes` — the filter geometry `m`, `k`;
+/// - `delay_limit_mins` — the budget `D`, in minutes;
+/// - `delta` — the paper's safety constant Δ.
+///
+/// # Panics
+///
+/// Panics if `delay_limit_mins <= 0`, `initial == 0`, or the filter
+/// geometry is degenerate.
+#[must_use]
+pub fn decaying_factor_per_min(
+    initial: u32,
+    keys_collected: u64,
+    bits: usize,
+    hashes: usize,
+    delay_limit_mins: f64,
+    delta: f64,
+) -> f64 {
+    let expected_min = math::expected_min_increments(keys_collected, bits, hashes);
+    math::decaying_factor(initial, expected_min, delay_limit_mins, delta)
+}
+
+/// Incrementally tracked DF for [`DfMode::Auto`](crate::DfMode::Auto):
+/// caches the last ℕ and only recomputes Eq. 4 when the observed
+/// contact count drifts by more than ~10%, since the expectation is
+/// smooth in ℕ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveDf {
+    initial: u32,
+    bits: usize,
+    hashes: usize,
+    delay_limit_mins: f64,
+    delta: f64,
+    last_ncol: u64,
+    current: f64,
+}
+
+impl AdaptiveDf {
+    /// Creates an adaptive DF starting from ℕ = 0 (no accidental
+    /// increments: `DF = C/D + Δ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay_limit_mins <= 0` or `initial == 0`.
+    #[must_use]
+    pub fn new(
+        initial: u32,
+        bits: usize,
+        hashes: usize,
+        delay_limit_mins: f64,
+        delta: f64,
+    ) -> Self {
+        let current =
+            decaying_factor_per_min(initial, 0, bits, hashes, delay_limit_mins, delta);
+        Self {
+            initial,
+            bits,
+            hashes,
+            delay_limit_mins,
+            delta,
+            last_ncol: 0,
+            current,
+        }
+    }
+
+    /// Updates with the latest observed ℕ and returns the (possibly
+    /// recomputed) DF in counter units per minute.
+    pub fn update(&mut self, keys_collected: u64) -> f64 {
+        let drift = keys_collected.abs_diff(self.last_ncol);
+        if drift > (self.last_ncol / 10).max(4) {
+            self.current = decaying_factor_per_min(
+                self.initial,
+                keys_collected,
+                self.bits,
+                self.hashes,
+                self.delay_limit_mins,
+                self.delta,
+            );
+            self.last_ncol = keys_collected;
+        }
+        self.current
+    }
+
+    /// The DF currently in effect.
+    #[must_use]
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_rate_without_collisions() {
+        // ℕ = 0 ⇒ DF = C/D + Δ.
+        let df = decaying_factor_per_min(50, 0, 256, 4, 600.0, 0.0);
+        assert!((df - 50.0 / 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_operating_point() {
+        // Section VII-B quotes DF = 0.138/min for D = 10 h with C = 50,
+        // i.e. C(1 + E[min]) ≈ 82.8 ⇒ E[min] ≈ 0.66, which Eq. 4
+        // produces for ℕ ≈ 130 collected keys at k/m = 4/256.
+        let df = decaying_factor_per_min(50, 130, 256, 4, 600.0, 0.0);
+        assert!(
+            (0.1..0.18).contains(&df),
+            "df {df} should be near the paper's 0.138"
+        );
+    }
+
+    #[test]
+    fn more_collisions_raise_df() {
+        let low = decaying_factor_per_min(50, 10, 256, 4, 600.0, 0.0);
+        let high = decaying_factor_per_min(50, 1000, 256, 4, 600.0, 0.0);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn longer_delay_budget_lowers_df() {
+        let short = decaying_factor_per_min(50, 100, 256, 4, 60.0, 0.0);
+        let long = decaying_factor_per_min(50, 100, 256, 4, 1200.0, 0.0);
+        assert!(short > long);
+    }
+
+    #[test]
+    fn adaptive_caches_small_drift() {
+        let mut a = AdaptiveDf::new(50, 256, 4, 600.0, 0.0);
+        let base = a.current();
+        // ℕ drifting 0 → 3 stays cached.
+        let same = a.update(3);
+        assert_eq!(same, base);
+        // A big jump recomputes and raises the DF.
+        let jumped = a.update(500);
+        assert!(jumped > base);
+        // Small drift around 500 keeps the new value.
+        assert_eq!(a.update(510), jumped);
+    }
+
+    #[test]
+    fn adaptive_initial_value_matches_formula() {
+        let a = AdaptiveDf::new(50, 256, 4, 1200.0, 0.01);
+        assert!((a.current() - (50.0 / 1200.0 + 0.01)).abs() < 1e-9);
+    }
+}

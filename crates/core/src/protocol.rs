@@ -1,0 +1,1038 @@
+//! The B-SUB protocol proper: what happens on every contact
+//! (Sections V-C and V-D).
+//!
+//! Contact processing order, mirroring the paper's narrative:
+//!
+//! 1. **Housekeeping** — prune expired messages, lazily decay relay
+//!    filters to the contact time.
+//! 2. **Identity exchange** — 8-byte beacons carrying id, role, and
+//!    self-reported degree.
+//! 3. **Broker election** — each side that is (still) a *user* applies
+//!    the Section V-B rule about its peer. Sides are processed
+//!    sequentially (lower id first): a node promoted in this very
+//!    contact is a broker by the time its own turn comes, and "brokers
+//!    themselves do not perform these operations" — this is what stops
+//!    two users from blindly promoting each other into an all-broker
+//!    network.
+//! 4. **Interest propagation** — each consumer sends its genuine TCBF
+//!    (shared-counter wire form) to a broker peer, which A-merges it
+//!    (reinforcement); two brokers exchange relay filters (full wire
+//!    form) and M-merge them — *after* step 5's forwarding decisions,
+//!    as the paper specifies.
+//! 5. **Message forwarding** —
+//!    a. *producer → consumer* (any pair): the consumer's genuine
+//!    filter, with counters ripped, selects matching published
+//!    messages for direct delivery (not counted as copies);
+//!    b. *producer → broker*: the broker's relay filter (ripped)
+//!    selects messages to replicate, up to `ℂ` copies each; a
+//!    message whose copies are exhausted leaves the producer's memory;
+//!    c. *carrier → consumer*: whoever holds relayed copies hands over
+//!    the ones matching the consumer's genuine filter — the only
+//!    step where a Bloom false positive becomes a falsely *delivered*
+//!    message;
+//!    d. *broker ↔ broker*: each message is scored with the
+//!    preferential query against the peer's pre-merge relay filter;
+//!    positive-preference messages move (largest preference first)
+//!    and leave the sender's store.
+//!
+//! Every filter and message transfer debits the contact's link budget;
+//! when the budget runs out, the remaining steps simply don't happen
+//! (the paper's motivation for compressing interests in the first
+//! place).
+
+use crate::broker::ElectionAction;
+use crate::config::BsubConfig;
+use crate::node::{Carried, NodeState, Produced, Role};
+use bsub_bloom::wire::{self, CounterMode};
+use bsub_sim::{Link, Message, Protocol, SimCtx, SubscriptionTable};
+use bsub_traces::{ContactEvent, NodeId, SimTime};
+use std::collections::HashSet;
+
+/// Bytes of one identity beacon (id + role + degree).
+const IDENTITY_BYTES: u64 = 8;
+
+/// The B-SUB protocol (implements [`bsub_sim::Protocol`]).
+#[derive(Debug)]
+pub struct BsubProtocol {
+    config: BsubConfig,
+    nodes: Vec<NodeState>,
+}
+
+impl BsubProtocol {
+    /// Creates B-SUB state for every node in `subscriptions`, building
+    /// each node's genuine filter from its own interests.
+    #[must_use]
+    pub fn new(config: BsubConfig, subscriptions: &SubscriptionTable) -> Self {
+        let n = subscriptions.node_count();
+        let mut nodes: Vec<NodeState> = (0..n)
+            .map(|i| NodeState::new(&config, subscriptions.interests_of(NodeId::new(i))))
+            .collect();
+        if let crate::config::BrokerPolicy::Static(fraction) = config.broker_policy {
+            // Evenly spread `ceil(fraction·n)` (at least one) static
+            // brokers over the id space — no social awareness.
+            let count = ((fraction * f64::from(n)).ceil() as u32).clamp(1, n.max(1));
+            for k in 0..count {
+                let idx = (u64::from(k) * u64::from(n) / u64::from(count)) as usize;
+                nodes[idx].promote(&config, SimTime::ZERO);
+            }
+        }
+        Self { config, nodes }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &BsubConfig {
+        &self.config
+    }
+
+    /// Current number of brokers.
+    #[must_use]
+    pub fn broker_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_broker()).count()
+    }
+
+    /// Current fraction of nodes acting as brokers (the paper keeps
+    /// about 30% with L=3, U=5).
+    #[must_use]
+    pub fn broker_fraction(&self) -> f64 {
+        if self.nodes.is_empty() {
+            0.0
+        } else {
+            self.broker_count() as f64 / self.nodes.len() as f64
+        }
+    }
+
+    /// The role of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the network.
+    #[must_use]
+    pub fn role_of(&self, node: NodeId) -> Role {
+        self.nodes[node.index()].role
+    }
+
+    /// Total messages currently carried by brokers (diagnostics).
+    #[must_use]
+    pub fn carried_copies(&self) -> usize {
+        self.nodes.iter().map(|n| n.store.len()).sum()
+    }
+
+    /// The largest counter value across all relay filters — the
+    /// quantity Fig. 6 is about: bounded by reinforcement under
+    /// M-merge, runaway under A-merge between brokers.
+    #[must_use]
+    pub fn max_relay_counter(&self) -> u32 {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.relay.as_ref())
+            .map(|r| r.filter.max_counter_value())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn housekeeping(&mut self, node: NodeId, now: SimTime) {
+        let state = &mut self.nodes[node.index()];
+        state.prune(now);
+        state.election.prune(now, self.config.window);
+        if let Some(relay) = &mut state.relay {
+            relay.decay_to(now);
+        }
+    }
+
+    /// Step 3: sequential election, lower-id side first. A no-op under
+    /// the static broker ablation.
+    fn election(&mut self, now: SimTime, a: NodeId, b: NodeId) {
+        if matches!(
+            self.config.broker_policy,
+            crate::config::BrokerPolicy::Static(_)
+        ) {
+            return;
+        }
+        for (me, peer) in [(a, b), (b, a)] {
+            let peer_role = self.nodes[peer.index()].role;
+            let peer_degree = self.nodes[peer.index()].election.degree();
+            let my_state = &mut self.nodes[me.index()];
+            let action = if my_state.role == Role::User {
+                my_state.election.decide(
+                    peer_role == Role::Broker,
+                    peer_degree,
+                    self.config.lower,
+                    self.config.upper,
+                )
+            } else {
+                ElectionAction::Keep
+            };
+            match action {
+                ElectionAction::Promote => self.nodes[peer.index()].promote(&self.config, now),
+                ElectionAction::Demote => self.nodes[peer.index()].demote(),
+                ElectionAction::Keep => {}
+            }
+            // Record the peer's post-action role: a user that just
+            // promoted its peer has, from its own perspective, met a
+            // broker — otherwise the L bound never engages and the
+            // user keeps promoting everyone it meets.
+            let peer_is_broker_now = self.nodes[peer.index()].is_broker();
+            self.nodes[me.index()]
+                .election
+                .record(now, peer, peer_is_broker_now, peer_degree);
+        }
+    }
+
+    /// Wire cost of a genuine filter: ripped for plain consumers,
+    /// shared-counter TCBF when a broker will A-merge it.
+    fn genuine_wire_bytes(&self, node: NodeId, with_counters: bool) -> u64 {
+        let mode = if with_counters {
+            CounterMode::Shared
+        } else {
+            CounterMode::Ripped
+        };
+        wire::encoded_len(
+            self.nodes[node.index()].genuine.set_bits(),
+            self.config.bits,
+            mode,
+        ) as u64
+    }
+
+    /// Step 4 (consumer → broker direction): A-merge `consumer`'s
+    /// genuine filter into `broker`'s relay. Charges the wire cost.
+    fn propagate_interests(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        link: &mut Link,
+        consumer: NodeId,
+        broker: NodeId,
+    ) -> bool {
+        if !self.nodes[broker.index()].is_broker() {
+            return true;
+        }
+        let bytes = self.genuine_wire_bytes(consumer, true);
+        if !ctx.send_control(link, bytes) {
+            return false;
+        }
+        let interests = ctx.subscriptions().interests_of(consumer).to_vec();
+        let now = ctx.now();
+        let (consumer_state, broker_state) = two(&mut self.nodes, consumer.index(), broker.index());
+        let relay = broker_state.relay.as_mut().expect("broker has relay");
+        relay.absorb_genuine(
+            &consumer_state.genuine,
+            &interests,
+            self.config.initial_counter,
+        );
+        relay.on_consumer_contact(now, &self.config);
+        true
+    }
+
+    /// Steps 5a + 5c: `src` serves `dst` as a consumer — direct
+    /// deliveries from `src`'s own publications, plus handing over any
+    /// relayed copies `src` carries. The consumer's genuine filter
+    /// (ripped) is what `src` matches against; its wire cost was paid
+    /// in [`Self::propagate_interests`] for brokers, and is paid here
+    /// otherwise.
+    fn serve_consumer(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        link: &mut Link,
+        src: NodeId,
+        dst: NodeId,
+        already_paid_filter: bool,
+    ) -> bool {
+        let has_content = !self.nodes[src.index()].published.is_empty()
+            || !self.nodes[src.index()].store.is_empty();
+        if !has_content {
+            return true;
+        }
+        if !already_paid_filter {
+            let bytes = self.genuine_wire_bytes(dst, false);
+            if !ctx.send_control(link, bytes) {
+                return false;
+            }
+        }
+        let dst_bloom = self.nodes[dst.index()].genuine.to_bloom();
+        let now = ctx.now();
+
+        // 5a: direct producer → consumer (not counted as copies).
+        let src_state = &mut self.nodes[src.index()];
+        for produced in &mut src_state.published {
+            if produced.msg.is_expired(now)
+                || produced.delivered_to.contains(&dst)
+                || produced.msg.producer == dst
+                || !dst_bloom.contains(produced.msg.key.as_bytes())
+            {
+                continue;
+            }
+            if !ctx.transfer_message(link, &produced.msg) {
+                return false;
+            }
+            produced.delivered_to.insert(dst);
+            let _ = ctx.deliver(dst, &produced.msg);
+        }
+
+        // 5c: relayed copies → consumer.
+        for carried in &mut src_state.store {
+            if carried.msg.is_expired(now)
+                || carried.delivered_to.contains(&dst)
+                || carried.msg.producer == dst
+                || !dst_bloom.contains(carried.msg.key.as_bytes())
+            {
+                continue;
+            }
+            if !ctx.transfer_message(link, &carried.msg) {
+                return false;
+            }
+            carried.delivered_to.insert(dst);
+            let _ = ctx.deliver(dst, &carried.msg);
+        }
+        true
+    }
+
+    /// Step 5b: `producer` replicates matching publications to
+    /// `broker`, bounded by the per-message copy limit ℂ. The broker's
+    /// relay filter travels counter-less ("we reduce the communication
+    /// overhead by ripping the counters from the TCBFs").
+    fn replicate_to_broker(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        link: &mut Link,
+        producer: NodeId,
+        broker: NodeId,
+    ) -> bool {
+        if !self.nodes[broker.index()].is_broker() {
+            return true;
+        }
+        if self.nodes[producer.index()].published.is_empty() {
+            return true;
+        }
+        let relay_bits = self.nodes[broker.index()]
+            .relay
+            .as_ref()
+            .expect("broker has relay")
+            .filter
+            .set_bits();
+        let bytes = wire::encoded_len(relay_bits, self.config.bits, CounterMode::Ripped) as u64;
+        if !ctx.send_control(link, bytes) {
+            return false;
+        }
+        let now = ctx.now();
+        let (producer_state, broker_state) = two(&mut self.nodes, producer.index(), broker.index());
+        let relay_bloom = broker_state
+            .relay
+            .as_ref()
+            .expect("broker has relay")
+            .filter
+            .to_bloom();
+        let mut budget_hit = false;
+        let mut injections: Vec<bool> = Vec::new();
+        for produced in &mut producer_state.published {
+            if produced.copies_left == 0
+                || produced.msg.is_expired(now)
+                || broker_state.seen.contains(&produced.msg.id)
+                || !relay_bloom.contains(produced.msg.key.as_bytes())
+            {
+                continue;
+            }
+            if !ctx.transfer_message(link, &produced.msg) {
+                budget_hit = true;
+                break;
+            }
+            // Ground truth: was this acceptance a pure Bloom FP?
+            injections.push(!broker_state
+                .relay
+                .as_ref()
+                .expect("broker")
+                .truly_holds(&produced.msg.key));
+            produced.copies_left -= 1;
+            broker_state.seen.insert(produced.msg.id);
+            broker_state.store.push(Carried {
+                msg: produced.msg.clone(),
+                delivered_to: HashSet::new(),
+            });
+        }
+        for fp in injections {
+            ctx.record_injection(fp);
+        }
+        // "The message is removed from the producer's memory after its
+        // copy number reaches the limit."
+        producer_state.published.retain(|p| p.copies_left > 0);
+        !budget_hit
+    }
+
+    /// Step 5d: preferential broker ↔ broker handoff, then M-merge.
+    fn broker_exchange(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        link: &mut Link,
+        a: NodeId,
+        b: NodeId,
+    ) -> bool {
+        if !(self.nodes[a.index()].is_broker() && self.nodes[b.index()].is_broker()) {
+            return true;
+        }
+        // Exchange relay filters (full counters — the preferential
+        // query needs them).
+        let cost = |node: &NodeState| {
+            wire::encoded_len(
+                node.relay.as_ref().expect("broker").filter.set_bits(),
+                self.config.bits,
+                CounterMode::Full,
+            ) as u64
+        };
+        let total = cost(&self.nodes[a.index()]) + cost(&self.nodes[b.index()]);
+        if !ctx.send_control(link, total) {
+            return false;
+        }
+
+        // Snapshot the pre-merge filters (and shadows): forwarding
+        // decisions use them, and both directions must see the same
+        // state.
+        let relay_a = self.nodes[a.index()].relay.as_ref().expect("broker");
+        let relay_b = self.nodes[b.index()].relay.as_ref().expect("broker");
+        let filter_a = relay_a.filter.clone();
+        let filter_b = relay_b.filter.clone();
+        let shadow_a = relay_a.shadow.clone();
+        let shadow_b = relay_b.shadow.clone();
+
+        let mut ok = true;
+        for (src, dst, src_filter, dst_filter) in
+            [(a, b, &filter_a, &filter_b), (b, a, &filter_b, &filter_a)]
+        {
+            if !self.handoff(ctx, link, src, dst, src_filter, dst_filter) {
+                ok = false;
+                break;
+            }
+        }
+
+        // Merge after forwarding ("make message forwarding decisions
+        // before merging their relay filters"). M-merge per the paper;
+        // the Additive rule exists to reproduce Fig. 6's pathology.
+        let rule = self.config.merge_rule;
+        let (state_a, state_b) = two(&mut self.nodes, a.index(), b.index());
+        state_a
+            .relay
+            .as_mut()
+            .expect("broker")
+            .absorb_relay(&filter_b, &shadow_b, rule);
+        state_b
+            .relay
+            .as_mut()
+            .expect("broker")
+            .absorb_relay(&filter_a, &shadow_a, rule);
+        ok
+    }
+
+    /// Moves the positive-preference messages of `src` to `dst`,
+    /// best-preference first.
+    fn handoff(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        link: &mut Link,
+        src: NodeId,
+        dst: NodeId,
+        src_filter: &bsub_bloom::Tcbf,
+        dst_filter: &bsub_bloom::Tcbf,
+    ) -> bool {
+        let now = ctx.now();
+        let mut candidates: Vec<(usize, bsub_bloom::Preference)> = Vec::new();
+        {
+            let src_state = &self.nodes[src.index()];
+            let dst_state = &self.nodes[dst.index()];
+            for (i, carried) in src_state.store.iter().enumerate() {
+                if carried.msg.is_expired(now) || dst_state.seen.contains(&carried.msg.id) {
+                    continue;
+                }
+                match self.config.forwarding {
+                    crate::config::ForwardingPolicy::Preferential => {
+                        let pref = dst_filter
+                            .preference(src_filter, carried.msg.key.as_bytes())
+                            .expect("parameters match");
+                        if pref.is_positive() {
+                            candidates.push((i, pref));
+                        }
+                    }
+                    crate::config::ForwardingPolicy::AnyMatch => {
+                        if dst_filter.contains(carried.msg.key.as_bytes()) {
+                            candidates.push((i, bsub_bloom::Preference::Relative(0)));
+                        }
+                    }
+                }
+            }
+        }
+        // "Those messages that have the largest positive preference are
+        // forwarded first."
+        candidates.sort_by_key(|&(_, pref)| std::cmp::Reverse(pref));
+
+        let mut moved: Vec<usize> = Vec::new();
+        let mut ok = true;
+        for (idx, _) in candidates {
+            let msg = self.nodes[src.index()].store[idx].msg.clone();
+            if !ctx.transfer_message(link, &msg) {
+                ok = false;
+                break;
+            }
+            moved.push(idx);
+        }
+        // "Messages are removed from brokers' memory after being
+        // forwarded" — move, don't copy.
+        moved.sort_unstable_by(|x, y| y.cmp(x)); // remove from the back
+        for idx in moved {
+            let carried = self.nodes[src.index()].store.swap_remove(idx);
+            let dst_state = &mut self.nodes[dst.index()];
+            dst_state.seen.insert(carried.msg.id);
+            dst_state.store.push(carried);
+        }
+        ok
+    }
+}
+
+impl Protocol for BsubProtocol {
+    fn name(&self) -> &str {
+        "B-SUB"
+    }
+
+    fn on_message(&mut self, _ctx: &mut SimCtx<'_>, msg: &Message) {
+        let state = &mut self.nodes[msg.producer.index()];
+        state.seen.insert(msg.id);
+        state.published.push(Produced {
+            msg: msg.clone(),
+            copies_left: self.config.copies,
+            delivered_to: HashSet::new(),
+        });
+    }
+
+    fn on_contact(&mut self, ctx: &mut SimCtx<'_>, contact: &ContactEvent, link: &mut Link) {
+        let (a, b) = (contact.a, contact.b);
+        let now = ctx.now();
+
+        // 1. Housekeeping.
+        self.housekeeping(a, now);
+        self.housekeeping(b, now);
+
+        // 2. Identity beacons.
+        if !ctx.send_control(link, 2 * IDENTITY_BYTES) {
+            return;
+        }
+
+        // 3. Election (may change roles for the rest of the contact).
+        self.election(now, a, b);
+
+        // 4. Interest propagation (consumer → broker, both directions).
+        let a_is_broker = self.nodes[a.index()].is_broker();
+        let b_is_broker = self.nodes[b.index()].is_broker();
+        if !self.propagate_interests(ctx, link, a, b) {
+            return;
+        }
+        if !self.propagate_interests(ctx, link, b, a) {
+            return;
+        }
+
+        // 5a + 5c: serve each side as a consumer. The genuine filter
+        // already traveled (with counters) if the serving side is a
+        // broker.
+        if !self.serve_consumer(ctx, link, a, b, a_is_broker) {
+            return;
+        }
+        if !self.serve_consumer(ctx, link, b, a, b_is_broker) {
+            return;
+        }
+
+        // 5b: producers replicate to brokers.
+        if !self.replicate_to_broker(ctx, link, a, b) {
+            return;
+        }
+        if !self.replicate_to_broker(ctx, link, b, a) {
+            return;
+        }
+
+        // 5d: broker ↔ broker preferential handoff + M-merge.
+        let _ = self.broker_exchange(ctx, link, a, b);
+    }
+}
+
+/// Mutably borrows two distinct elements of a slice.
+fn two<T>(slice: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert_ne!(i, j, "need two distinct nodes");
+    if i < j {
+        let (lo, hi) = slice.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = slice.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DfMode;
+    use bsub_sim::{GeneratedMessage, SimConfig, Simulation};
+    use bsub_traces::{ContactTrace, SimDuration};
+
+    fn contact(a: u32, b: u32, start_s: u64, end_s: u64) -> ContactEvent {
+        ContactEvent::new(
+            NodeId::new(a),
+            NodeId::new(b),
+            SimTime::from_secs(start_s),
+            SimTime::from_secs(end_s),
+        )
+    }
+
+    fn message(at_s: u64, producer: u32, key: &str) -> GeneratedMessage {
+        GeneratedMessage {
+            at: SimTime::from_secs(at_s),
+            producer: NodeId::new(producer),
+            key: key.into(),
+            size: 100,
+        }
+    }
+
+    fn config() -> BsubConfig {
+        BsubConfig::builder().df(DfMode::Fixed(0.01)).build()
+    }
+
+    #[test]
+    fn first_contact_promotes_one_side() {
+        // Two users meet: the lower-id side elects first and promotes
+        // the peer; the peer, now a broker, does not elect.
+        let trace = ContactTrace::new("p", 2, vec![contact(0, 1, 10, 100)]).unwrap();
+        let subs = SubscriptionTable::new(2);
+        let sched = Vec::new();
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let mut bsub = BsubProtocol::new(config(), &subs);
+        let _ = sim.run(&mut bsub);
+        assert_eq!(bsub.role_of(NodeId::new(0)), Role::User);
+        assert_eq!(bsub.role_of(NodeId::new(1)), Role::Broker);
+        assert_eq!(bsub.broker_count(), 1);
+    }
+
+    #[test]
+    fn direct_producer_consumer_delivery() {
+        let trace = ContactTrace::new("d", 2, vec![contact(0, 1, 100, 400)]).unwrap();
+        let mut subs = SubscriptionTable::new(2);
+        subs.subscribe(NodeId::new(1), "news");
+        let sched = vec![message(10, 0, "news")];
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let mut bsub = BsubProtocol::new(config(), &subs);
+        let report = sim.run(&mut bsub);
+        assert_eq!(report.delivered, 1, "direct delivery on first meeting");
+        assert!(report.control_bytes > 0, "filters cost control bytes");
+    }
+
+    #[test]
+    fn three_hop_relay_through_broker() {
+        // 3 = broker candidate. Schedule:
+        //   t=100  consumer(2) meets 3   (3 promoted; learns interest)
+        //   t=500  producer(0) meets 3   (copy pushed to broker)
+        //   t=900  3 meets consumer(2)   (delivery)
+        // 0 and 2 never meet.
+        let trace = ContactTrace::new(
+            "relay",
+            4,
+            vec![
+                contact(2, 3, 100, 300),
+                contact(0, 3, 500, 700),
+                contact(2, 3, 900, 1100),
+            ],
+        )
+        .unwrap();
+        let mut subs = SubscriptionTable::new(4);
+        subs.subscribe(NodeId::new(2), "news");
+        let sched = vec![message(10, 0, "news")];
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let mut bsub = BsubProtocol::new(config(), &subs);
+        let report = sim.run(&mut bsub);
+        assert_eq!(report.delivered, 1, "broker-relayed delivery");
+        assert_eq!(report.forwardings, 2, "producer→broker and broker→consumer");
+    }
+
+    #[test]
+    fn copy_limit_respected() {
+        // One producer meets four brokers whose relay filters all match;
+        // with ℂ = 3 only three replications may happen. Consumer 0
+        // promotes nodes 2..=5 on first meeting (L = 4 here so all four
+        // get promoted) and teaches them its interest.
+        let mut events = Vec::new();
+        for (i, broker) in (2..=5).enumerate() {
+            events.push(contact(0, broker, 50 + i as u64 * 100, 100 + i as u64 * 100));
+        }
+        // Producer 1 then meets each broker.
+        for (i, broker) in (2..=5).enumerate() {
+            events.push(contact(1, broker, 1000 + i as u64 * 100, 1050 + i as u64 * 100));
+        }
+        let trace = ContactTrace::new("copies", 6, events).unwrap();
+        let mut subs = SubscriptionTable::new(6);
+        subs.subscribe(NodeId::new(0), "news");
+        let sched = vec![message(10, 1, "news")];
+        let cfg = BsubConfig::builder()
+            .df(DfMode::Fixed(0.01))
+            .lower(4)
+            .upper(6)
+            .build();
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let mut bsub = BsubProtocol::new(cfg, &subs);
+        let report = sim.run(&mut bsub);
+        // All four brokers exist and match, but ℂ = 3 caps replication.
+        assert_eq!(bsub.broker_count(), 4);
+        assert_eq!(
+            report.forwardings, 3,
+            "exactly ℂ broker replications, producer never meets the consumer"
+        );
+        assert_eq!(bsub.carried_copies(), 3);
+    }
+
+    #[test]
+    fn decay_forgets_stale_interests() {
+        // Broker learns an interest, then a very long gap passes before
+        // the producer arrives: with a fast DF the interest is gone and
+        // no replication happens. (The lower-id side of a first
+        // user-user contact promotes the higher id, so node 2 becomes
+        // the broker when consumer 0 meets it.)
+        let trace = ContactTrace::new(
+            "decay",
+            3,
+            vec![
+                contact(0, 2, 100, 200),         // consumer 0 → broker 2
+                contact(1, 2, 100_000, 100_100), // producer 1 meets 2 much later
+            ],
+        )
+        .unwrap();
+        let mut subs = SubscriptionTable::new(3);
+        subs.subscribe(NodeId::new(0), "news");
+        let sched = vec![message(10, 1, "news")];
+        let fast_decay = BsubConfig::builder().df(DfMode::Fixed(2.0)).build();
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let mut bsub = BsubProtocol::new(fast_decay, &subs);
+        let report = sim.run(&mut bsub);
+        assert_eq!(report.forwardings, 0, "decayed interest stops replication");
+    }
+
+    #[test]
+    fn no_decay_keeps_interests_forever() {
+        let trace = ContactTrace::new(
+            "nodecay",
+            3,
+            vec![
+                contact(0, 2, 100, 200),         // consumer 0 promotes/teaches 2
+                contact(1, 2, 100_000, 100_100), // producer 1 pushes a copy
+                contact(0, 2, 150_000, 150_100), // broker 2 delivers
+            ],
+        )
+        .unwrap();
+        let mut subs = SubscriptionTable::new(3);
+        subs.subscribe(NodeId::new(0), "news");
+        let sched = vec![message(10, 1, "news")];
+        let cfg = BsubConfig::builder().df(DfMode::Disabled).build();
+        let sim_cfg = SimConfig {
+            ttl: SimDuration::from_days(30),
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&trace, &subs, &sched, sim_cfg);
+        let mut bsub = BsubProtocol::new(cfg, &subs);
+        let report = sim.run(&mut bsub);
+        assert_eq!(report.delivered, 1, "without decay the relay remembers");
+    }
+
+    #[test]
+    fn broker_to_broker_preferential_handoff() {
+        // Broker 2 gets the message but never meets the consumer again;
+        // broker 3 meets the consumer often (reinforced interest) and
+        // then meets broker 2, which should hand the message over.
+        // Consumer is node 0 (lowest id: it elects, it never gets
+        // promoted itself once it has met enough brokers).
+        let trace = ContactTrace::new(
+            "handoff",
+            4,
+            vec![
+                contact(0, 3, 100, 200),    // consumer 0 promotes+teaches broker 3
+                contact(0, 3, 300, 400),    // reinforcement
+                contact(0, 2, 500, 600),    // consumer 0 promotes+teaches broker 2 once
+                contact(1, 2, 700, 800),    // producer 1 → broker 2 (copy)
+                contact(2, 3, 900, 1000),   // brokers meet: prefer 3
+                contact(0, 3, 1200, 1300),  // broker 3 delivers
+            ],
+        )
+        .unwrap();
+        let mut subs = SubscriptionTable::new(4);
+        subs.subscribe(NodeId::new(0), "news");
+        let sched = vec![message(10, 1, "news")];
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let mut bsub = BsubProtocol::new(config(), &subs);
+        let report = sim.run(&mut bsub);
+        assert_eq!(report.delivered, 1);
+        // producer→2, 2→3 handoff, 3→consumer: 3 forwardings. (The
+        // first 0↔3 contacts predate the message.)
+        assert_eq!(report.forwardings, 3);
+    }
+
+    #[test]
+    fn handoff_removes_from_sender() {
+        // After a broker hands a message off, its store is empty —
+        // Section V-D: "Messages are removed from brokers' memory
+        // after being forwarded."
+        let trace = ContactTrace::new(
+            "move",
+            4,
+            vec![
+                contact(0, 3, 100, 200),  // consumer 0 teaches broker 3 (twice)
+                contact(0, 3, 250, 350),
+                contact(0, 2, 400, 500),  // consumer 0 teaches broker 2 once
+                contact(1, 2, 600, 700),  // producer 1 → broker 2
+                contact(2, 3, 800, 900),  // handoff 2 → 3
+            ],
+        )
+        .unwrap();
+        let mut subs = SubscriptionTable::new(4);
+        subs.subscribe(NodeId::new(0), "news");
+        let sched = vec![message(10, 1, "news")];
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let mut bsub = BsubProtocol::new(config(), &subs);
+        let _ = sim.run(&mut bsub);
+        assert_eq!(
+            bsub.carried_copies(),
+            1,
+            "exactly one copy lives on (moved, not duplicated)"
+        );
+    }
+
+    #[test]
+    fn bandwidth_exhaustion_stops_gracefully() {
+        let trace = ContactTrace::new("bw", 2, vec![contact(0, 1, 100, 101)]).unwrap();
+        let mut subs = SubscriptionTable::new(2);
+        subs.subscribe(NodeId::new(1), "news");
+        let sched = vec![message(10, 0, "news")];
+        let sim_cfg = SimConfig {
+            bytes_per_sec: 10, // 10-byte budget: identity beacons fail
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&trace, &subs, &sched, sim_cfg);
+        let mut bsub = BsubProtocol::new(config(), &subs);
+        let report = sim.run(&mut bsub);
+        assert_eq!(report.delivered, 0);
+        assert_eq!(report.forwardings, 0);
+        assert!(report.total_bytes() <= 10);
+    }
+
+    #[test]
+    fn no_duplicate_direct_delivery_across_contacts() {
+        let trace = ContactTrace::new(
+            "dup",
+            2,
+            vec![contact(0, 1, 100, 200), contact(0, 1, 500, 600)],
+        )
+        .unwrap();
+        let mut subs = SubscriptionTable::new(2);
+        subs.subscribe(NodeId::new(1), "news");
+        let sched = vec![message(10, 0, "news")];
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let mut bsub = BsubProtocol::new(config(), &subs);
+        let report = sim.run(&mut bsub);
+        assert_eq!(report.delivered, 1);
+        assert_eq!(report.forwardings, 1, "delivered_to suppresses resend");
+    }
+
+    #[test]
+    fn broker_fraction_stays_partial_on_dense_trace() {
+        use bsub_traces::synthetic::SyntheticTrace;
+        let trace = SyntheticTrace::new("frac", 40, SimDuration::from_hours(24), 8000)
+            .seed(3)
+            .build();
+        let subs = SubscriptionTable::new(40);
+        let sched = Vec::new();
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let mut bsub = BsubProtocol::new(config(), &subs);
+        let _ = sim.run(&mut bsub);
+        let frac = bsub.broker_fraction();
+        assert!(
+            frac > 0.05 && frac < 0.95,
+            "election should stabilize between extremes, got {frac}"
+        );
+    }
+
+    #[test]
+    fn two_helper() {
+        let mut v = vec![10, 20, 30];
+        let (a, b) = two(&mut v, 2, 1);
+        assert_eq!((*a, *b), (30, 20));
+    }
+
+    #[test]
+    fn election_demotes_low_degree_broker() {
+        // With L = U = 1: node 0 promotes node 5, later learns of the
+        // better-connected broker 6, and on the next meeting demotes 5
+        // (degree 1, below the average of the brokers 0 knows).
+        let trace = ContactTrace::new(
+            "demote",
+            8,
+            vec![
+                contact(1, 6, 100, 150), // 1 promotes 6
+                contact(2, 6, 200, 250), // 6's degree grows to 2
+                contact(3, 6, 300, 350), // ... and 3
+                contact(0, 5, 500, 550), // 0 promotes 5 (degree 0 at beacon time)
+                contact(0, 6, 600, 650), // 0 now knows two brokers
+                contact(0, 5, 700, 750), // brokers_met > U: demote low-degree 5
+            ],
+        )
+        .unwrap();
+        let subs = SubscriptionTable::new(8);
+        let cfg = BsubConfig::builder()
+            .df(DfMode::Fixed(0.01))
+            .lower(1)
+            .upper(1)
+            .build();
+        let mut bsub = BsubProtocol::new(cfg, &subs);
+        let sched = Vec::new();
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let _ = sim.run(&mut bsub);
+        assert_eq!(bsub.role_of(NodeId::new(5)), Role::User, "demoted");
+        assert_eq!(bsub.role_of(NodeId::new(6)), Role::Broker, "kept");
+    }
+
+    #[test]
+    fn demoted_broker_still_delivers_cargo() {
+        // Node 5 collects a copy as a broker, is demoted, and still
+        // hands the message to the consumer it later meets — carried
+        // messages survive demotion (only the relay filter is
+        // dropped).
+        let trace = ContactTrace::new(
+            "cargo",
+            8,
+            vec![
+                contact(4, 5, 50, 100),  // consumer 4 promotes+teaches 5
+                contact(7, 5, 200, 250), // producer 7 pushes the copy
+                // Build up broker 6 (degree 5, above 5's degree of 2)
+                // and demote 5, seen from node 4: L = U = 1.
+                contact(1, 6, 300, 350),
+                contact(2, 6, 400, 450),
+                contact(3, 6, 500, 550),
+                contact(0, 6, 560, 570),
+                contact(6, 7, 580, 590),
+                contact(4, 6, 600, 650),
+                contact(4, 5, 700, 750), // demotion contact — and delivery
+            ],
+        )
+        .unwrap();
+        let mut subs = SubscriptionTable::new(8);
+        subs.subscribe(NodeId::new(4), "news");
+        let cfg = BsubConfig::builder()
+            .df(DfMode::Fixed(0.001))
+            .lower(1)
+            .upper(1)
+            .build();
+        let mut bsub = BsubProtocol::new(cfg, &subs);
+        let sched = vec![message(10, 7, "news")];
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let report = sim.run(&mut bsub);
+        assert_eq!(bsub.role_of(NodeId::new(5)), Role::User, "5 was demoted");
+        assert_eq!(report.delivered, 1, "cargo outlives the brokership");
+    }
+
+    #[test]
+    fn static_broker_policy_skips_election() {
+        use crate::config::BrokerPolicy;
+        let trace = ContactTrace::new(
+            "static",
+            10,
+            vec![contact(0, 1, 10, 100), contact(2, 3, 200, 300)],
+        )
+        .unwrap();
+        let subs = SubscriptionTable::new(10);
+        let cfg = BsubConfig::builder()
+            .df(DfMode::Fixed(0.01))
+            .broker_policy(BrokerPolicy::Static(0.3))
+            .build();
+        let mut bsub = BsubProtocol::new(cfg, &subs);
+        assert_eq!(bsub.broker_count(), 3, "ceil(0.3 * 10)");
+        let before: Vec<Role> = (0..10).map(|i| bsub.role_of(NodeId::new(i))).collect();
+        let sched = Vec::new();
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let _ = sim.run(&mut bsub);
+        let after: Vec<Role> = (0..10).map(|i| bsub.role_of(NodeId::new(i))).collect();
+        assert_eq!(before, after, "roles frozen under the static policy");
+    }
+
+    #[test]
+    fn static_policy_always_has_a_broker() {
+        use crate::config::BrokerPolicy;
+        let subs = SubscriptionTable::new(5);
+        let cfg = BsubConfig::builder()
+            .broker_policy(BrokerPolicy::Static(0.0))
+            .build();
+        let bsub = BsubProtocol::new(cfg, &subs);
+        assert_eq!(bsub.broker_count(), 1);
+    }
+
+    #[test]
+    fn additive_merge_rule_inflates_counters() {
+        use crate::config::MergeRule;
+        // Fig. 6's pathology, end to end: two brokers meet repeatedly;
+        // under A-merge their counters for a once-seen interest blow
+        // up, under M-merge they stay bounded by the reinforcement.
+        let mut events = vec![contact(0, 3, 10, 50)]; // consumer 0 teaches broker 3 once
+        events.push(contact(0, 2, 60, 90)); // consumer 0 teaches broker 2 once
+        for i in 0..20 {
+            events.push(contact(2, 3, 200 + i * 100, 250 + i * 100)); // brokers churn
+        }
+        let trace = ContactTrace::new("fig6", 4, events).unwrap();
+        let mut subs = SubscriptionTable::new(4);
+        subs.subscribe(NodeId::new(0), "news");
+        let sched = Vec::new();
+
+        let run = |rule: MergeRule| {
+            let cfg = BsubConfig::builder()
+                .df(DfMode::Disabled)
+                .merge_rule(rule)
+                .build();
+            let mut bsub = BsubProtocol::new(cfg, &subs);
+            let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+            let _ = sim.run(&mut bsub);
+            bsub.max_relay_counter()
+        };
+        let bounded = run(MergeRule::Maximum);
+        let inflated = run(MergeRule::Additive);
+        assert_eq!(bounded, 50, "M-merge: one insertion stays at C");
+        assert!(
+            inflated >= 50 * 20,
+            "A-merge between brokers compounds: {inflated}"
+        );
+    }
+
+    #[test]
+    fn any_match_forwarding_ping_pongs_less_selectively() {
+        use crate::config::ForwardingPolicy;
+        // Broker 3 has the stronger (reinforced) interest; broker 2
+        // carries the message. Under AnyMatch the hand-off happens even
+        // when 2's own counters are at least as strong — i.e. strictly
+        // more messages move than under Preferential.
+        let trace = ContactTrace::new(
+            "policy",
+            4,
+            vec![
+                contact(0, 2, 100, 200), // consumer teaches broker 2
+                contact(0, 3, 300, 400), // consumer teaches broker 3 (equal strength)
+                contact(1, 2, 500, 600), // producer 1 → broker 2
+                contact(2, 3, 700, 800), // brokers meet
+            ],
+        )
+        .unwrap();
+        let mut subs = SubscriptionTable::new(4);
+        subs.subscribe(NodeId::new(0), "news");
+        let sched = vec![message(10, 1, "news")];
+
+        let carried_by = |policy: ForwardingPolicy| {
+            let cfg = BsubConfig::builder()
+                .df(DfMode::Fixed(0.001))
+                .forwarding(policy)
+                .build();
+            let mut bsub = BsubProtocol::new(cfg, &subs);
+            let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+            let _ = sim.run(&mut bsub);
+            (
+                bsub.nodes[2].store.len(),
+                bsub.nodes[3].store.len(),
+            )
+        };
+        // Equal counters ⇒ preference 0 ⇒ no move under Preferential.
+        assert_eq!(carried_by(ForwardingPolicy::Preferential), (1, 0));
+        // AnyMatch moves it regardless.
+        assert_eq!(carried_by(ForwardingPolicy::AnyMatch), (0, 1));
+    }
+}

@@ -1,0 +1,106 @@
+//! The bandwidth-limited contact link.
+//!
+//! Section VII-A: "The bandwidth of the wireless channel is 1 Mbps
+//! [...] We assume that the average transmission rate is 250 Kbps."
+//! A contact of duration `d` can therefore move at most `d × rate`
+//! bytes; every transfer debits the budget, and a protocol that runs
+//! out mid-contact simply stops sending (wireless errors are not
+//! modeled, as in the paper).
+
+use bsub_traces::SimDuration;
+
+/// The byte budget of one contact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Link {
+    budget: u64,
+    used: u64,
+}
+
+impl Link {
+    /// A link with an explicit byte budget.
+    #[must_use]
+    pub const fn with_budget(budget: u64) -> Self {
+        Self { budget, used: 0 }
+    }
+
+    /// A link for a contact of the given duration at
+    /// `bytes_per_sec` effective rate.
+    #[must_use]
+    pub fn for_contact(duration: SimDuration, bytes_per_sec: u64) -> Self {
+        Self::with_budget(duration.as_secs().saturating_mul(bytes_per_sec))
+    }
+
+    /// Attempts to transfer `bytes`; on success the budget is debited.
+    /// Returns whether the transfer fit.
+    pub fn try_transfer(&mut self, bytes: u64) -> bool {
+        if self.remaining() >= bytes {
+            self.used += bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Bytes still available in this contact.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.budget - self.used
+    }
+
+    /// Bytes moved so far.
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Total budget of the contact.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Whether the budget is exhausted.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_from_contact_duration() {
+        // 4 seconds at 250 Kbps = 125,000 bytes.
+        let l = Link::for_contact(SimDuration::from_secs(4), 31_250);
+        assert_eq!(l.budget(), 125_000);
+        assert_eq!(l.remaining(), 125_000);
+    }
+
+    #[test]
+    fn transfer_debits() {
+        let mut l = Link::with_budget(100);
+        assert!(l.try_transfer(60));
+        assert_eq!(l.remaining(), 40);
+        assert_eq!(l.used(), 60);
+        assert!(!l.try_transfer(41), "over budget refused");
+        assert_eq!(l.used(), 60, "failed transfer does not debit");
+        assert!(l.try_transfer(40));
+        assert!(l.is_exhausted());
+    }
+
+    #[test]
+    fn zero_byte_transfer_always_fits() {
+        let mut l = Link::with_budget(0);
+        assert!(l.try_transfer(0));
+        assert!(l.is_exhausted());
+        assert!(!l.try_transfer(1));
+    }
+
+    #[test]
+    fn zero_duration_contact_has_no_budget() {
+        let l = Link::for_contact(SimDuration::ZERO, 31_250);
+        assert_eq!(l.budget(), 0);
+    }
+}

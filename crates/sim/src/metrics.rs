@@ -1,0 +1,416 @@
+//! Metrics: the four quantities of Figs. 7–9.
+//!
+//! - **delivery ratio** — delivered (message, subscriber) pairs over
+//!   all such pairs that existed at generation time. The paper's plots
+//!   use "delivery ratio" without further definition; pair-based
+//!   counting is the standard DTN pub-sub reading and handles keys
+//!   with several subscribers.
+//! - **delay** — mean time from message creation to delivery, over
+//!   delivered pairs only (Section VII-C: "We only consider the delay
+//!   of delivered messages").
+//! - **forwardings per delivered message** — total message
+//!   transmissions divided by delivered pairs (Section VII-D: "the
+//!   number of forwardings in the network by the number of messages
+//!   that have been delivered").
+//! - **false positive rate** — falsely delivered messages (handed to a
+//!   consumer that never subscribed to the key) over all deliveries
+//!   (Section VII-D: "the ratio of the number of falsely delivered
+//!   messages to the total number of delivered messages").
+//!
+//! Byte overheads are split into control (filters, identity beacons)
+//! and data (message payloads) so the TCBF's bandwidth claims are
+//! measurable too.
+
+use crate::message::{Message, MessageId};
+use bsub_traces::{NodeId, SimTime};
+use std::collections::HashSet;
+use std::fmt;
+
+/// What happened when a protocol handed a message to a consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// First delivery to a genuinely subscribed consumer — counts
+    /// toward the delivery ratio.
+    Genuine,
+    /// First delivery to a consumer that never subscribed to the key —
+    /// a false positive of the filter chain.
+    FalsePositive,
+    /// This (message, node) pair was already delivered; ignored.
+    Duplicate,
+    /// The message outlived its TTL before reaching the consumer;
+    /// ignored (the paper counts only in-TTL deliveries).
+    Expired,
+    /// Delivery to the message's own producer; ignored.
+    SelfDelivery,
+}
+
+/// Accumulates raw simulation events; finalized into a [`SimReport`].
+#[derive(Debug, Default)]
+pub struct MetricsCollector {
+    generated: u64,
+    target_pairs: u64,
+    delivered: HashSet<(MessageId, NodeId)>,
+    false_delivered: HashSet<(MessageId, NodeId)>,
+    delay_secs_total: u64,
+    forwardings: u64,
+    control_bytes: u64,
+    data_bytes: u64,
+    contacts: u64,
+    injections: u64,
+    false_injections: u64,
+}
+
+impl MetricsCollector {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a generated message with `targets` subscribed consumers
+    /// (excluding the producer itself).
+    pub fn on_generated(&mut self, targets: u64) {
+        self.generated += 1;
+        self.target_pairs += targets;
+    }
+
+    /// Records one message transmission of `bytes` payload bytes.
+    pub fn on_forwarding(&mut self, bytes: u64) {
+        self.forwardings += 1;
+        self.data_bytes += bytes;
+    }
+
+    /// Records `bytes` of control traffic (filters, beacons).
+    pub fn on_control(&mut self, bytes: u64) {
+        self.control_bytes += bytes;
+    }
+
+    /// Records a processed contact.
+    pub fn on_contact(&mut self) {
+        self.contacts += 1;
+    }
+
+    /// Records a message *injection*: a copy accepted into the relay
+    /// tier because a filter matched its key. `false_positive` marks
+    /// injections caused purely by a Bloom false positive (the paper's
+    /// "useless messages injected into the network", Section VI-B) —
+    /// protocols detect this with ground-truth shadow state the real
+    /// system would not have.
+    pub fn on_injection(&mut self, false_positive: bool) {
+        self.injections += 1;
+        if false_positive {
+            self.false_injections += 1;
+        }
+    }
+
+    /// Records a delivery attempt of `msg` to `to` at `now`, with
+    /// `genuine` telling whether `to` truly subscribed to the key.
+    pub fn on_delivery(
+        &mut self,
+        msg: &Message,
+        to: NodeId,
+        now: SimTime,
+        genuine: bool,
+    ) -> DeliveryOutcome {
+        if to == msg.producer {
+            return DeliveryOutcome::SelfDelivery;
+        }
+        if msg.is_expired(now) {
+            return DeliveryOutcome::Expired;
+        }
+        let pair = (msg.id, to);
+        if genuine {
+            if !self.delivered.insert(pair) {
+                return DeliveryOutcome::Duplicate;
+            }
+            self.delay_secs_total += msg.age(now).as_secs();
+            DeliveryOutcome::Genuine
+        } else {
+            if !self.false_delivered.insert(pair) {
+                return DeliveryOutcome::Duplicate;
+            }
+            DeliveryOutcome::FalsePositive
+        }
+    }
+
+    /// Finalizes into a report for the protocol named `protocol`.
+    #[must_use]
+    pub fn finish(self, protocol: &str) -> SimReport {
+        SimReport {
+            protocol: protocol.to_owned(),
+            generated: self.generated,
+            target_pairs: self.target_pairs,
+            delivered: self.delivered.len() as u64,
+            false_delivered: self.false_delivered.len() as u64,
+            delay_secs_total: self.delay_secs_total,
+            forwardings: self.forwardings,
+            control_bytes: self.control_bytes,
+            data_bytes: self.data_bytes,
+            contacts: self.contacts,
+            injections: self.injections,
+            false_injections: self.false_injections,
+        }
+    }
+}
+
+/// Final metrics of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReport {
+    /// Name of the protocol that produced the run.
+    pub protocol: String,
+    /// Messages generated.
+    pub generated: u64,
+    /// (message, subscriber) pairs that existed at generation.
+    pub target_pairs: u64,
+    /// Genuine (message, subscriber) deliveries within TTL.
+    pub delivered: u64,
+    /// False deliveries (consumer never subscribed to the key).
+    pub false_delivered: u64,
+    /// Sum of delivery delays in seconds, over genuine deliveries.
+    pub delay_secs_total: u64,
+    /// Total message transmissions.
+    pub forwardings: u64,
+    /// Control bytes moved (filters, beacons).
+    pub control_bytes: u64,
+    /// Data bytes moved (message payloads).
+    pub data_bytes: u64,
+    /// Contacts processed.
+    pub contacts: u64,
+    /// Copies accepted into the relay tier on a filter match.
+    pub injections: u64,
+    /// Injections caused purely by a Bloom false positive.
+    pub false_injections: u64,
+}
+
+impl SimReport {
+    /// Delivery ratio: genuine deliveries over target pairs
+    /// (Fig. 7(a) / 8(a) / 9(a)). Zero when there were no targets.
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.target_pairs == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.target_pairs as f64
+        }
+    }
+
+    /// Mean delivery delay in minutes, over delivered pairs only
+    /// (Fig. 7(b) / 8(b) / 9(b)). Zero when nothing was delivered.
+    #[must_use]
+    pub fn mean_delay_mins(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.delay_secs_total as f64 / 60.0 / self.delivered as f64
+        }
+    }
+
+    /// Forwardings per delivered message (Fig. 7(c) / 8(c) / 9(c)).
+    /// Zero when nothing was delivered.
+    #[must_use]
+    pub fn forwardings_per_delivered(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.forwardings as f64 / self.delivered as f64
+        }
+    }
+
+    /// False positive rate of deliveries (Fig. 9(d)): falsely delivered
+    /// over all delivered. Zero when nothing was delivered.
+    #[must_use]
+    pub fn false_positive_rate(&self) -> f64 {
+        let total = self.delivered + self.false_delivered;
+        if total == 0 {
+            0.0
+        } else {
+            self.false_delivered as f64 / total as f64
+        }
+    }
+
+    /// False positive rate of relay injections (the TCBF-level FPR the
+    /// paper analyzes in Section VI-B and bounds at 0.04 for its
+    /// settings): falsely injected copies over all injected copies.
+    /// Zero when nothing was injected.
+    #[must_use]
+    pub fn injection_fpr(&self) -> f64 {
+        if self.injections == 0 {
+            0.0
+        } else {
+            self.false_injections as f64 / self.injections as f64
+        }
+    }
+
+    /// Total bytes moved (control + data).
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.control_bytes + self.data_bytes
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: delivery={:.3} delay={:.1}min fwd/dlv={:.2} inj_fpr={:.4} \
+             (gen={} dlv={}/{} fwd={} inj={} ctrl={}B data={}B)",
+            self.protocol,
+            self.delivery_ratio(),
+            self.mean_delay_mins(),
+            self.forwardings_per_delivered(),
+            self.injection_fpr(),
+            self.generated,
+            self.delivered,
+            self.target_pairs,
+            self.forwardings,
+            self.injections,
+            self.control_bytes,
+            self.data_bytes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsub_traces::SimDuration;
+    use std::sync::Arc;
+
+    fn msg(id: u64, created: u64, ttl: u64) -> Message {
+        Message {
+            id: MessageId::new(id),
+            key: Arc::from("k"),
+            size: 100,
+            created: SimTime::from_secs(created),
+            ttl: SimDuration::from_secs(ttl),
+            producer: NodeId::new(0),
+        }
+    }
+
+    #[test]
+    fn genuine_delivery_counts_once() {
+        let mut m = MetricsCollector::new();
+        m.on_generated(2);
+        let message = msg(1, 0, 1000);
+        assert_eq!(
+            m.on_delivery(&message, NodeId::new(1), SimTime::from_secs(60), true),
+            DeliveryOutcome::Genuine
+        );
+        assert_eq!(
+            m.on_delivery(&message, NodeId::new(1), SimTime::from_secs(90), true),
+            DeliveryOutcome::Duplicate
+        );
+        let r = m.finish("t");
+        assert_eq!(r.delivered, 1);
+        assert!((r.delivery_ratio() - 0.5).abs() < 1e-12);
+        assert!((r.mean_delay_mins() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expired_delivery_ignored() {
+        let mut m = MetricsCollector::new();
+        m.on_generated(1);
+        let message = msg(1, 0, 100);
+        assert_eq!(
+            m.on_delivery(&message, NodeId::new(1), SimTime::from_secs(101), true),
+            DeliveryOutcome::Expired
+        );
+        assert_eq!(m.finish("t").delivered, 0);
+    }
+
+    #[test]
+    fn self_delivery_ignored() {
+        let mut m = MetricsCollector::new();
+        let message = msg(1, 0, 100);
+        assert_eq!(
+            m.on_delivery(&message, NodeId::new(0), SimTime::from_secs(1), true),
+            DeliveryOutcome::SelfDelivery
+        );
+        assert_eq!(m.finish("t").delivered, 0);
+    }
+
+    #[test]
+    fn false_positive_rate_computed() {
+        let mut m = MetricsCollector::new();
+        m.on_generated(1);
+        let a = msg(1, 0, 1000);
+        let b = msg(2, 0, 1000);
+        assert_eq!(
+            m.on_delivery(&a, NodeId::new(1), SimTime::from_secs(10), true),
+            DeliveryOutcome::Genuine
+        );
+        assert_eq!(
+            m.on_delivery(&b, NodeId::new(2), SimTime::from_secs(10), false),
+            DeliveryOutcome::FalsePositive
+        );
+        let r = m.finish("t");
+        assert_eq!(r.false_delivered, 1);
+        assert!((r.false_positive_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forwardings_and_bytes() {
+        let mut m = MetricsCollector::new();
+        m.on_generated(1);
+        m.on_forwarding(140);
+        m.on_forwarding(70);
+        m.on_control(32);
+        m.on_contact();
+        let message = msg(1, 0, 1000);
+        m.on_delivery(&message, NodeId::new(1), SimTime::from_secs(5), true);
+        let r = m.finish("t");
+        assert_eq!(r.forwardings, 2);
+        assert!((r.forwardings_per_delivered() - 2.0).abs() < 1e-12);
+        assert_eq!(r.data_bytes, 210);
+        assert_eq!(r.control_bytes, 32);
+        assert_eq!(r.total_bytes(), 242);
+        assert_eq!(r.contacts, 1);
+    }
+
+    #[test]
+    fn empty_run_has_zero_rates() {
+        let r = MetricsCollector::new().finish("empty");
+        assert_eq!(r.delivery_ratio(), 0.0);
+        assert_eq!(r.mean_delay_mins(), 0.0);
+        assert_eq!(r.forwardings_per_delivered(), 0.0);
+        assert_eq!(r.false_positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_protocol() {
+        let r = MetricsCollector::new().finish("b-sub");
+        assert!(r.to_string().starts_with("b-sub:"));
+    }
+
+    #[test]
+    fn injection_fpr_computed() {
+        let mut m = MetricsCollector::new();
+        m.on_injection(false);
+        m.on_injection(false);
+        m.on_injection(true);
+        let r = m.finish("t");
+        assert_eq!(r.injections, 3);
+        assert_eq!(r.false_injections, 1);
+        assert!((r.injection_fpr() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn injection_fpr_zero_when_no_injections() {
+        assert_eq!(MetricsCollector::new().finish("t").injection_fpr(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_false_delivery_ignored() {
+        let mut m = MetricsCollector::new();
+        let a = msg(1, 0, 1000);
+        assert_eq!(
+            m.on_delivery(&a, NodeId::new(3), SimTime::from_secs(1), false),
+            DeliveryOutcome::FalsePositive
+        );
+        assert_eq!(
+            m.on_delivery(&a, NodeId::new(3), SimTime::from_secs(2), false),
+            DeliveryOutcome::Duplicate
+        );
+        assert_eq!(m.finish("t").false_delivered, 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! The protocol abstraction: how forwarding schemes plug into the
+//! simulator.
+
+use crate::link::Link;
+use crate::message::Message;
+use crate::metrics::{DeliveryOutcome, MetricsCollector};
+use crate::subscriptions::SubscriptionTable;
+use bsub_traces::{ContactEvent, NodeId, SimTime};
+
+/// The simulation context handed to protocol hooks.
+///
+/// It is the only way a protocol can move bytes or deliver messages,
+/// which keeps the accounting honest: every transfer debits the
+/// contact's [`Link`] and is recorded by the metrics.
+#[derive(Debug)]
+pub struct SimCtx<'a> {
+    now: SimTime,
+    subscriptions: &'a SubscriptionTable,
+    metrics: &'a mut MetricsCollector,
+}
+
+impl<'a> SimCtx<'a> {
+    pub(crate) fn new(
+        now: SimTime,
+        subscriptions: &'a SubscriptionTable,
+        metrics: &'a mut MetricsCollector,
+    ) -> Self {
+        Self {
+            now,
+            subscriptions,
+            metrics,
+        }
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The ground-truth subscription table.
+    ///
+    /// Protocols may consult it only for a node's *own* interests (a
+    /// consumer knows what it subscribed to); routing state must be
+    /// carried in filters or other protocol messages.
+    #[must_use]
+    pub fn subscriptions(&self) -> &SubscriptionTable {
+        self.subscriptions
+    }
+
+    /// Sends `bytes` of control traffic (filters, beacons, requests)
+    /// over the link. Returns whether it fit in the remaining budget.
+    pub fn send_control(&mut self, link: &mut Link, bytes: u64) -> bool {
+        if link.try_transfer(bytes) {
+            self.metrics.on_control(bytes);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Transmits one message over the link (a *forwarding*). Returns
+    /// whether it fit in the remaining budget.
+    pub fn transfer_message(&mut self, link: &mut Link, msg: &Message) -> bool {
+        if link.try_transfer(u64::from(msg.size)) {
+            self.metrics.on_forwarding(u64::from(msg.size));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a relay injection (a copy accepted because a filter
+    /// matched), with `false_positive` flagging pure Bloom-FP
+    /// acceptances — see
+    /// [`MetricsCollector::on_injection`].
+    pub fn record_injection(&mut self, false_positive: bool) {
+        self.metrics.on_injection(false_positive);
+    }
+
+    /// Hands `msg` to consumer `to` (the final step of forwarding; the
+    /// transmission itself must have been paid for with
+    /// [`SimCtx::transfer_message`] by the caller, except for a node
+    /// consuming a message out of its own store).
+    ///
+    /// Ground truth decides whether the delivery is genuine or a false
+    /// positive of the protocol's filter chain.
+    pub fn deliver(&mut self, to: NodeId, msg: &Message) -> DeliveryOutcome {
+        let genuine = self.subscriptions.is_interested(to, &msg.key);
+        self.metrics.on_delivery(msg, to, self.now, genuine)
+    }
+}
+
+/// A forwarding protocol under simulation.
+///
+/// One instance owns the state of *all* nodes (the simulator is
+/// single-threaded and contact-driven); hooks receive the node ids
+/// involved and must keep per-node state internally.
+pub trait Protocol {
+    /// Short name used in reports (e.g. `"B-SUB"`, `"PUSH"`).
+    fn name(&self) -> &str;
+
+    /// A producer published `msg` at `ctx.now()`. The message is
+    /// already accounted as generated; the protocol should store it
+    /// for forwarding.
+    fn on_message(&mut self, ctx: &mut SimCtx<'_>, msg: &Message);
+
+    /// Nodes `contact.a` and `contact.b` are in range for the span of
+    /// `contact`; `link` is the byte budget of the encounter.
+    fn on_contact(&mut self, ctx: &mut SimCtx<'_>, contact: &ContactEvent, link: &mut Link);
+}
+
+/// A protocol that does nothing — the floor for every metric, useful
+/// in tests and as the simplest [`Protocol`] example.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProtocol;
+
+impl Protocol for NullProtocol {
+    fn name(&self) -> &str {
+        "NULL"
+    }
+
+    fn on_message(&mut self, _ctx: &mut SimCtx<'_>, _msg: &Message) {}
+
+    fn on_contact(&mut self, _ctx: &mut SimCtx<'_>, _contact: &ContactEvent, _link: &mut Link) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageId;
+    use bsub_traces::SimDuration;
+
+    fn message() -> Message {
+        Message {
+            id: MessageId::new(1),
+            key: "k".into(),
+            size: 100,
+            created: SimTime::ZERO,
+            ttl: SimDuration::from_hours(1),
+            producer: NodeId::new(0),
+        }
+    }
+
+    #[test]
+    fn send_control_debits_link_and_records() {
+        let mut metrics = MetricsCollector::new();
+        let subs = SubscriptionTable::new(2);
+        let mut ctx = SimCtx::new(SimTime::ZERO, &subs, &mut metrics);
+        let mut link = Link::with_budget(50);
+        assert!(ctx.send_control(&mut link, 30));
+        assert!(!ctx.send_control(&mut link, 30), "budget exceeded");
+        assert_eq!(link.remaining(), 20);
+        assert_eq!(metrics.finish("t").control_bytes, 30);
+    }
+
+    #[test]
+    fn transfer_message_records_forwarding() {
+        let mut metrics = MetricsCollector::new();
+        let subs = SubscriptionTable::new(2);
+        let mut ctx = SimCtx::new(SimTime::ZERO, &subs, &mut metrics);
+        let mut link = Link::with_budget(150);
+        assert!(ctx.transfer_message(&mut link, &message()));
+        assert!(!ctx.transfer_message(&mut link, &message()));
+        let r = metrics.finish("t");
+        assert_eq!(r.forwardings, 1);
+        assert_eq!(r.data_bytes, 100);
+    }
+
+    #[test]
+    fn deliver_uses_ground_truth() {
+        let mut metrics = MetricsCollector::new();
+        let mut subs = SubscriptionTable::new(3);
+        subs.subscribe(NodeId::new(1), "k");
+        metrics.on_generated(1);
+        let mut ctx = SimCtx::new(SimTime::from_secs(60), &subs, &mut metrics);
+        let msg = message();
+        assert_eq!(ctx.deliver(NodeId::new(1), &msg), DeliveryOutcome::Genuine);
+        assert_eq!(
+            ctx.deliver(NodeId::new(2), &msg),
+            DeliveryOutcome::FalsePositive
+        );
+        let r = metrics.finish("t");
+        assert_eq!(r.delivered, 1);
+        assert_eq!(r.false_delivered, 1);
+    }
+
+    #[test]
+    fn null_protocol_is_inert() {
+        let mut metrics = MetricsCollector::new();
+        let subs = SubscriptionTable::new(2);
+        let mut ctx = SimCtx::new(SimTime::ZERO, &subs, &mut metrics);
+        let mut link = Link::with_budget(1000);
+        let mut p = NullProtocol;
+        p.on_message(&mut ctx, &message());
+        let contact = ContactEvent::new(
+            NodeId::new(0),
+            NodeId::new(1),
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
+        p.on_contact(&mut ctx, &contact, &mut link);
+        assert_eq!(link.used(), 0);
+        assert_eq!(p.name(), "NULL");
+    }
+}

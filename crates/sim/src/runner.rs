@@ -1,0 +1,384 @@
+//! The simulation runner: merges the contact trace with the message
+//! schedule and drives a [`Protocol`] through both.
+
+use crate::link::Link;
+use crate::message::{Message, MessageId};
+use crate::metrics::{MetricsCollector, SimReport};
+use crate::protocols::{Protocol, SimCtx};
+use crate::subscriptions::SubscriptionTable;
+use bsub_traces::{ContactTrace, NodeId, SimDuration, SimTime};
+use std::sync::Arc;
+
+/// Global simulation parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Effective link rate in bytes per second. The paper assumes
+    /// 250 Kbps = 31,250 B/s (Section VII-A).
+    pub bytes_per_sec: u64,
+    /// Message TTL — the maximum tolerable delay, identical for every
+    /// message of a run (the paper sweeps it on the x-axis of
+    /// Figs. 7–8).
+    pub ttl: SimDuration,
+}
+
+impl Default for SimConfig {
+    /// 250 Kbps links, 20-hour TTL (the setting of Fig. 9).
+    fn default() -> Self {
+        Self {
+            bytes_per_sec: 31_250,
+            ttl: SimDuration::from_hours(20),
+        }
+    }
+}
+
+/// A scheduled message publication, produced by the workload
+/// generator (`bsub-workload`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratedMessage {
+    /// Publication time.
+    pub at: SimTime,
+    /// Publishing node.
+    pub producer: NodeId,
+    /// Content key.
+    pub key: Arc<str>,
+    /// Payload size in bytes.
+    pub size: u32,
+}
+
+/// One simulation: a trace, the ground-truth subscriptions, a message
+/// schedule, and the global configuration.
+///
+/// Borrowed inputs make sweeps cheap: the experiment harness reuses
+/// one trace and one schedule across every TTL/DF point and protocol.
+#[derive(Debug)]
+pub struct Simulation<'a> {
+    trace: &'a ContactTrace,
+    subscriptions: &'a SubscriptionTable,
+    schedule: &'a [GeneratedMessage],
+    config: SimConfig,
+}
+
+impl<'a> Simulation<'a> {
+    /// Creates a simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subscription table's node count differs from the
+    /// trace's, or the schedule is not sorted by time.
+    #[must_use]
+    pub fn new(
+        trace: &'a ContactTrace,
+        subscriptions: &'a SubscriptionTable,
+        schedule: &'a [GeneratedMessage],
+        config: SimConfig,
+    ) -> Self {
+        assert_eq!(
+            subscriptions.node_count(),
+            trace.node_count(),
+            "subscription table does not match trace"
+        );
+        assert!(
+            schedule.windows(2).all(|w| w[0].at <= w[1].at),
+            "message schedule must be sorted by time"
+        );
+        Self {
+            trace,
+            subscriptions,
+            schedule,
+            config,
+        }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Replays the trace through `protocol` and returns the metrics.
+    ///
+    /// Events are interleaved chronologically: message publications at
+    /// time `t` are handed to the protocol before contacts *starting*
+    /// at `t`. Each contact's link budget is its duration times the
+    /// configured rate.
+    #[must_use]
+    pub fn run(&self, protocol: &mut dyn Protocol) -> SimReport {
+        let mut metrics = MetricsCollector::new();
+        let mut next_id = 0u64;
+        let mut schedule = self.schedule.iter().peekable();
+
+        let mut publish_until =
+            |until: SimTime,
+             inclusive: bool,
+             metrics: &mut MetricsCollector,
+             protocol: &mut dyn Protocol| {
+                while let Some(next) = schedule.peek() {
+                    let due = if inclusive {
+                        next.at <= until
+                    } else {
+                        next.at < until
+                    };
+                    if !due {
+                        break;
+                    }
+                    let spec = schedule.next().expect("peeked");
+                    let msg = Message {
+                        id: MessageId::new(next_id),
+                        key: Arc::clone(&spec.key),
+                        size: spec.size,
+                        created: spec.at,
+                        ttl: self.config.ttl,
+                        producer: spec.producer,
+                    };
+                    next_id += 1;
+                    let targets = self
+                        .subscriptions
+                        .subscribers_of(&msg.key)
+                        .filter(|&n| n != msg.producer)
+                        .count() as u64;
+                    metrics.on_generated(targets);
+                    let mut ctx = SimCtx::new(spec.at, self.subscriptions, metrics);
+                    protocol.on_message(&mut ctx, &msg);
+                }
+            };
+
+        for contact in self.trace {
+            publish_until(contact.start, true, &mut metrics, protocol);
+            metrics.on_contact();
+            let mut link = Link::for_contact(contact.duration(), self.config.bytes_per_sec);
+            let mut ctx = SimCtx::new(contact.start, self.subscriptions, &mut metrics);
+            protocol.on_contact(&mut ctx, contact, &mut link);
+        }
+        // Messages published after the last contact still count as
+        // generated (they can never be delivered).
+        publish_until(
+            SimTime::from_secs(u64::MAX),
+            true,
+            &mut metrics,
+            protocol,
+        );
+
+        metrics.finish(protocol.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::DeliveryOutcome;
+    use bsub_traces::ContactEvent;
+
+    /// A toy protocol: the producer hands its messages directly to any
+    /// peer it meets (one-hop flooding to whoever it sees).
+    #[derive(Debug, Default)]
+    struct DirectHandoff {
+        store: Vec<Message>,
+    }
+
+    impl Protocol for DirectHandoff {
+        fn name(&self) -> &str {
+            "DIRECT"
+        }
+
+        fn on_message(&mut self, _ctx: &mut SimCtx<'_>, msg: &Message) {
+            self.store.push(msg.clone());
+        }
+
+        fn on_contact(&mut self, ctx: &mut SimCtx<'_>, contact: &ContactEvent, link: &mut Link) {
+            for msg in &self.store {
+                for node in [contact.a, contact.b] {
+                    if node != msg.producer && ctx.transfer_message(link, msg) {
+                        let _ = ctx.deliver(node, msg);
+                    }
+                }
+            }
+        }
+    }
+
+    fn trace() -> ContactTrace {
+        ContactTrace::new(
+            "t",
+            3,
+            vec![
+                ContactEvent::new(
+                    NodeId::new(0),
+                    NodeId::new(1),
+                    SimTime::from_secs(100),
+                    SimTime::from_secs(200),
+                ),
+                ContactEvent::new(
+                    NodeId::new(1),
+                    NodeId::new(2),
+                    SimTime::from_secs(300),
+                    SimTime::from_secs(400),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn schedule() -> Vec<GeneratedMessage> {
+        vec![GeneratedMessage {
+            at: SimTime::from_secs(50),
+            producer: NodeId::new(0),
+            key: "news".into(),
+            size: 100,
+        }]
+    }
+
+    #[test]
+    fn message_delivered_on_contact() {
+        let trace = trace();
+        let mut subs = SubscriptionTable::new(3);
+        subs.subscribe(NodeId::new(1), "news");
+        let sched = schedule();
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let report = sim.run(&mut DirectHandoff::default());
+        assert_eq!(report.generated, 1);
+        assert_eq!(report.target_pairs, 1);
+        assert_eq!(report.delivered, 1);
+        assert!((report.delivery_ratio() - 1.0).abs() < 1e-12);
+        // Created at t=50, first contact at t=100: delay 50 s.
+        assert!((report.mean_delay_mins() - 50.0 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uninterested_peer_is_false_delivery() {
+        let trace = trace();
+        let subs = SubscriptionTable::new(3); // nobody subscribed
+        let sched = schedule();
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let report = sim.run(&mut DirectHandoff::default());
+        assert_eq!(report.delivered, 0);
+        assert!(report.false_delivered > 0);
+        assert!((report.false_positive_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ttl_cuts_off_late_deliveries() {
+        let trace = trace();
+        let mut subs = SubscriptionTable::new(3);
+        subs.subscribe(NodeId::new(1), "news");
+        let sched = schedule();
+        let config = SimConfig {
+            ttl: SimDuration::from_secs(20), // expires at t=70, contact at t=100
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&trace, &subs, &sched, config);
+        let report = sim.run(&mut DirectHandoff::default());
+        assert_eq!(report.delivered, 0);
+    }
+
+    #[test]
+    fn generation_after_last_contact_still_counted() {
+        let trace = trace();
+        let mut subs = SubscriptionTable::new(3);
+        subs.subscribe(NodeId::new(1), "late");
+        let sched = vec![GeneratedMessage {
+            at: SimTime::from_secs(10_000),
+            producer: NodeId::new(0),
+            key: "late".into(),
+            size: 10,
+        }];
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let report = sim.run(&mut DirectHandoff::default());
+        assert_eq!(report.generated, 1);
+        assert_eq!(report.delivered, 0);
+    }
+
+    #[test]
+    fn link_budget_limits_transfers() {
+        // A 1-second contact at 50 B/s fits zero 100-byte messages.
+        let trace = ContactTrace::new(
+            "tight",
+            2,
+            vec![ContactEvent::new(
+                NodeId::new(0),
+                NodeId::new(1),
+                SimTime::from_secs(10),
+                SimTime::from_secs(11),
+            )],
+        )
+        .unwrap();
+        let mut subs = SubscriptionTable::new(2);
+        subs.subscribe(NodeId::new(1), "news");
+        let sched = vec![GeneratedMessage {
+            at: SimTime::ZERO,
+            producer: NodeId::new(0),
+            key: "news".into(),
+            size: 100,
+        }];
+        let config = SimConfig {
+            bytes_per_sec: 50,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&trace, &subs, &sched, config);
+        let report = sim.run(&mut DirectHandoff::default());
+        assert_eq!(report.delivered, 0);
+        assert_eq!(report.forwardings, 0);
+    }
+
+    #[test]
+    fn contacts_counted() {
+        let trace = trace();
+        let subs = SubscriptionTable::new(3);
+        let sched = Vec::new();
+        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let report = sim.run(&mut DirectHandoff::default());
+        assert_eq!(report.contacts, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match trace")]
+    fn mismatched_table_panics() {
+        let trace = trace();
+        let subs = SubscriptionTable::new(7);
+        let sched = Vec::new();
+        let _ = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_schedule_panics() {
+        let trace = trace();
+        let subs = SubscriptionTable::new(3);
+        let sched = vec![
+            GeneratedMessage {
+                at: SimTime::from_secs(100),
+                producer: NodeId::new(0),
+                key: "a".into(),
+                size: 1,
+            },
+            GeneratedMessage {
+                at: SimTime::from_secs(50),
+                producer: NodeId::new(0),
+                key: "b".into(),
+                size: 1,
+            },
+        ];
+        let _ = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+    }
+
+    /// Smoke-check the DeliveryOutcome surface from a protocol's view.
+    #[test]
+    fn direct_handoff_duplicate_suppressed_by_metrics() {
+        let mut metrics = MetricsCollector::new();
+        let mut subs = SubscriptionTable::new(2);
+        subs.subscribe(NodeId::new(1), "k");
+        metrics.on_generated(1);
+        let msg = Message {
+            id: MessageId::new(0),
+            key: "k".into(),
+            size: 1,
+            created: SimTime::ZERO,
+            ttl: SimDuration::from_hours(1),
+            producer: NodeId::new(0),
+        };
+        let mut ctx = SimCtx::new(SimTime::from_secs(1), &subs, &mut metrics);
+        assert_eq!(ctx.deliver(NodeId::new(1), &msg), DeliveryOutcome::Genuine);
+        assert_eq!(
+            ctx.deliver(NodeId::new(1), &msg),
+            DeliveryOutcome::Duplicate
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Ground-truth subscriptions.
+//!
+//! The table records which node is interested in which keys. Protocols
+//! may only consult it for the node's *own* interests (a consumer
+//! knows what it subscribed to) — routing must go through filters —
+//! while the metrics use it as ground truth for genuine vs. false
+//! deliveries.
+
+use bsub_traces::NodeId;
+use std::sync::Arc;
+
+/// Which keys each node subscribes to.
+///
+/// The paper's evaluation gives every node exactly one interest
+/// (Section VII-A); the table supports any number per node, matching
+/// the paper's note that multi-key extension is straightforward.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscriptionTable {
+    interests: Vec<Vec<Arc<str>>>,
+}
+
+impl SubscriptionTable {
+    /// An empty table for `nodes` nodes.
+    #[must_use]
+    pub fn new(nodes: u32) -> Self {
+        Self {
+            interests: vec![Vec::new(); nodes as usize],
+        }
+    }
+
+    /// Subscribes `node` to `key` (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the table.
+    pub fn subscribe(&mut self, node: NodeId, key: impl Into<Arc<str>>) {
+        let key = key.into();
+        let list = &mut self.interests[node.index()];
+        if !list.iter().any(|k| **k == *key) {
+            list.push(key);
+        }
+    }
+
+    /// The keys `node` subscribed to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the table.
+    #[must_use]
+    pub fn interests_of(&self, node: NodeId) -> &[Arc<str>] {
+        &self.interests[node.index()]
+    }
+
+    /// Whether `node` subscribed to `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the table.
+    #[must_use]
+    pub fn is_interested(&self, node: NodeId, key: &str) -> bool {
+        self.interests[node.index()].iter().any(|k| **k == *key)
+    }
+
+    /// Nodes subscribed to `key`.
+    pub fn subscribers_of<'a>(&'a self, key: &'a str) -> impl Iterator<Item = NodeId> + 'a {
+        self.interests
+            .iter()
+            .enumerate()
+            .filter(move |(_, keys)| keys.iter().any(|k| **k == *key))
+            .map(|(i, _)| NodeId::new(i as u32))
+    }
+
+    /// Number of nodes in the table.
+    #[must_use]
+    pub fn node_count(&self) -> u32 {
+        self.interests.len() as u32
+    }
+
+    /// Total number of (node, key) subscription pairs.
+    #[must_use]
+    pub fn subscription_count(&self) -> usize {
+        self.interests.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscribe_and_query() {
+        let mut t = SubscriptionTable::new(3);
+        t.subscribe(NodeId::new(0), "a");
+        t.subscribe(NodeId::new(2), "a");
+        t.subscribe(NodeId::new(2), "b");
+        assert!(t.is_interested(NodeId::new(0), "a"));
+        assert!(!t.is_interested(NodeId::new(1), "a"));
+        assert!(t.is_interested(NodeId::new(2), "b"));
+        assert_eq!(t.interests_of(NodeId::new(2)).len(), 2);
+        assert_eq!(t.subscription_count(), 3);
+    }
+
+    #[test]
+    fn subscribe_is_idempotent() {
+        let mut t = SubscriptionTable::new(1);
+        t.subscribe(NodeId::new(0), "dup");
+        t.subscribe(NodeId::new(0), "dup");
+        assert_eq!(t.interests_of(NodeId::new(0)).len(), 1);
+    }
+
+    #[test]
+    fn subscribers_of_key() {
+        let mut t = SubscriptionTable::new(4);
+        t.subscribe(NodeId::new(1), "x");
+        t.subscribe(NodeId::new(3), "x");
+        let subs: Vec<_> = t.subscribers_of("x").collect();
+        assert_eq!(subs, vec![NodeId::new(1), NodeId::new(3)]);
+        assert_eq!(t.subscribers_of("absent").count(), 0);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = SubscriptionTable::new(2);
+        assert_eq!(t.node_count(), 2);
+        assert_eq!(t.subscription_count(), 0);
+        assert!(t.interests_of(NodeId::new(0)).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_node_panics() {
+        let t = SubscriptionTable::new(1);
+        let _ = t.interests_of(NodeId::new(5));
+    }
+}

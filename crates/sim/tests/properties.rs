@@ -1,0 +1,176 @@
+//! Property-based tests for the simulator's accounting: whatever a
+//! protocol does, the metrics must stay internally consistent.
+
+use bsub_sim::{
+    GeneratedMessage, Link, Message, Protocol, SimConfig, SimCtx, Simulation, SubscriptionTable,
+};
+use bsub_traces::{ContactEvent, ContactTrace, NodeId, SimTime};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const NODES: u32 = 8;
+
+/// A chaotic protocol driven by a seed: on each contact it transfers
+/// and delivers pseudo-randomly — a stress source for the accounting
+/// invariants.
+struct ChaoticProtocol {
+    state: u64,
+    inbox: Vec<Message>,
+}
+
+impl ChaoticProtocol {
+    fn new(seed: u64) -> Self {
+        Self {
+            state: seed | 1,
+            inbox: Vec::new(),
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64*
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        self.state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+impl Protocol for ChaoticProtocol {
+    fn name(&self) -> &str {
+        "CHAOS"
+    }
+
+    fn on_message(&mut self, _ctx: &mut SimCtx<'_>, msg: &Message) {
+        self.inbox.push(msg.clone());
+    }
+
+    fn on_contact(&mut self, ctx: &mut SimCtx<'_>, contact: &ContactEvent, link: &mut Link) {
+        let steps = (self.next() % 5) as usize;
+        for _ in 0..steps {
+            let roll = self.next();
+            match roll % 3 {
+                0 => {
+                    let _ = ctx.send_control(link, roll % 300);
+                }
+                1 => {
+                    if !self.inbox.is_empty() {
+                        let idx = (self.next() as usize) % self.inbox.len();
+                        let msg = self.inbox[idx].clone();
+                        if ctx.transfer_message(link, &msg) {
+                            let to = if roll % 2 == 0 { contact.a } else { contact.b };
+                            let _ = ctx.deliver(to, &msg);
+                        }
+                    }
+                }
+                _ => {
+                    ctx.record_injection(roll % 7 == 0);
+                }
+            }
+        }
+    }
+}
+
+fn arbitrary_world(
+    contacts: Vec<(u32, u32, u64, u64)>,
+    messages: Vec<(u64, u32, u8, u32)>,
+    subscriptions: Vec<(u32, u8)>,
+) -> (ContactTrace, SubscriptionTable, Vec<GeneratedMessage>) {
+    let events = contacts
+        .into_iter()
+        .filter(|&(a, b, _, _)| a != b)
+        .map(|(a, b, start, dur)| {
+            ContactEvent::new(
+                NodeId::new(a),
+                NodeId::new(b),
+                SimTime::from_secs(start),
+                SimTime::from_secs(start + dur),
+            )
+        })
+        .collect();
+    let trace = ContactTrace::new("prop", NODES, events).expect("valid ids");
+    let mut table = SubscriptionTable::new(NODES);
+    for (node, key) in subscriptions {
+        table.subscribe(NodeId::new(node % NODES), format!("k{}", key % 5));
+    }
+    let mut schedule: Vec<GeneratedMessage> = messages
+        .into_iter()
+        .map(|(at, producer, key, size)| GeneratedMessage {
+            at: SimTime::from_secs(at),
+            producer: NodeId::new(producer % NODES),
+            key: Arc::from(format!("k{}", key % 5)),
+            size: size % 140 + 1,
+        })
+        .collect();
+    schedule.sort_by_key(|g| (g.at, g.producer));
+    (trace, table, schedule)
+}
+
+proptest! {
+    /// No matter what a protocol does, the report's accounting is
+    /// internally consistent.
+    #[test]
+    fn accounting_always_consistent(
+        contacts in vec((0..NODES, 0..NODES, 0u64..50_000, 1u64..3000), 0..40),
+        messages in vec((0u64..50_000, 0..NODES, any::<u8>(), any::<u32>()), 0..30),
+        subscriptions in vec((0..NODES, any::<u8>()), 0..12),
+        seed in any::<u64>(),
+    ) {
+        let (trace, table, schedule) = arbitrary_world(contacts, messages, subscriptions);
+        let sim = Simulation::new(&trace, &table, &schedule, SimConfig::default());
+        let report = sim.run(&mut ChaoticProtocol::new(seed));
+
+        prop_assert_eq!(report.generated as usize, schedule.len());
+        prop_assert!(report.delivered <= report.target_pairs);
+        prop_assert!(report.false_injections <= report.injections);
+        prop_assert!((0.0..=1.0).contains(&report.delivery_ratio()));
+        prop_assert!((0.0..=1.0).contains(&report.false_positive_rate()));
+        prop_assert!((0.0..=1.0).contains(&report.injection_fpr()));
+        prop_assert_eq!(report.contacts as usize, trace.len());
+        prop_assert_eq!(report.total_bytes(), report.control_bytes + report.data_bytes);
+        // Delays only accrue for delivered pairs within TTL.
+        if report.delivered == 0 {
+            prop_assert_eq!(report.delay_secs_total, 0);
+        } else {
+            let max_delay = SimConfig::default().ttl.as_secs() * report.delivered;
+            prop_assert!(report.delay_secs_total <= max_delay);
+        }
+    }
+
+    /// Bytes moved never exceed the sum of all link budgets.
+    #[test]
+    fn bytes_bounded_by_link_budgets(
+        contacts in vec((0..NODES, 0..NODES, 0u64..20_000, 1u64..2000), 1..30),
+        messages in vec((0u64..20_000, 0..NODES, any::<u8>(), any::<u32>()), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let (trace, table, schedule) = arbitrary_world(contacts, messages, vec![(0, 0)]);
+        let config = SimConfig::default();
+        let budget: u64 = trace
+            .iter()
+            .map(|e| e.duration().as_secs() * config.bytes_per_sec)
+            .sum();
+        let sim = Simulation::new(&trace, &table, &schedule, config);
+        let report = sim.run(&mut ChaoticProtocol::new(seed));
+        prop_assert!(
+            report.total_bytes() <= budget,
+            "moved {} over budget {budget}",
+            report.total_bytes()
+        );
+    }
+
+    /// The same world and seed always produce the same report.
+    #[test]
+    fn chaos_is_deterministic(
+        contacts in vec((0..NODES, 0..NODES, 0u64..10_000, 1u64..1000), 0..20),
+        seed in any::<u64>(),
+    ) {
+        let (trace, table, schedule) =
+            arbitrary_world(contacts, vec![(5, 0, 1, 99)], vec![(1, 1)]);
+        let run = |seed| {
+            let sim = Simulation::new(&trace, &table, &schedule, SimConfig::default());
+            sim.run(&mut ChaoticProtocol::new(seed))
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -1,0 +1,87 @@
+use std::fmt;
+
+/// Errors from building or parsing contact traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// A line did not have the expected number of fields.
+    BadFieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        found: usize,
+        /// Fields expected.
+        expected: usize,
+    },
+    /// A field failed to parse as a number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The unparseable text.
+        text: String,
+    },
+    /// A contact interval ends before it starts.
+    InvertedInterval {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A contact references itself or a node outside the id space.
+    InvalidNode {
+        /// 1-based line (or event) number.
+        line: usize,
+        /// The offending node id.
+        node: usize,
+        /// Size of the valid id space.
+        nodes: usize,
+    },
+    /// The input contained no contacts at all.
+    Empty,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadFieldCount {
+                line,
+                found,
+                expected,
+            } => write!(
+                f,
+                "line {line}: expected {expected} fields, found {found}"
+            ),
+            ParseError::BadNumber { line, text } => {
+                write!(f, "line {line}: cannot parse number from {text:?}")
+            }
+            ParseError::InvertedInterval { line } => {
+                write!(f, "line {line}: contact ends before it starts")
+            }
+            ParseError::InvalidNode { line, node, nodes } => {
+                write!(f, "line {line}: node {node} outside id space 0..{nodes}")
+            }
+            ParseError::Empty => write!(f, "trace contains no contacts"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_lines() {
+        let e = ParseError::BadNumber {
+            line: 7,
+            text: "xyz".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("xyz"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_: E) {}
+        assert_err(ParseError::Empty);
+    }
+}

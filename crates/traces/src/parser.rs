@@ -1,0 +1,284 @@
+//! Parsers for CRAWDAD-style contact-trace text formats.
+//!
+//! The two datasets of Table I ship (after the usual preprocessing) as
+//! plain-text contact lists. These parsers accept the common processed
+//! shapes so the real datasets drop straight into the simulator:
+//!
+//! - [`parse_haggle`] — whitespace-separated
+//!   `<node_a> <node_b> <start> <end> [extras…]` with **1-based** node
+//!   ids and times in seconds, as in the cambridge/haggle "contacts"
+//!   files. Extra trailing columns (sighting counters) are ignored.
+//! - [`parse_reality`] — comma-separated `<node_a>,<node_b>,<start>,<end>`
+//!   with **0-based** ids and absolute timestamps (e.g. Unix time), as
+//!   commonly exported from the mit/reality Bluetooth tables. An
+//!   optional header line is skipped.
+//!
+//! Both parsers shift times so the earliest contact starts at zero and
+//! infer the node count from the largest id seen. Lines that are empty
+//! or start with `#` are skipped.
+
+use crate::contact::{ContactEvent, ContactTrace, NodeId};
+use crate::error::ParseError;
+use crate::time::SimTime;
+
+/// Parses the Haggle (Infocom'06) contact format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first malformed line, or
+/// [`ParseError::Empty`] if no contacts are present.
+///
+/// # Examples
+///
+/// ```
+/// let input = "\
+/// 1 2 120 300 1
+/// 2 3 450 500 1
+/// ";
+/// let trace = bsub_traces::parser::parse_haggle("infocom", input)?;
+/// assert_eq!(trace.node_count(), 3);
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.events()[0].start.as_secs(), 0); // shifted to zero
+/// # Ok::<(), bsub_traces::ParseError>(())
+/// ```
+pub fn parse_haggle(name: &str, input: &str) -> Result<ContactTrace, ParseError> {
+    parse_lines(name, input, LineFormat::Haggle)
+}
+
+/// Parses the MIT Reality CSV contact format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first malformed line, or
+/// [`ParseError::Empty`] if no contacts are present.
+///
+/// # Examples
+///
+/// ```
+/// let input = "\
+/// a,b,start,end
+/// 0,1,1096000000,1096000600
+/// 1,2,1096003600,1096003660
+/// ";
+/// let trace = bsub_traces::parser::parse_reality("reality", input)?;
+/// assert_eq!(trace.node_count(), 3);
+/// assert_eq!(trace.events()[1].start.as_secs(), 3600);
+/// # Ok::<(), bsub_traces::ParseError>(())
+/// ```
+pub fn parse_reality(name: &str, input: &str) -> Result<ContactTrace, ParseError> {
+    parse_lines(name, input, LineFormat::RealityCsv)
+}
+
+#[derive(Clone, Copy)]
+enum LineFormat {
+    Haggle,
+    RealityCsv,
+}
+
+fn parse_lines(name: &str, input: &str, format: LineFormat) -> Result<ContactTrace, ParseError> {
+    let mut raw: Vec<(usize, u64, u64, u64, u64)> = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = match format {
+            LineFormat::Haggle => line.split_whitespace().collect(),
+            LineFormat::RealityCsv => line.split(',').map(str::trim).collect(),
+        };
+        // The Reality export commonly starts with a non-numeric header.
+        if matches!(format, LineFormat::RealityCsv)
+            && raw.is_empty()
+            && fields.first().is_some_and(|f| f.parse::<u64>().is_err())
+        {
+            continue;
+        }
+        if fields.len() < 4 {
+            return Err(ParseError::BadFieldCount {
+                line: lineno,
+                found: fields.len(),
+                expected: 4,
+            });
+        }
+        let num = |text: &str| -> Result<u64, ParseError> {
+            text.parse().map_err(|_| ParseError::BadNumber {
+                line: lineno,
+                text: text.to_owned(),
+            })
+        };
+        let (a, b) = (num(fields[0])?, num(fields[1])?);
+        let (start, end) = (num(fields[2])?, num(fields[3])?);
+        if end < start {
+            return Err(ParseError::InvertedInterval { line: lineno });
+        }
+        // Haggle ids are 1-based; normalize to 0-based.
+        let offset = match format {
+            LineFormat::Haggle => 1,
+            LineFormat::RealityCsv => 0,
+        };
+        let a = a.checked_sub(offset).ok_or(ParseError::InvalidNode {
+            line: lineno,
+            node: 0,
+            nodes: 0,
+        })?;
+        let b = b.checked_sub(offset).ok_or(ParseError::InvalidNode {
+            line: lineno,
+            node: 0,
+            nodes: 0,
+        })?;
+        if a == b {
+            return Err(ParseError::InvalidNode {
+                line: lineno,
+                node: a as usize,
+                nodes: a as usize, // self-contact: id space irrelevant
+            });
+        }
+        raw.push((lineno, a, b, start, end));
+    }
+    if raw.is_empty() {
+        return Err(ParseError::Empty);
+    }
+
+    let t0 = raw.iter().map(|&(_, _, _, s, _)| s).min().unwrap_or(0);
+    let max_id = raw
+        .iter()
+        .map(|&(_, a, b, _, _)| a.max(b))
+        .max()
+        .unwrap_or(0);
+    let nodes = u32::try_from(max_id + 1).map_err(|_| ParseError::InvalidNode {
+        line: 0,
+        node: max_id as usize,
+        nodes: u32::MAX as usize,
+    })?;
+
+    let events = raw
+        .into_iter()
+        .map(|(_, a, b, s, e)| {
+            ContactEvent::new(
+                NodeId::new(a as u32),
+                NodeId::new(b as u32),
+                SimTime::from_secs(s - t0),
+                SimTime::from_secs(e - t0),
+            )
+        })
+        .collect();
+    ContactTrace::new(name, nodes, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A realistic snippet in the Haggle processed-contacts shape.
+    const HAGGLE_SNIPPET: &str = "\
+# iMote contacts, infocom06
+1 2 0 120 1
+1 3 60 300 1
+2 3 200 260 2
+4 1 500 560 1
+";
+
+    /// A realistic snippet in the Reality CSV export shape.
+    const REALITY_SNIPPET: &str = "\
+person_a,person_b,starttime,endtime
+0,1,1157000000,1157000300
+0,2,1157003600,1157003900
+1,2,1157010000,1157010060
+";
+
+    #[test]
+    fn haggle_snippet_parses() {
+        let t = parse_haggle("haggle", HAGGLE_SNIPPET).unwrap();
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.len(), 4);
+        // 1-based ids became 0-based.
+        assert_eq!(t.events()[0].a, NodeId::new(0));
+        assert_eq!(t.events()[0].b, NodeId::new(1));
+        assert_eq!(t.duration().as_secs(), 560);
+    }
+
+    #[test]
+    fn haggle_ignores_extra_columns_and_comments() {
+        let t = parse_haggle("h", "1 2 10 20 7 extra stuff\n").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.events()[0].duration().as_secs(), 10);
+    }
+
+    #[test]
+    fn reality_snippet_parses_and_shifts() {
+        let t = parse_reality("reality", REALITY_SNIPPET).unwrap();
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.events()[0].start.as_secs(), 0);
+        assert_eq!(t.events()[1].start.as_secs(), 3600);
+    }
+
+    #[test]
+    fn reality_without_header_parses() {
+        let t = parse_reality("r", "0,1,100,200\n1,2,150,250\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[0].start.as_secs(), 0);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(parse_haggle("h", ""), Err(ParseError::Empty));
+        assert_eq!(
+            parse_haggle("h", "# only comments\n\n"),
+            Err(ParseError::Empty)
+        );
+        // A header alone is not a trace.
+        assert_eq!(parse_reality("r", "a,b,s,e\n"), Err(ParseError::Empty));
+    }
+
+    #[test]
+    fn bad_field_count_reported_with_line() {
+        let err = parse_haggle("h", "1 2 10 20\n3 4 30\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::BadFieldCount {
+                line: 2,
+                found: 3,
+                expected: 4
+            }
+        );
+    }
+
+    #[test]
+    fn bad_number_reported() {
+        let err = parse_haggle("h", "1 2 ten 20\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadNumber { line: 1, .. }));
+    }
+
+    #[test]
+    fn inverted_interval_rejected() {
+        let err = parse_haggle("h", "1 2 50 20\n").unwrap_err();
+        assert_eq!(err, ParseError::InvertedInterval { line: 1 });
+    }
+
+    #[test]
+    fn self_contact_rejected() {
+        let err = parse_reality("r", "3,3,0,10\n").unwrap_err();
+        assert!(matches!(err, ParseError::InvalidNode { .. }));
+    }
+
+    #[test]
+    fn haggle_zero_id_rejected() {
+        // Haggle ids are 1-based, so a literal 0 is malformed.
+        let err = parse_haggle("h", "0 2 0 10\n").unwrap_err();
+        assert!(matches!(err, ParseError::InvalidNode { .. }));
+    }
+
+    #[test]
+    fn events_sorted_after_parse() {
+        let t = parse_haggle("h", "1 2 500 600\n3 4 10 20\n").unwrap();
+        assert!(t.events()[0].start <= t.events()[1].start);
+    }
+
+    #[test]
+    fn crlf_input_parses() {
+        let t = parse_reality("r", "0,1,0,10\r\n1,2,5,15\r\n").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,500 @@
+//! Seeded synthetic contact-trace generators.
+//!
+//! The real CRAWDAD datasets require a registration-gated download, so
+//! the experiments substitute synthetic traces *calibrated to Table I*
+//! and shaped to preserve the properties B-SUB's mechanisms depend on
+//! (DESIGN.md §4):
+//!
+//! - **heterogeneous sociability** — per-node activity weights follow a
+//!   Zipf-like law, so contact-count centrality varies widely (the
+//!   workload scales message rates by it, and the broker election
+//!   selects high-degree nodes);
+//! - **community structure** — node pairs in the same community meet
+//!   `community_bias`× more often, so "closely related broker–consumer
+//!   pairs" exist for the TCBF's decaying/reinforcement to identify;
+//! - **diurnal rhythm** — contacts concentrate in waking hours, giving
+//!   the bursty inter-contact gaps real human traces show;
+//! - **exponential contact durations** — matching the short Bluetooth
+//!   sightings of the iMote logs.
+//!
+//! Everything is driven by an explicit seed: the same seed always
+//! yields the same trace, bit for bit.
+
+use crate::contact::{ContactEvent, ContactTrace, NodeId};
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builder for a synthetic community-based contact trace.
+///
+/// # Examples
+///
+/// ```
+/// use bsub_traces::synthetic::SyntheticTrace;
+/// use bsub_traces::SimDuration;
+///
+/// let trace = SyntheticTrace::new("tiny", 10, SimDuration::from_hours(6), 500)
+///     .communities(2)
+///     .seed(7)
+///     .build();
+/// assert_eq!(trace.node_count(), 10);
+/// assert!(!trace.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticTrace {
+    name: String,
+    nodes: u32,
+    duration: SimDuration,
+    target_contacts: usize,
+    communities: usize,
+    community_bias: f64,
+    sociability_alpha: f64,
+    mean_contact_secs: f64,
+    diurnal: bool,
+    seed: u64,
+}
+
+impl SyntheticTrace {
+    /// Starts a builder for `nodes` nodes over `duration`, aiming for
+    /// roughly `target_contacts` contacts (each pair's count is Poisson,
+    /// so the realized total varies by about ±1%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2` or `duration` is zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        nodes: u32,
+        duration: SimDuration,
+        target_contacts: usize,
+    ) -> Self {
+        assert!(nodes >= 2, "need at least two nodes to have contacts");
+        assert!(!duration.is_zero(), "trace duration must be positive");
+        Self {
+            name: name.into(),
+            nodes,
+            duration,
+            target_contacts,
+            communities: 4,
+            community_bias: 8.0,
+            sociability_alpha: 0.7,
+            mean_contact_secs: 180.0,
+            diurnal: true,
+            seed: 0,
+        }
+    }
+
+    /// Number of communities nodes are spread across (default 4).
+    #[must_use]
+    pub fn communities(mut self, communities: usize) -> Self {
+        assert!(communities >= 1, "at least one community");
+        self.communities = communities;
+        self
+    }
+
+    /// How much more often same-community pairs meet (default 8×).
+    #[must_use]
+    pub fn community_bias(mut self, bias: f64) -> Self {
+        assert!(bias >= 1.0, "bias must be at least 1");
+        self.community_bias = bias;
+        self
+    }
+
+    /// Zipf exponent of per-node sociability weights (default 0.7;
+    /// 0 = homogeneous).
+    #[must_use]
+    pub fn sociability_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        self.sociability_alpha = alpha;
+        self
+    }
+
+    /// Mean contact duration in seconds (default 180; exponential,
+    /// clamped to `[10, 7200]`).
+    #[must_use]
+    pub fn mean_contact_secs(mut self, secs: f64) -> Self {
+        assert!(secs > 0.0, "mean contact duration must be positive");
+        self.mean_contact_secs = secs;
+        self
+    }
+
+    /// Whether contacts follow a day/night rhythm (default true).
+    #[must_use]
+    pub fn diurnal(mut self, diurnal: bool) -> Self {
+        self.diurnal = diurnal;
+        self
+    }
+
+    /// RNG seed (default 0). Same seed ⇒ identical trace.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the trace.
+    #[must_use]
+    pub fn build(&self) -> ContactTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.nodes as usize;
+
+        // Zipf-like sociability weights, shuffled so node id carries no
+        // meaning.
+        let mut weights: Vec<f64> = (0..n)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(self.sociability_alpha))
+            .collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            weights.swap(i, j);
+        }
+        // Random community assignment.
+        let community: Vec<usize> = (0..n).map(|_| rng.gen_range(0..self.communities)).collect();
+
+        // Pair intensities.
+        let mut pair_rates: Vec<(u32, u32, f64)> = Vec::with_capacity(n * (n - 1) / 2);
+        let mut total_rate = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let mut rate = weights[i] * weights[j];
+                if community[i] == community[j] {
+                    rate *= self.community_bias;
+                }
+                total_rate += rate;
+                pair_rates.push((i as u32, j as u32, rate));
+            }
+        }
+
+        let horizon = self.duration.as_secs();
+        let mut events = Vec::with_capacity(self.target_contacts + self.target_contacts / 8);
+        for (i, j, rate) in pair_rates {
+            let lambda = self.target_contacts as f64 * rate / total_rate;
+            let count = sample_poisson(&mut rng, lambda);
+            if count == 0 {
+                continue;
+            }
+            // Human pair meetings are bursty: contacts cluster into
+            // *sessions* (a shared lecture, lunch, commute) separated
+            // by long gaps — the gap structure real traces show and
+            // the TCBF's decaying exploits. Draw a few diurnal session
+            // anchors for the pair and scatter its contacts around
+            // them.
+            let sessions = count.div_ceil(CONTACTS_PER_SESSION).max(1);
+            let anchors: Vec<u64> = (0..sessions)
+                .map(|_| self.sample_start(&mut rng, horizon))
+                .collect();
+            for _ in 0..count {
+                let anchor = anchors[rng.gen_range(0..anchors.len())];
+                let jitter =
+                    sample_exponential(&mut rng, SESSION_JITTER_SECS).min(4.0 * SESSION_JITTER_SECS);
+                let sign: bool = rng.gen();
+                let start = if sign {
+                    anchor.saturating_add(jitter as u64).min(horizon - 1)
+                } else {
+                    anchor.saturating_sub(jitter as u64)
+                };
+                let dur = sample_exponential(&mut rng, self.mean_contact_secs)
+                    .clamp(10.0, 7200.0) as u64;
+                let end = (start + dur).min(horizon);
+                events.push(ContactEvent::new(
+                    NodeId::new(i),
+                    NodeId::new(j),
+                    SimTime::from_secs(start),
+                    SimTime::from_secs(end),
+                ));
+            }
+        }
+
+        ContactTrace::new(self.name.clone(), self.nodes, events)
+            .expect("generator produces in-range node ids")
+    }
+
+    /// Draws a contact start time, rejection-sampled against the
+    /// diurnal activity curve when enabled.
+    fn sample_start(&self, rng: &mut StdRng, horizon: u64) -> u64 {
+        loop {
+            let t = rng.gen_range(0..horizon);
+            if !self.diurnal {
+                return t;
+            }
+            let hour = (t % 86_400) / 3600;
+            // Waking hours (08:00–22:00) at full intensity, nights at 15%.
+            let weight = if (8..22).contains(&hour) { 1.0 } else { 0.15 };
+            if rng.gen::<f64>() < weight {
+                return t;
+            }
+        }
+    }
+}
+
+/// Mean contacts per pair session; sessions beyond this spawn new
+/// anchors.
+const CONTACTS_PER_SESSION: u64 = 4;
+
+/// Spread of contacts around their session anchor (exponential mean,
+/// seconds; capped at 4×).
+const SESSION_JITTER_SECS: f64 = 1200.0;
+
+/// Poisson sample: Knuth's method for small λ, normal approximation
+/// for large λ (where Knuth would need λ iterations and `e^-λ`
+/// underflows).
+fn sample_poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+    debug_assert!(lambda >= 0.0);
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let z = sample_standard_normal(rng);
+        (lambda + lambda.sqrt() * z).round().max(0.0) as u64
+    }
+}
+
+/// Exponential sample with the given mean (inverse-CDF method).
+fn sample_exponential(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// Standard normal sample (Box–Muller).
+fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// The Haggle (Infocom'06)-like trace of Table I: 79 nodes, 3 days,
+/// ≈67,360 contacts — a dense conference environment.
+#[must_use]
+pub fn haggle_like(seed: u64) -> ContactTrace {
+    SyntheticTrace::new(
+        "haggle-infocom06-synthetic",
+        79,
+        SimDuration::from_days(3),
+        67_360,
+    )
+    .communities(8)
+    .community_bias(40.0)
+    .sociability_alpha(0.8)
+    .mean_contact_secs(180.0)
+    .seed(seed)
+    .build()
+}
+
+/// The 3-day MIT Reality-like *simulation* trace: 97 nodes, 3 days,
+/// markedly sparser per node-day than Haggle (the paper simulates "the
+/// 3 day records from the MIT Reality trace" and observes lower
+/// delivery ratios and higher delays). Calibrated to a busy stretch of
+/// campus life rather than the 246-day average, which would be too
+/// sparse to deliver anything; see [`reality_like_full`] for the
+/// Table I-scale trace.
+#[must_use]
+pub fn reality_like(seed: u64) -> ContactTrace {
+    SyntheticTrace::new(
+        "mit-reality-synthetic-3day",
+        97,
+        SimDuration::from_days(3),
+        8_000,
+    )
+    .communities(8)
+    .community_bias(12.0)
+    .sociability_alpha(0.9)
+    .mean_contact_secs(300.0)
+    .seed(seed)
+    .build()
+}
+
+/// The full-duration MIT Reality-like trace of Table I: 97 nodes,
+/// 246 days, ≈54,667 contacts. Used by the Table I experiment; too
+/// sparse per-day to be the simulation input directly.
+#[must_use]
+pub fn reality_like_full(seed: u64) -> ContactTrace {
+    SyntheticTrace::new(
+        "mit-reality-synthetic-full",
+        97,
+        SimDuration::from_days(246),
+        54_667,
+    )
+    .communities(8)
+    .community_bias(12.0)
+    .sociability_alpha(0.9)
+    .mean_contact_secs(300.0)
+    .seed(seed)
+    .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{self, TraceStats};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SyntheticTrace::new("d", 12, SimDuration::from_hours(8), 400)
+            .seed(9)
+            .build();
+        let b = SyntheticTrace::new("d", 12, SimDuration::from_hours(8), 400)
+            .seed(9)
+            .build();
+        assert_eq!(a, b);
+        let c = SyntheticTrace::new("d", 12, SimDuration::from_hours(8), 400)
+            .seed(10)
+            .build();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn haggle_like_matches_table1() {
+        let t = haggle_like(1);
+        assert_eq!(t.node_count(), 79);
+        let got = t.len() as f64;
+        assert!(
+            (got - 67_360.0).abs() / 67_360.0 < 0.05,
+            "contacts {got} should be within 5% of 67,360"
+        );
+        assert!(t.duration() <= SimTime::from_days(3));
+    }
+
+    #[test]
+    fn reality_like_full_matches_table1() {
+        let t = reality_like_full(1);
+        assert_eq!(t.node_count(), 97);
+        let got = t.len() as f64;
+        assert!(
+            (got - 54_667.0).abs() / 54_667.0 < 0.05,
+            "contacts {got} should be within 5% of 54,667"
+        );
+    }
+
+    #[test]
+    fn reality_like_sparser_than_haggle() {
+        let h = TraceStats::compute(&haggle_like(2));
+        let r = TraceStats::compute(&reality_like(2));
+        assert!(
+            r.contacts_per_node_day < h.contacts_per_node_day / 3.0,
+            "reality {:.1} should be much sparser than haggle {:.1}",
+            r.contacts_per_node_day,
+            h.contacts_per_node_day
+        );
+    }
+
+    #[test]
+    fn centrality_is_heterogeneous() {
+        let t = haggle_like(3);
+        let c = stats::centrality(&t);
+        let min = c.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = c.iter().copied().fold(0.0, f64::max);
+        assert!((max - 1.0).abs() < 1e-12);
+        assert!(min < 0.5, "least-social node should be well below max");
+    }
+
+    #[test]
+    fn events_within_horizon_and_valid() {
+        let t = SyntheticTrace::new("v", 20, SimDuration::from_hours(12), 1000)
+            .seed(4)
+            .build();
+        let horizon = SimTime::from_hours(12);
+        for e in &t {
+            assert!(e.end <= horizon);
+            assert!(e.end >= e.start);
+            assert_ne!(e.a, e.b);
+        }
+    }
+
+    #[test]
+    fn diurnal_concentrates_daytime() {
+        let t = SyntheticTrace::new("d", 20, SimDuration::from_days(2), 4000)
+            .seed(5)
+            .diurnal(true)
+            .build();
+        let day = t
+            .iter()
+            .filter(|e| (8..22).contains(&(e.start.as_secs() % 86_400 / 3600)))
+            .count();
+        let ratio = day as f64 / t.len() as f64;
+        assert!(ratio > 0.75, "daytime share {ratio}");
+    }
+
+    #[test]
+    fn non_diurnal_roughly_uniform() {
+        let t = SyntheticTrace::new("u", 20, SimDuration::from_days(2), 4000)
+            .seed(6)
+            .diurnal(false)
+            .build();
+        let day = t
+            .iter()
+            .filter(|e| (8..22).contains(&(e.start.as_secs() % 86_400 / 3600)))
+            .count();
+        let ratio = day as f64 / t.len() as f64;
+        // 14 of 24 hours => ~0.583 expected.
+        assert!((ratio - 14.0 / 24.0).abs() < 0.05, "daytime share {ratio}");
+    }
+
+    #[test]
+    fn community_bias_shapes_pairs() {
+        // With a huge bias, most contacts should be intra-community.
+        let builder = SyntheticTrace::new("c", 30, SimDuration::from_hours(24), 3000)
+            .communities(3)
+            .community_bias(50.0)
+            .seed(7);
+        let t = builder.build();
+        // Reconstruct the community assignment by regenerating with the
+        // same seed is internal; instead verify the *distribution* is
+        // far from uniform: count distinct pairs vs contact mass.
+        let mut pair_counts = std::collections::HashMap::new();
+        for e in &t {
+            *pair_counts.entry((e.a, e.b)).or_insert(0usize) += 1;
+        }
+        let max_pair = pair_counts.values().copied().max().unwrap();
+        let mean_pair = t.len() as f64 / pair_counts.len() as f64;
+        assert!(
+            max_pair as f64 > 3.0 * mean_pair,
+            "hot pairs should dominate: max {max_pair} mean {mean_pair}"
+        );
+    }
+
+    #[test]
+    fn poisson_sampler_mean() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &lambda in &[0.5f64, 5.0, 50.0, 400.0] {
+            let n = 2000;
+            let total: u64 = (0..n).map(|_| sample_poisson(&mut rng, lambda)).sum();
+            let mean = total as f64 / f64::from(n);
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.1 + 0.1,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = StdRng::seed_from_u64(12);
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn exponential_sampler_mean() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| sample_exponential(&mut rng, 120.0)).sum();
+        let mean = total / f64::from(n);
+        assert!((mean - 120.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn single_node_rejected() {
+        let _ = SyntheticTrace::new("x", 1, SimDuration::from_hours(1), 10);
+    }
+}

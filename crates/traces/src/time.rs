@@ -1,0 +1,260 @@
+//! The simulation clock.
+//!
+//! Times are whole seconds since the start of a trace. The paper's
+//! figures use minutes and hours; conversion helpers keep the units
+//! explicit at every call site so decaying factors (per-minute) and
+//! TTLs (minutes) never silently mix with seconds.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulation clock: whole seconds since trace start.
+///
+/// # Examples
+///
+/// ```
+/// use bsub_traces::{SimTime, SimDuration};
+///
+/// let t = SimTime::from_mins(5) + SimDuration::from_secs(30);
+/// assert_eq!(t.as_secs(), 330);
+/// assert!((t.as_mins() - 5.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Trace start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from whole seconds since trace start.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Creates a time from whole minutes since trace start.
+    #[must_use]
+    pub const fn from_mins(mins: u64) -> Self {
+        SimTime(mins * 60)
+    }
+
+    /// Creates a time from whole hours since trace start.
+    #[must_use]
+    pub const fn from_hours(hours: u64) -> Self {
+        SimTime(hours * 3600)
+    }
+
+    /// Creates a time from whole days since trace start.
+    #[must_use]
+    pub const fn from_days(days: u64) -> Self {
+        SimTime(days * 86_400)
+    }
+
+    /// Seconds since trace start.
+    #[must_use]
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Minutes since trace start, fractional.
+    #[must_use]
+    pub fn as_mins(self) -> f64 {
+        self.0 as f64 / 60.0
+    }
+
+    /// Hours since trace start, fractional.
+    #[must_use]
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// The duration from `earlier` to `self`; zero if `earlier` is
+    /// actually later (saturating, like
+    /// [`Instant::saturating_duration_since`]).
+    ///
+    /// [`Instant::saturating_duration_since`]: std::time::Instant::saturating_duration_since
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when ordering is not guaranteed.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(rhs <= self, "SimTime subtraction underflow");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (h, rem) = (self.0 / 3600, self.0 % 3600);
+        write!(f, "{h:02}:{:02}:{:02}", rem / 60, rem % 60)
+    }
+}
+
+/// A span of simulation time, in whole seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from whole seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs)
+    }
+
+    /// Creates a duration from whole minutes.
+    #[must_use]
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60)
+    }
+
+    /// Creates a duration from whole hours.
+    #[must_use]
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3600)
+    }
+
+    /// Creates a duration from whole days.
+    #[must_use]
+    pub const fn from_days(days: u64) -> Self {
+        SimDuration(days * 86_400)
+    }
+
+    /// Whole seconds in the span.
+    #[must_use]
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Minutes in the span, fractional.
+    #[must_use]
+    pub fn as_mins(self) -> f64 {
+        self.0 as f64 / 60.0
+    }
+
+    /// Hours in the span, fractional.
+    #[must_use]
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// Whether the span is empty.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_multiple_of(3600) {
+            write!(f, "{}h", self.0 / 3600)
+        } else if self.0.is_multiple_of(60) {
+            write!(f, "{}min", self.0 / 60)
+        } else {
+            write!(f, "{}s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_consistent() {
+        assert_eq!(SimTime::from_mins(2).as_secs(), 120);
+        assert_eq!(SimTime::from_hours(1).as_secs(), 3600);
+        assert_eq!(SimTime::from_days(1).as_secs(), 86_400);
+        assert!((SimTime::from_secs(90).as_mins() - 1.5).abs() < 1e-12);
+        assert!((SimTime::from_secs(5400).as_hours() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_conversions() {
+        assert_eq!(SimDuration::from_mins(3).as_secs(), 180);
+        assert_eq!(SimDuration::from_hours(2).as_secs(), 7200);
+        assert_eq!(SimDuration::from_days(3).as_secs(), 259_200);
+        assert!(SimDuration::ZERO.is_zero());
+        assert!(!SimDuration::from_secs(1).is_zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(100);
+        let d = SimDuration::from_secs(50);
+        assert_eq!((t + d).as_secs(), 150);
+        assert_eq!((t + d) - t, d);
+        let mut t2 = t;
+        t2 += d;
+        assert_eq!(t2.as_secs(), 150);
+        assert_eq!((d + d).as_secs(), 100);
+    }
+
+    #[test]
+    fn saturating_since() {
+        let early = SimTime::from_secs(10);
+        let late = SimTime::from_secs(30);
+        assert_eq!(late.saturating_since(early).as_secs(), 20);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert!(SimTime::ZERO <= SimTime::from_secs(0));
+        assert!(SimDuration::from_mins(1) < SimDuration::from_hours(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(3_661).to_string(), "01:01:01");
+        assert_eq!(SimDuration::from_hours(2).to_string(), "2h");
+        assert_eq!(SimDuration::from_mins(5).to_string(), "5min");
+        assert_eq!(SimDuration::from_secs(61).to_string(), "61s");
+    }
+
+    #[test]
+    fn add_saturates() {
+        let t = SimTime::from_secs(u64::MAX - 1);
+        let sum = t + SimDuration::from_secs(100);
+        assert_eq!(sum.as_secs(), u64::MAX);
+    }
+}

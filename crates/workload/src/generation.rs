@@ -1,0 +1,319 @@
+//! Message generation (Section VII-A).
+//!
+//! "Each node has a fixed message generation rate ℝ [...] determined
+//! by its social standing. We use centrality to measure the social
+//! standing. The higher the centrality, the higher the message
+//! generation rate. Denote the minimum message rate ℝ̂ for the
+//! smallest centrality Ĉ [...] ℝ = ℂ·ℝ̂/Ĉ. ℝ̂ is set to 1/30 per
+//! minute." Message sizes are uniform in `[1, 140]` bytes and keys
+//! are drawn from the trend-weight distribution.
+
+use crate::keys::{trend_keys, TrendKey};
+use bsub_sim::GeneratedMessage;
+use bsub_traces::{stats, ContactTrace, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Builds the message schedule for a trace.
+///
+/// Per-node publications form Poisson processes whose rates scale with
+/// contact-count centrality; the least-central (but socially active)
+/// node publishes once per `base_interval_mins` on average. Nodes with
+/// zero centrality (never seen in the trace) publish nothing.
+///
+/// # Examples
+///
+/// ```
+/// use bsub_traces::synthetic::SyntheticTrace;
+/// use bsub_traces::SimDuration;
+/// use bsub_workload::WorkloadBuilder;
+///
+/// let trace = SyntheticTrace::new("g", 8, SimDuration::from_hours(3), 200)
+///     .seed(5)
+///     .build();
+/// let schedule = WorkloadBuilder::new(&trace).seed(9).build();
+/// assert!(schedule.windows(2).all(|w| w[0].at <= w[1].at), "sorted");
+/// ```
+#[derive(Debug)]
+pub struct WorkloadBuilder<'a> {
+    trace: &'a ContactTrace,
+    keys: &'a [TrendKey],
+    base_interval_mins: f64,
+    rate_scale: f64,
+    max_rate_ratio: f64,
+    seed: u64,
+}
+
+impl<'a> WorkloadBuilder<'a> {
+    /// Starts a builder over `trace` with the paper's defaults
+    /// (ℝ̂ = 1/30 per minute, Twitter trend keys).
+    #[must_use]
+    pub fn new(trace: &'a ContactTrace) -> Self {
+        Self {
+            trace,
+            keys: trend_keys(),
+            base_interval_mins: 30.0,
+            rate_scale: 1.0,
+            max_rate_ratio: 10.0,
+            seed: 0,
+        }
+    }
+
+    /// Overrides the key set (default: the 38 trend keys).
+    #[must_use]
+    pub fn keys(mut self, keys: &'a [TrendKey]) -> Self {
+        self.keys = keys;
+        self
+    }
+
+    /// Mean minutes between publications for the least-central node
+    /// (default 30, the paper's ℝ̂ = 1/30 per minute).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mins` is not positive.
+    #[must_use]
+    pub fn base_interval_mins(mut self, mins: f64) -> Self {
+        assert!(mins > 0.0, "interval must be positive");
+        self.base_interval_mins = mins;
+        self
+    }
+
+    /// Scales every node's rate (default 1.0). Useful for quick test
+    /// runs or stress experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is negative.
+    #[must_use]
+    pub fn rate_scale(mut self, scale: f64) -> Self {
+        assert!(scale >= 0.0, "scale must be non-negative");
+        self.rate_scale = scale;
+        self
+    }
+
+    /// Caps the centrality rate ratio `ℂ/Ĉ` (default 10): with
+    /// heavy-tailed centralities the paper's linear rule would let one
+    /// hub node dwarf the rest of the workload, so the hub publishes at
+    /// most `max_rate_ratio` times the base rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio < 1`.
+    #[must_use]
+    pub fn max_rate_ratio(mut self, ratio: f64) -> Self {
+        assert!(ratio >= 1.0, "rate ratio cap must be at least 1");
+        self.max_rate_ratio = ratio;
+        self
+    }
+
+    /// RNG seed (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the time-sorted schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key set is empty.
+    #[must_use]
+    pub fn build(&self) -> Vec<GeneratedMessage> {
+        assert!(!self.keys.is_empty(), "need at least one key");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let centrality = stats::centrality(self.trace);
+        let c_min = centrality
+            .iter()
+            .copied()
+            .filter(|&c| c > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        let horizon_mins = self.trace.duration().as_mins();
+        let key_mass: f64 = self.keys.iter().map(|k| k.weight).sum();
+        let keys: Vec<Arc<str>> = self.keys.iter().map(|k| Arc::from(k.name)).collect();
+
+        let mut schedule = Vec::new();
+        for node in self.trace.node_ids() {
+            let c = centrality[node.index()];
+            if c <= 0.0 || !c_min.is_finite() {
+                continue;
+            }
+            // ℝ = ℂ · ℝ̂ / Ĉ, in publications per minute (ratio capped).
+            let ratio = (c / c_min).min(self.max_rate_ratio);
+            let rate = self.rate_scale * ratio / self.base_interval_mins;
+            if rate <= 0.0 {
+                continue;
+            }
+            let mut t_mins = 0.0f64;
+            loop {
+                // Exponential inter-arrival gap.
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                t_mins += -u.ln() / rate;
+                if t_mins >= horizon_mins {
+                    break;
+                }
+                let key_idx = pick_weighted_index(&mut rng, self.keys, key_mass);
+                schedule.push(GeneratedMessage {
+                    at: SimTime::from_secs((t_mins * 60.0) as u64),
+                    producer: node,
+                    key: Arc::clone(&keys[key_idx]),
+                    size: rng.gen_range(1..=140),
+                });
+            }
+        }
+        schedule.sort_by_key(|g| (g.at, g.producer));
+        schedule
+    }
+}
+
+fn pick_weighted_index(rng: &mut StdRng, keys: &[TrendKey], total: f64) -> usize {
+    let mut point = rng.gen::<f64>() * total;
+    for (i, key) in keys.iter().enumerate() {
+        point -= key.weight;
+        if point <= 0.0 {
+            return i;
+        }
+    }
+    keys.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsub_traces::synthetic::SyntheticTrace;
+    use bsub_traces::SimDuration;
+
+    fn trace() -> ContactTrace {
+        SyntheticTrace::new("g", 12, SimDuration::from_hours(10), 600)
+            .seed(1)
+            .build()
+    }
+
+    #[test]
+    fn schedule_sorted_and_in_horizon() {
+        let t = trace();
+        let s = WorkloadBuilder::new(&t).seed(2).build();
+        assert!(!s.is_empty());
+        assert!(s.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(s.iter().all(|g| g.at <= t.duration()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = trace();
+        let a = WorkloadBuilder::new(&t).seed(3).build();
+        let b = WorkloadBuilder::new(&t).seed(3).build();
+        assert_eq!(a, b);
+        let c = WorkloadBuilder::new(&t).seed(4).build();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sizes_within_twitter_bounds() {
+        let t = trace();
+        let s = WorkloadBuilder::new(&t).seed(5).build();
+        assert!(s.iter().all(|g| (1..=140).contains(&g.size)));
+    }
+
+    #[test]
+    fn rate_scales_with_centrality() {
+        let t = trace();
+        let s = WorkloadBuilder::new(&t).seed(6).build();
+        let centrality = stats::centrality(&t);
+        let mut counts = vec![0usize; t.node_count() as usize];
+        for g in &s {
+            counts[g.producer.index()] += 1;
+        }
+        // The most central node publishes more than the least central
+        // active one.
+        let max_c = centrality
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let min_c = centrality
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0.0)
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert!(
+            counts[max_c] > counts[min_c],
+            "central node {} vs peripheral {}",
+            counts[max_c],
+            counts[min_c]
+        );
+    }
+
+    #[test]
+    fn base_rate_near_one_per_30_mins() {
+        // For the least-central active node, expect ~ horizon/30
+        // publications. Use a homogeneous trace so every node is
+        // near-minimum centrality.
+        let t = SyntheticTrace::new("h", 10, SimDuration::from_days(5), 4000)
+            .sociability_alpha(0.0)
+            .community_bias(1.0)
+            .seed(7)
+            .build();
+        let s = WorkloadBuilder::new(&t).seed(8).build();
+        let per_node = s.len() as f64 / 10.0;
+        let expected_min = t.duration().as_mins() / 30.0;
+        // Homogeneous centralities cluster near the max, and rates are
+        // relative to the *minimum*, so each node publishes at least
+        // the base rate and at most a few times it.
+        assert!(
+            per_node >= expected_min * 0.8 && per_node <= expected_min * 3.0,
+            "per-node {per_node} vs base {expected_min}"
+        );
+    }
+
+    #[test]
+    fn rate_scale_zero_silences_everyone() {
+        let t = trace();
+        let s = WorkloadBuilder::new(&t).rate_scale(0.0).seed(9).build();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn keys_drawn_from_provided_set() {
+        let t = trace();
+        let custom = [
+            TrendKey {
+                name: "alpha",
+                weight: 0.5,
+            },
+            TrendKey {
+                name: "beta",
+                weight: 0.5,
+            },
+        ];
+        let s = WorkloadBuilder::new(&t).keys(&custom).seed(10).build();
+        assert!(s.iter().all(|g| &*g.key == "alpha" || &*g.key == "beta"));
+    }
+
+    #[test]
+    fn key_distribution_follows_weights() {
+        let t = SyntheticTrace::new("kd", 30, SimDuration::from_days(4), 9000)
+            .seed(11)
+            .build();
+        let s = WorkloadBuilder::new(&t).seed(12).build();
+        let top = trend_keys()[0].name;
+        let share =
+            s.iter().filter(|g| &*g.key == top).count() as f64 / s.len() as f64;
+        assert!(
+            (share - 0.132).abs() < 0.03,
+            "top key share {share} vs weight 0.132"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let t = trace();
+        let _ = WorkloadBuilder::new(&t).base_interval_mins(0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Interest assignment: each node subscribes to one trend key, drawn
+//! by weight (Section VII-A: "we assume that each node is interested
+//! in only one key. [...] The probability of each key being selected
+//! as an interest for each node is determined by the key's weight").
+
+use crate::keys::TrendKey;
+use bsub_sim::SubscriptionTable;
+use bsub_traces::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Assigns one weighted-random interest to every node.
+///
+/// # Panics
+///
+/// Panics if `keys` is empty or weights do not sum to a positive value.
+#[must_use]
+pub fn assign_interests(nodes: u32, keys: &[TrendKey], seed: u64) -> SubscriptionTable {
+    assert!(!keys.is_empty(), "need at least one key");
+    let total: f64 = keys.iter().map(|k| k.weight).sum();
+    assert!(total > 0.0, "weights must have positive mass");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut table = SubscriptionTable::new(nodes);
+    for node in 0..nodes {
+        let key = pick_weighted(&mut rng, keys, total);
+        table.subscribe(NodeId::new(node), key.name);
+    }
+    table
+}
+
+/// Draws one key proportionally to its weight.
+fn pick_weighted<'a>(rng: &mut StdRng, keys: &'a [TrendKey], total: f64) -> &'a TrendKey {
+    let mut point = rng.gen::<f64>() * total;
+    for key in keys {
+        point -= key.weight;
+        if point <= 0.0 {
+            return key;
+        }
+    }
+    keys.last().expect("keys non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::trend_keys;
+
+    #[test]
+    fn every_node_gets_exactly_one_interest() {
+        let t = assign_interests(50, trend_keys(), 1);
+        assert_eq!(t.node_count(), 50);
+        assert_eq!(t.subscription_count(), 50);
+        for n in 0..50 {
+            assert_eq!(t.interests_of(NodeId::new(n)).len(), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = assign_interests(30, trend_keys(), 7);
+        let b = assign_interests(30, trend_keys(), 7);
+        assert_eq!(a, b);
+        let c = assign_interests(30, trend_keys(), 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn assignment_follows_weights() {
+        // Over many nodes, the top key (weight 0.132) should be chosen
+        // roughly 13% of the time.
+        let t = assign_interests(10_000, trend_keys(), 2);
+        let top = trend_keys()[0].name;
+        let count = (0..10_000)
+            .filter(|&n| t.is_interested(NodeId::new(n), top))
+            .count();
+        let share = count as f64 / 10_000.0;
+        assert!(
+            (share - 0.132).abs() < 0.02,
+            "top-key share {share} vs expected 0.132"
+        );
+    }
+
+    #[test]
+    fn interests_come_from_the_key_set() {
+        let t = assign_interests(100, trend_keys(), 3);
+        for n in 0..100 {
+            let interest = &t.interests_of(NodeId::new(n))[0];
+            assert!(trend_keys().iter().any(|k| k.name == &**interest));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn empty_key_set_rejected() {
+        let _ = assign_interests(5, &[], 0);
+    }
+
+    #[test]
+    fn single_key_always_chosen() {
+        let keys = [TrendKey {
+            name: "only",
+            weight: 1.0,
+        }];
+        let t = assign_interests(10, &keys, 4);
+        for n in 0..10 {
+            assert!(t.is_interested(NodeId::new(n), "only"));
+        }
+    }
+}

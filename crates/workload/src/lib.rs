@@ -1,0 +1,39 @@
+//! The evaluation workload of the B-SUB paper (Section VII-A).
+//!
+//! - [`keys`] — the 38 Twitter-Trend keys with the skewed popularity
+//!   distribution of Table II (top-4 weights 0.132 / 0.103 / 0.0887 /
+//!   0.0739, geometric tail, spaces removed, average length tuned to
+//!   the paper's 11.5 bytes).
+//! - [`interests`] — weighted assignment of one interest key per node.
+//! - [`generation`] — Poisson message generation with per-node rates
+//!   proportional to contact-count centrality, anchored at one message
+//!   per 30 minutes for the least-central node; message sizes are
+//!   uniform in `[1, 140]` bytes (Twitter-post sized).
+//!
+//! Everything is seeded and deterministic.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bsub_traces::synthetic::SyntheticTrace;
+//! use bsub_traces::SimDuration;
+//! use bsub_workload::{keys, interests, generation::WorkloadBuilder};
+//!
+//! let trace = SyntheticTrace::new("w", 10, SimDuration::from_hours(4), 300)
+//!     .seed(3)
+//!     .build();
+//! let subs = interests::assign_interests(trace.node_count(), keys::trend_keys(), 1);
+//! assert_eq!(subs.subscription_count(), 10); // one interest per node
+//! let schedule = WorkloadBuilder::new(&trace).seed(2).build();
+//! assert!(!schedule.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod generation;
+pub mod interests;
+pub mod keys;
+
+pub use crate::generation::WorkloadBuilder;
+pub use crate::keys::TrendKey;

@@ -1,0 +1,61 @@
+//! Campus trend dissemination (the paper's social-networking
+//! motivation, Section I): a sparse MIT-Reality-like environment where
+//! users follow Twitter trends, showing how the decaying factor trades
+//! delivery ratio against traffic.
+//!
+//! Run with: `cargo run --release --example twitter_feed`
+
+use bsub::core::{BsubConfig, BsubProtocol, DfMode};
+use bsub::sim::{SimConfig, Simulation};
+use bsub::traces::synthetic::reality_like;
+use bsub::traces::SimDuration;
+use bsub::workload::{interests, keys, WorkloadBuilder};
+
+fn main() {
+    let trace = reality_like(11);
+    let subs = interests::assign_interests(trace.node_count(), keys::trend_keys(), 11);
+    let schedule = WorkloadBuilder::new(&trace).seed(11).build();
+    println!(
+        "campus trace: {} students, {} contacts, {} posts\n",
+        trace.node_count(),
+        trace.len(),
+        schedule.len()
+    );
+
+    // Who follows what? The trend weights skew the subscriptions.
+    for key in keys::trend_keys().iter().take(4) {
+        let followers = subs.subscribers_of(key.name).count();
+        println!("#{:<16} {:>2} followers (weight {:.3})", key.name, followers, key.weight);
+    }
+
+    let ttl = SimDuration::from_hours(20);
+    println!(
+        "\n{:>10}  {:>9}  {:>10}  {:>8}  {:>9}",
+        "df(/min)", "delivery", "delay(min)", "fwd/dlv", "data(KB)"
+    );
+    for df in [0.0, 0.1, 0.5, 1.0, 2.0] {
+        let mode = if df == 0.0 {
+            DfMode::Disabled
+        } else {
+            DfMode::Fixed(df)
+        };
+        let config = BsubConfig::builder().df(mode).delay_limit(ttl).build();
+        let mut bsub = BsubProtocol::new(config, &subs);
+        let sim_config = SimConfig {
+            ttl,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&trace, &subs, &schedule, sim_config);
+        let r = sim.run(&mut bsub);
+        println!(
+            "{:>10.2}  {:>9.3}  {:>10.1}  {:>8.2}  {:>9.0}",
+            df,
+            r.delivery_ratio(),
+            r.mean_delay_mins(),
+            r.forwardings_per_delivered(),
+            r.data_bytes as f64 / 1024.0,
+        );
+    }
+    println!("\nA larger decaying factor narrows interest propagation:");
+    println!("fewer forwardings and bytes, at some delivery-ratio cost (Fig. 9).");
+}

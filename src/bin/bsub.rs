@@ -1,0 +1,246 @@
+//! `bsub` — command-line front end for the B-SUB reproduction.
+//!
+//! ```text
+//! bsub stats    [--trace SPEC] [--seed N]
+//! bsub keys
+//! bsub simulate [--trace SPEC] [--protocol push|pull|bsub]
+//!               [--ttl-mins N] [--df auto|off|RATE] [--seed N]
+//! ```
+//!
+//! `--trace SPEC` is one of:
+//! - `haggle`  — the synthetic Haggle (Infocom'06)-like trace,
+//! - `reality` — the synthetic 3-day MIT-Reality-like trace,
+//! - a path ending in `.csv` (Reality CSV format) or anything else
+//!   (Haggle whitespace format), parsed from disk.
+
+use bsub::baselines::{Pull, Push};
+use bsub::core::{BsubConfig, BsubProtocol, DfMode};
+use bsub::sim::{SimConfig, Simulation};
+use bsub::traces::stats::TraceStats;
+use bsub::traces::{parser, synthetic, ContactTrace, SimDuration};
+use bsub::workload::{interests, keys, WorkloadBuilder};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage:
+  bsub stats    [--trace SPEC] [--seed N]
+  bsub keys
+  bsub simulate [--trace SPEC] [--protocol push|pull|bsub]
+                [--ttl-mins N] [--df auto|off|RATE] [--seed N]
+
+trace SPECs: haggle | reality | <path>.csv (Reality CSV) | <path> (Haggle text)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Options {
+    trace: String,
+    protocol: String,
+    ttl_mins: u64,
+    df: String,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            trace: "haggle".into(),
+            protocol: "bsub".into(),
+            ttl_mins: 500,
+            df: "auto".into(),
+            seed: 42,
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--trace" => options.trace = value("--trace")?,
+            "--protocol" => options.protocol = value("--protocol")?,
+            "--ttl-mins" => {
+                options.ttl_mins = value("--ttl-mins")?
+                    .parse()
+                    .map_err(|_| "--ttl-mins needs an integer".to_string())?;
+            }
+            "--df" => options.df = value("--df")?,
+            "--seed" => {
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_string())?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+fn load_trace(spec: &str, seed: u64) -> Result<ContactTrace, String> {
+    match spec {
+        "haggle" => Ok(synthetic::haggle_like(seed)),
+        "reality" => Ok(synthetic::reality_like(seed)),
+        path => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read trace file {path:?}: {e}"))?;
+            let parsed = if path.ends_with(".csv") {
+                parser::parse_reality(path, &text)
+            } else {
+                parser::parse_haggle(path, &text)
+            };
+            parsed.map_err(|e| format!("cannot parse {path:?}: {e}"))
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (command, rest) = args.split_first().ok_or("missing command")?;
+    match command.as_str() {
+        "stats" => {
+            let options = parse_options(rest)?;
+            let trace = load_trace(&options.trace, options.seed)?;
+            let s = TraceStats::compute(&trace);
+            println!("trace:               {}", trace.name());
+            println!("nodes:               {}", s.nodes);
+            println!("contacts:            {}", s.contacts);
+            println!("duration:            {:.2} days", s.duration.as_hours() / 24.0);
+            println!("contacts/node/day:   {:.1}", s.contacts_per_node_day);
+            println!("mean contact:        {:.1} s", s.mean_contact_secs);
+            println!("median contact:      {} s", s.median_contact_secs);
+            println!("mean degree:         {:.1}", s.mean_degree);
+            Ok(())
+        }
+        "keys" => {
+            println!("{:<20} {:>8}", "key", "weight");
+            for key in keys::trend_keys() {
+                println!("{:<20} {:>8.4}", key.name, key.weight);
+            }
+            println!(
+                "\n38 keys, average length {:.1} bytes",
+                keys::average_key_len(keys::trend_keys())
+            );
+            Ok(())
+        }
+        "simulate" => {
+            let options = parse_options(rest)?;
+            let trace = load_trace(&options.trace, options.seed)?;
+            let subs =
+                interests::assign_interests(trace.node_count(), keys::trend_keys(), options.seed);
+            let schedule = WorkloadBuilder::new(&trace).seed(options.seed).build();
+            let ttl = SimDuration::from_mins(options.ttl_mins);
+            let config = SimConfig {
+                ttl,
+                ..SimConfig::default()
+            };
+            eprintln!(
+                "{} contacts, {} messages, ttl {} min, protocol {}",
+                trace.len(),
+                schedule.len(),
+                options.ttl_mins,
+                options.protocol
+            );
+            let sim = Simulation::new(&trace, &subs, &schedule, config);
+            let report = match options.protocol.as_str() {
+                "push" => sim.run(&mut Push::new(trace.node_count())),
+                "pull" => sim.run(&mut Pull::new(trace.node_count())),
+                "bsub" => {
+                    let df = match options.df.as_str() {
+                        "auto" => DfMode::Auto { delta: 0.005 },
+                        "off" => DfMode::Disabled,
+                        rate => DfMode::Fixed(
+                            rate.parse()
+                                .map_err(|_| "--df needs auto, off, or a number".to_string())?,
+                        ),
+                    };
+                    let bcfg = BsubConfig::builder().df(df).delay_limit(ttl).build();
+                    let mut protocol = BsubProtocol::new(bcfg, &subs);
+                    let report = sim.run(&mut protocol);
+                    eprintln!(
+                        "broker fraction: {:.2}, carried copies at end: {}",
+                        protocol.broker_fraction(),
+                        protocol.carried_copies()
+                    );
+                    report
+                }
+                other => return Err(format!("unknown protocol {other:?}")),
+            };
+            println!("{report}");
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Result<Options, String> {
+        parse_options(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_when_no_flags() {
+        let o = opts(&[]).unwrap();
+        assert_eq!(o.trace, "haggle");
+        assert_eq!(o.protocol, "bsub");
+        assert_eq!(o.ttl_mins, 500);
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let o = opts(&[
+            "--trace", "reality", "--protocol", "push", "--ttl-mins", "60", "--df", "0.5",
+            "--seed", "9",
+        ])
+        .unwrap();
+        assert_eq!(o.trace, "reality");
+        assert_eq!(o.protocol, "push");
+        assert_eq!(o.ttl_mins, 60);
+        assert_eq!(o.df, "0.5");
+        assert_eq!(o.seed, 9);
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(opts(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(opts(&["--ttl-mins"]).is_err());
+        assert!(opts(&["--ttl-mins", "abc"]).is_err());
+    }
+
+    #[test]
+    fn builtin_traces_load() {
+        assert_eq!(load_trace("haggle", 1).unwrap().node_count(), 79);
+        assert_eq!(load_trace("reality", 1).unwrap().node_count(), 97);
+        assert!(load_trace("/nonexistent/file", 1).is_err());
+    }
+
+    #[test]
+    fn run_rejects_unknown_command() {
+        assert!(run(&["frobnicate".to_string()]).is_err());
+        assert!(run(&[]).is_err());
+    }
+}

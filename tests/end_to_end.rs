@@ -1,0 +1,188 @@
+//! End-to-end integration: trace generation → workload → all three
+//! protocols, checking the cross-protocol invariants the paper's
+//! evaluation rests on.
+
+use bsub::baselines::{Pull, Push};
+use bsub::core::{BsubConfig, BsubProtocol, DfMode};
+use bsub::sim::{SimConfig, SimReport, Simulation, SubscriptionTable};
+use bsub::traces::synthetic::SyntheticTrace;
+use bsub::traces::{ContactTrace, SimDuration};
+use bsub::workload::{interests, keys, WorkloadBuilder};
+
+fn environment(seed: u64) -> (ContactTrace, SubscriptionTable, Vec<bsub::sim::GeneratedMessage>) {
+    let trace = SyntheticTrace::new("e2e", 24, SimDuration::from_hours(18), 4000)
+        .communities(3)
+        .seed(seed)
+        .build();
+    let subs = interests::assign_interests(trace.node_count(), keys::trend_keys(), seed);
+    let schedule = WorkloadBuilder::new(&trace).seed(seed).build();
+    (trace, subs, schedule)
+}
+
+fn run_all(seed: u64, ttl: SimDuration) -> (SimReport, SimReport, SimReport) {
+    let (trace, subs, schedule) = environment(seed);
+    let config = SimConfig {
+        ttl,
+        ..SimConfig::default()
+    };
+    let sim = Simulation::new(&trace, &subs, &schedule, config.clone());
+    let push = sim.run(&mut Push::new(trace.node_count()));
+    let sim = Simulation::new(&trace, &subs, &schedule, config.clone());
+    let pull = sim.run(&mut Pull::new(trace.node_count()));
+    let bcfg = BsubConfig::builder()
+        .df(DfMode::Auto { delta: 0.005 })
+        .delay_limit(ttl)
+        .build();
+    let mut bsub_proto = BsubProtocol::new(bcfg, &subs);
+    let sim = Simulation::new(&trace, &subs, &schedule, config);
+    let bsub = sim.run(&mut bsub_proto);
+    (push, bsub, pull)
+}
+
+#[test]
+fn protocol_ordering_invariants() {
+    for seed in [1u64, 2, 3] {
+        let (push, bsub, pull) = run_all(seed, SimDuration::from_hours(6));
+        assert!(
+            push.delivery_ratio() >= bsub.delivery_ratio(),
+            "seed {seed}: PUSH is the upper bound"
+        );
+        assert!(
+            bsub.delivery_ratio() >= pull.delivery_ratio(),
+            "seed {seed}: B-SUB beats one-hop PULL"
+        );
+        assert!(
+            push.forwardings_per_delivered() >= bsub.forwardings_per_delivered(),
+            "seed {seed}: B-SUB is cheaper per delivery than flooding"
+        );
+        assert!(
+            (pull.forwardings_per_delivered() - 1.0).abs() < 1e-9 || pull.delivered == 0,
+            "seed {seed}: PULL forwards exactly once per delivery"
+        );
+    }
+}
+
+#[test]
+fn delivery_ratio_monotone_in_ttl() {
+    let ttls = [
+        SimDuration::from_mins(30),
+        SimDuration::from_mins(120),
+        SimDuration::from_mins(480),
+    ];
+    let mut last = (0.0, 0.0, 0.0);
+    for ttl in ttls {
+        let (push, bsub, pull) = run_all(7, ttl);
+        let now = (
+            push.delivery_ratio(),
+            bsub.delivery_ratio(),
+            pull.delivery_ratio(),
+        );
+        assert!(now.0 >= last.0 - 0.02, "PUSH grows with TTL");
+        assert!(now.1 >= last.1 - 0.02, "B-SUB grows with TTL");
+        assert!(now.2 >= last.2 - 0.02, "PULL grows with TTL");
+        last = now;
+    }
+}
+
+#[test]
+fn accounting_invariants() {
+    let (push, bsub, pull) = run_all(11, SimDuration::from_hours(4));
+    for r in [&push, &bsub, &pull] {
+        assert!(
+            r.delivered <= r.target_pairs,
+            "{}: cannot deliver more than the subscribed pairs",
+            r.protocol
+        );
+        assert!(
+            r.delivered == 0 || r.forwardings >= 1,
+            "{}: deliveries imply transmissions",
+            r.protocol
+        );
+        assert!(
+            r.delivery_ratio() >= 0.0 && r.delivery_ratio() <= 1.0,
+            "{}: ratio in [0,1]",
+            r.protocol
+        );
+        assert!(
+            r.false_positive_rate() >= 0.0 && r.false_positive_rate() <= 1.0,
+            "{}: fpr in [0,1]",
+            r.protocol
+        );
+    }
+    // Baselines use exact matching: no false deliveries or injections.
+    assert_eq!(push.false_delivered, 0);
+    assert_eq!(pull.false_delivered, 0);
+    assert_eq!(push.injections, 0);
+    assert_eq!(pull.injections, 0);
+    // B-SUB's relay tier accepts copies.
+    assert!(bsub.injections > 0);
+}
+
+#[test]
+fn runs_are_reproducible() {
+    let a = run_all(13, SimDuration::from_hours(3));
+    let b = run_all(13, SimDuration::from_hours(3));
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_all(1, SimDuration::from_hours(3));
+    let b = run_all(2, SimDuration::from_hours(3));
+    assert_ne!(a.0, b.0, "different worlds, different results");
+}
+
+#[test]
+fn bsub_broker_fraction_reasonable() {
+    let (trace, subs, schedule) = environment(5);
+    let ttl = SimDuration::from_hours(6);
+    let bcfg = BsubConfig::builder()
+        .df(DfMode::Fixed(0.05))
+        .delay_limit(ttl)
+        .build();
+    let mut bsub = BsubProtocol::new(bcfg, &subs);
+    let sim = Simulation::new(
+        &trace,
+        &subs,
+        &schedule,
+        SimConfig {
+            ttl,
+            ..SimConfig::default()
+        },
+    );
+    let _ = sim.run(&mut bsub);
+    let frac = bsub.broker_fraction();
+    assert!(
+        (0.04..0.9).contains(&frac),
+        "election should settle between extremes, got {frac}"
+    );
+}
+
+#[test]
+fn zero_ttl_allows_only_instant_delivery() {
+    // Expiry is inclusive: with TTL = 0, a message can only be
+    // delivered in the very second it was published (a contact
+    // already in progress), so every delivery has zero delay.
+    let (trace, subs, schedule) = environment(3);
+    let config = SimConfig {
+        ttl: SimDuration::ZERO,
+        ..SimConfig::default()
+    };
+    let sim = Simulation::new(&trace, &subs, &schedule, config);
+    let push = sim.run(&mut Push::new(trace.node_count()));
+    assert_eq!(push.delay_secs_total, 0);
+    assert!(push.delivery_ratio() < 0.05, "near-zero window, near-zero delivery");
+}
+
+#[test]
+fn empty_schedule_is_quiet() {
+    let (trace, subs, _) = environment(3);
+    let schedule = Vec::new();
+    let sim = Simulation::new(&trace, &subs, &schedule, SimConfig::default());
+    let report = sim.run(&mut Push::new(trace.node_count()));
+    assert_eq!(report.generated, 0);
+    assert_eq!(report.delivered, 0);
+    assert_eq!(report.forwardings, 0);
+}

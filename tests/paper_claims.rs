@@ -1,0 +1,117 @@
+//! Quantitative claims made in the paper's text, checked end to end.
+
+use bsub::bloom::wire::{self, CounterMode};
+use bsub::bloom::{math, Tcbf};
+use bsub::core::df::decaying_factor_per_min;
+use bsub::traces::stats::TraceStats;
+use bsub::traces::synthetic::{haggle_like, reality_like_full};
+use bsub::workload::keys::{average_key_len, trend_keys};
+
+/// Section VII-A: "The worst case FPR of the filter storing 38 keys,
+/// in theory, in this setting, is 0.04."
+#[test]
+fn worst_case_fpr_is_0_04() {
+    let fpr = math::false_positive_rate(256, 4, 38.0);
+    assert!((fpr - 0.04).abs() < 0.003, "fpr {fpr}");
+}
+
+/// Section VII-A: "at most, 5 bytes are used to encode a single key"
+/// (4 locations × 8 bits + a shared counter byte; our framing header
+/// is accounted separately).
+#[test]
+fn single_key_costs_five_body_bytes() {
+    let f = Tcbf::from_keys(256, 4, 50, ["NewMoon"]);
+    let body = wire::encode(&f, CounterMode::Shared).expect("encodes").len() - 8;
+    assert!(body <= 5, "body {body} bytes");
+}
+
+/// Section IV-B: "the TCBF uses half of the space used by the raw
+/// strings in representing interests."
+#[test]
+fn tcbf_halves_interest_storage() {
+    let keys: Vec<&str> = trend_keys().iter().map(|k| k.name).collect();
+    let raw = wire::raw_strings_len(keys.iter().copied());
+    let filter = Tcbf::from_keys(256, 4, 50, keys.iter().map(|s| s.as_bytes()));
+    let compressed = wire::encode(&filter, CounterMode::Full).expect("encodes").len();
+    assert!(
+        (compressed as f64) <= raw as f64 * 0.5,
+        "compressed {compressed} vs raw {raw}"
+    );
+}
+
+/// Section VII-A: "The average length of the keys is 11.5 bytes" and
+/// there are exactly 38 of them with Table II's top-4 weights.
+#[test]
+fn key_workload_matches_paper() {
+    let keys = trend_keys();
+    assert_eq!(keys.len(), 38);
+    let avg = average_key_len(keys);
+    assert!((avg - 11.5).abs() < 1.0, "avg len {avg}");
+    assert!((keys[0].weight - 0.132).abs() < 1e-9);
+    assert!((keys[1].weight - 0.103).abs() < 1e-9);
+    assert!((keys[2].weight - 0.0887).abs() < 1e-9);
+    assert!((keys[3].weight - 0.0739).abs() < 1e-9);
+}
+
+/// Section VII-B: the DF for D = 10 h is about 0.138 per minute
+/// ("decremented by 1 every 7.2 minutes") — Eq. 5 with C = 50 and a
+/// trace-plausible ℕ lands in that regime.
+#[test]
+fn df_for_ten_hours_near_paper() {
+    let df = decaying_factor_per_min(50, 130, 256, 4, 600.0, 0.005);
+    assert!(
+        (0.1..0.2).contains(&df),
+        "df {df} should be near the paper's 0.138/min"
+    );
+}
+
+/// Table I: the synthetic traces are calibrated to the published node
+/// and contact counts.
+#[test]
+fn table1_calibration() {
+    let h = TraceStats::compute(&haggle_like(99));
+    assert_eq!(h.nodes, 79);
+    assert!((h.contacts as f64 - 67_360.0).abs() / 67_360.0 < 0.05);
+
+    let r = TraceStats::compute(&reality_like_full(99));
+    assert_eq!(r.nodes, 97);
+    assert!((r.contacts as f64 - 54_667.0).abs() / 54_667.0 < 0.05);
+    assert!((r.duration.as_hours() / 24.0 - 246.0).abs() < 1.0);
+}
+
+/// Section III: the three Bloom-filter formulas are mutually
+/// consistent on the paper's parameters.
+#[test]
+fn eq1_eq2_eq3_consistency() {
+    let (m, k, n) = (256usize, 4usize, 38.0f64);
+    let fr = math::fill_ratio(m, k, n);
+    let bits = math::expected_set_bits(m, k, n);
+    let fpr = math::false_positive_rate(m, k, n);
+    assert!((bits - fr * m as f64).abs() < 1e-9);
+    assert!((fpr - fr.powi(4)).abs() < 1e-12);
+    // And the fill-ratio inverse recovers n.
+    assert!((math::keys_from_fill_ratio(m, k, fr) - n).abs() < 1e-6);
+}
+
+/// Section VI-D: splitting keys across filters lowers the joint FPR —
+/// the premise of the optimal-allocation strategy.
+#[test]
+fn splitting_lowers_joint_fpr() {
+    let whole = math::joint_false_positive_rate(256, 4, &[80.0]);
+    let split = math::joint_false_positive_rate(256, 4, &[20.0; 4]);
+    assert!(split < whole / 2.0, "split {split} vs whole {whole}");
+}
+
+/// The wire codec interoperates across "devices": a filter encoded on
+/// one node decodes on another into an equivalent filter (default
+/// network-wide hasher).
+#[test]
+fn wire_interop_roundtrip() {
+    let original = Tcbf::from_keys(256, 4, 50, trend_keys().iter().map(|k| k.name));
+    let bytes = wire::encode(&original, CounterMode::Full).expect("encodes");
+    let decoded = wire::decode(&bytes).expect("decodes").into_tcbf().expect("tcbf");
+    for k in trend_keys() {
+        assert!(decoded.contains(k.name));
+        assert_eq!(decoded.min_counter(k.name), original.min_counter(k.name));
+    }
+}
