@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: build, tests, formatting, lints. Everything runs
+# offline — the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test =="
+cargo test -q
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "CI OK"

@@ -3,6 +3,7 @@
 use bsub_sim::{Link, Message, MessageId, Protocol, SimCtx};
 use bsub_traces::{ContactEvent, NodeId, SimTime};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// The PULL baseline: on a contact, each node announces its own
 /// interests (as raw strings) and collects matching messages from the
@@ -19,7 +20,8 @@ pub struct Pull {
 #[derive(Debug, Default)]
 struct NodeState {
     /// Messages this node itself published (nobody relays in PULL).
-    published: Vec<Message>,
+    /// Payloads are shared with the simulator's registry.
+    published: Vec<Arc<Message>>,
     /// Message ids this node already pulled (suppresses re-transfer).
     collected: HashSet<MessageId>,
 }
@@ -73,7 +75,7 @@ impl Pull {
                 if !ctx.transfer_message(link, msg) {
                     break;
                 }
-                pulled.push(msg.clone());
+                pulled.push(Arc::clone(msg));
             }
         }
         for msg in pulled {
@@ -88,8 +90,10 @@ impl Protocol for Pull {
         "PULL"
     }
 
-    fn on_message(&mut self, _ctx: &mut SimCtx<'_>, msg: &Message) {
-        self.nodes[msg.producer.index()].published.push(msg.clone());
+    fn on_message(&mut self, _ctx: &mut SimCtx<'_>, msg: &Arc<Message>) {
+        self.nodes[msg.producer.index()]
+            .published
+            .push(Arc::clone(msg));
     }
 
     fn on_contact(&mut self, ctx: &mut SimCtx<'_>, contact: &ContactEvent, link: &mut Link) {
@@ -126,16 +130,18 @@ mod tests {
 
     #[test]
     fn direct_meeting_delivers() {
-        let trace =
-            ContactTrace::new("d", 2, vec![contact(0, 1, 100, 200)]).unwrap();
+        let trace = ContactTrace::new("d", 2, vec![contact(0, 1, 100, 200)]).unwrap();
         let mut subs = SubscriptionTable::new(2);
         subs.subscribe(NodeId::new(1), "news");
         let sched = vec![message(10, 0, "news")];
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(trace, subs, sched, SimConfig::default());
         let report = sim.run(&mut Pull::new(2));
         assert_eq!(report.delivered, 1);
         assert_eq!(report.forwardings, 1);
-        assert!(report.control_bytes > 0, "interest announcement costs bytes");
+        assert!(
+            report.control_bytes > 0,
+            "interest announcement costs bytes"
+        );
     }
 
     #[test]
@@ -150,7 +156,7 @@ mod tests {
         let mut subs = SubscriptionTable::new(3);
         subs.subscribe(NodeId::new(2), "news");
         let sched = vec![message(10, 0, "news")];
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(trace, subs, sched, SimConfig::default());
         let report = sim.run(&mut Pull::new(3));
         assert_eq!(report.delivered, 0, "no producer-consumer meeting");
         assert_eq!(report.forwardings, 0);
@@ -162,7 +168,7 @@ mod tests {
         let mut subs = SubscriptionTable::new(2);
         subs.subscribe(NodeId::new(1), "sports");
         let sched = vec![message(10, 0, "news"), message(11, 0, "sports")];
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(trace, subs, sched, SimConfig::default());
         let report = sim.run(&mut Pull::new(2));
         assert_eq!(report.delivered, 1);
         assert_eq!(report.forwardings, 1, "only the matching message moves");
@@ -179,7 +185,7 @@ mod tests {
         let mut subs = SubscriptionTable::new(2);
         subs.subscribe(NodeId::new(1), "news");
         let sched = vec![message(10, 0, "news")];
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(trace, subs, sched, SimConfig::default());
         let report = sim.run(&mut Pull::new(2));
         assert_eq!(report.forwardings, 1, "collected set suppresses re-pull");
         assert_eq!(report.delivered, 1);
@@ -195,10 +201,30 @@ mod tests {
             ttl: SimDuration::from_secs(100), // expires at 110 < 500
             ..SimConfig::default()
         };
-        let sim = Simulation::new(&trace, &subs, &sched, config);
+        let sim = Simulation::new(trace, subs, sched, config);
         let report = sim.run(&mut Pull::new(2));
         assert_eq!(report.delivered, 0);
         assert_eq!(report.forwardings, 0);
+    }
+
+    /// Published and pulled copies share one allocation per message.
+    #[test]
+    fn pull_shares_payload_allocation() {
+        let trace = ContactTrace::new("d", 2, vec![contact(0, 1, 100, 200)]).unwrap();
+        let mut subs = SubscriptionTable::new(2);
+        subs.subscribe(NodeId::new(1), "news");
+        let sched = vec![message(10, 0, "news")];
+        let sim = Simulation::new(trace, subs, sched, SimConfig::default());
+        let mut pull = Pull::new(2);
+        let report = sim.run(&mut pull);
+        assert_eq!(report.delivered, 1);
+        let published = &pull.nodes[0].published;
+        assert_eq!(published.len(), 1);
+        assert_eq!(
+            Arc::strong_count(&published[0]),
+            1,
+            "the producer's store owns the only copy after the run"
+        );
     }
 
     #[test]
@@ -206,7 +232,7 @@ mod tests {
         let trace = ContactTrace::new("u", 2, vec![contact(0, 1, 50, 150)]).unwrap();
         let subs = SubscriptionTable::new(2); // nobody subscribed
         let sched = vec![message(10, 0, "news")];
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(trace, subs, sched, SimConfig::default());
         let report = sim.run(&mut Pull::new(2));
         assert_eq!(report.total_bytes(), 0);
     }

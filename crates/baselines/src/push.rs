@@ -2,6 +2,7 @@
 
 use bsub_sim::{Link, Message, Protocol, SimCtx};
 use bsub_traces::{ContactEvent, NodeId};
+use std::sync::Arc;
 
 /// The PUSH baseline: every node replicates every message it stores to
 /// every encountered node that has not received a copy yet, within the
@@ -18,8 +19,10 @@ use bsub_traces::{ContactEvent, NodeId};
 /// keeps full-trace PUSH runs fast despite millions of replications.
 #[derive(Debug)]
 pub struct Push {
-    /// Registry of every generated message, indexed by raw id.
-    messages: Vec<Message>,
+    /// Registry of every generated message, indexed by raw id. Each
+    /// entry shares the simulator's allocation — replication moves ids
+    /// and bits, never payload copies.
+    messages: Vec<Arc<Message>>,
     /// Per-node holdings.
     has: Vec<BitSet>,
     /// Globally expired messages (lazily discovered).
@@ -85,11 +88,11 @@ impl Protocol for Push {
         "PUSH"
     }
 
-    fn on_message(&mut self, ctx: &mut SimCtx<'_>, msg: &Message) {
+    fn on_message(&mut self, ctx: &mut SimCtx<'_>, msg: &Arc<Message>) {
         let id = msg.id.raw() as usize;
         // The simulator assigns ids densely in generation order.
         debug_assert_eq!(id, self.messages.len(), "dense message ids expected");
-        self.messages.push(msg.clone());
+        self.messages.push(Arc::clone(msg));
         self.has[msg.producer.index()].set(id);
         if ctx.subscriptions().is_interested(msg.producer, &msg.key) {
             let _ = ctx.deliver(msg.producer, msg);
@@ -179,7 +182,7 @@ mod tests {
         let mut subs = SubscriptionTable::new(3);
         subs.subscribe(NodeId::new(2), "news");
         let sched = one_message("news");
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(trace, subs, sched, SimConfig::default());
         let report = sim.run(&mut Push::new(3));
         assert_eq!(report.delivered, 1, "two-hop delivery via flooding");
         assert_eq!(report.forwardings, 2, "0→1 and 1→2");
@@ -212,7 +215,7 @@ mod tests {
         let mut subs = SubscriptionTable::new(2);
         subs.subscribe(NodeId::new(1), "news");
         let sched = one_message("news");
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(trace, subs, sched, SimConfig::default());
         let report = sim.run(&mut Push::new(2));
         assert_eq!(report.forwardings, 1);
         assert_eq!(report.delivered, 1);
@@ -228,7 +231,7 @@ mod tests {
             ttl: SimDuration::from_secs(150), // expires at t=160 < 300
             ..SimConfig::default()
         };
-        let sim = Simulation::new(&trace, &subs, &sched, config);
+        let sim = Simulation::new(trace, subs, sched, config);
         let mut push = Push::new(3);
         let report = sim.run(&mut push);
         // First hop may happen (contact at 100 < 160) but the second
@@ -267,10 +270,35 @@ mod tests {
             bytes_per_sec: 150,
             ..SimConfig::default()
         };
-        let sim = Simulation::new(&trace, &subs, &sched, config);
+        let sim = Simulation::new(trace, subs, sched, config);
         let report = sim.run(&mut Push::new(2));
         assert_eq!(report.forwardings, 1);
         assert_eq!(report.delivered, 1);
+    }
+
+    /// Replication shares the payload allocation: after a flooding run
+    /// every copy in the network is a bit in `has`, and the registry
+    /// holds the only strong reference to each message — storing and
+    /// forwarding never clone the payload.
+    #[test]
+    fn replication_shares_payload_allocation() {
+        let mut subs = SubscriptionTable::new(3);
+        subs.subscribe(NodeId::new(2), "news");
+        let sim = Simulation::new(
+            line_trace(),
+            subs,
+            one_message("news"),
+            SimConfig::default(),
+        );
+        let mut push = Push::new(3);
+        let report = sim.run(&mut push);
+        assert_eq!(report.delivered, 1);
+        assert_eq!(push.messages.len(), 1);
+        assert_eq!(
+            Arc::strong_count(&push.messages[0]),
+            1,
+            "flooding to two peers must not copy the payload"
+        );
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! Content matching: TCBF query vs raw-string matching (Section IV-B:
 //! "The content matching using TCBF is also more efficient than the
 //! string matching method"), plus the end-to-end cost of one simulated
-//! B-SUB contact.
+//! B-SUB contact. Since the simulator now shares its world behind
+//! `Arc`s, the simulation benchmark clones no trace data per
+//! iteration — each run only builds a fresh protocol. Runs on the
+//! in-tree [`bsub_bench::microbench`] harness
+//! (`cargo bench -p bsub-bench --bench matching`).
 
+use bsub_bench::microbench::Harness;
 use bsub_bloom::Tcbf;
 use bsub_core::{BsubConfig, BsubProtocol, DfMode};
 use bsub_sim::{SimConfig, Simulation};
@@ -10,53 +15,51 @@ use bsub_traces::synthetic::SyntheticTrace;
 use bsub_traces::SimDuration;
 use bsub_workload::keys::trend_keys;
 use bsub_workload::{interests, WorkloadBuilder};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 /// Match one message key against an interest table of 38 entries,
 /// the raw-string way: linear scan with string equality.
-fn bench_matching(c: &mut Criterion) {
-    let mut group = c.benchmark_group("content_matching");
+fn bench_matching(h: &mut Harness) {
     let interest_strings: Vec<&str> = trend_keys().iter().map(|k| k.name).collect();
     let filter = Tcbf::from_keys(256, 4, 50, interest_strings.iter().copied());
 
     // Worst case for the scan: the key sits at the end of the table.
     let last = *interest_strings.last().expect("non-empty");
-    group.bench_function("raw_string_scan_38", |b| {
-        b.iter(|| {
-            interest_strings
-                .iter()
-                .any(|k| *k == black_box(last))
-        });
+    h.bench("content_matching", "raw_string_scan_38", || {
+        interest_strings.iter().any(|k| *k == black_box(last))
     });
-    group.bench_function("tcbf_query_38", |b| {
-        b.iter(|| filter.contains(black_box(last)));
+    h.bench("content_matching", "tcbf_query_38", || {
+        filter.contains(black_box(last))
     });
-    group.finish();
 }
 
 /// End-to-end: a small B-SUB simulation, amortizing the full contact
 /// pipeline (election, filter exchange, preferential forwarding).
-fn bench_simulation(c: &mut Criterion) {
+fn bench_simulation(h: &mut Harness) {
     let trace = SyntheticTrace::new("bench", 20, SimDuration::from_hours(12), 3000)
         .seed(1)
         .build();
     let subs = interests::assign_interests(trace.node_count(), trend_keys(), 1);
     let schedule = WorkloadBuilder::new(&trace).seed(1).build();
-    let contacts = trace.len() as u64;
+    let sim = Simulation::new(trace, subs.clone(), schedule, SimConfig::default());
+    let contacts = sim.trace().len() as f64;
 
-    let mut group = c.benchmark_group("simulation");
-    group.throughput(criterion::Throughput::Elements(contacts));
-    group.sample_size(10);
-    group.bench_function("bsub_contact_pipeline", |b| {
-        b.iter(|| {
-            let config = BsubConfig::builder().df(DfMode::Fixed(0.1)).build();
-            let mut bsub = BsubProtocol::new(config, &subs);
-            let sim = Simulation::new(&trace, &subs, &schedule, SimConfig::default());
-            black_box(sim.run(&mut bsub))
-        });
+    h.bench("simulation", "bsub_contact_pipeline", || {
+        let config = BsubConfig::builder().df(DfMode::Fixed(0.1)).build();
+        let mut bsub = BsubProtocol::new(config, &subs);
+        black_box(sim.run(&mut bsub))
     });
-    group.finish();
+    if let Some(m) = h.results().last() {
+        eprintln!(
+            "simulation/bsub_contact_pipeline: {:.1} ns/contact over {contacts} contacts",
+            m.nanos() / contacts,
+        );
+    }
 }
 
-criterion_group!(benches, bench_matching, bench_simulation);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_matching(&mut h);
+    bench_simulation(&mut h);
+    h.report("matching — TCBF vs raw-string matching");
+}

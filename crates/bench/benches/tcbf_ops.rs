@@ -2,12 +2,14 @@
 //! "simple and fast" claims (Sections IV-B and V-A): insertion,
 //! existential and preferential queries, the two merges, decay, and
 //! the compressed wire codec, with classic BF/CBF operations for
-//! scale.
+//! scale. Runs on the in-tree [`bsub_bench::microbench`] harness
+//! (`cargo bench -p bsub-bench --bench tcbf_ops`).
 
+use bsub_bench::microbench::Harness;
 use bsub_bloom::wire::{self, CounterMode};
 use bsub_bloom::{BloomFilter, CountingBloomFilter, Tcbf};
 use bsub_workload::keys::trend_keys;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 const M: usize = 256;
 const K: usize = 4;
@@ -17,96 +19,86 @@ fn loaded_tcbf(n: usize) -> Tcbf {
     Tcbf::from_keys(M, K, C, trend_keys().iter().take(n).map(|k| k.name))
 }
 
-fn bench_inserts(c: &mut Criterion) {
-    let mut group = c.benchmark_group("insert");
-    group.bench_function("bloom", |b| {
-        let mut f = BloomFilter::new(M, K);
-        b.iter(|| f.insert(black_box("NewMoon")));
+fn bench_inserts(h: &mut Harness) {
+    let mut bloom = BloomFilter::new(M, K);
+    h.bench("insert", "bloom", || bloom.insert(black_box("NewMoon")));
+    let mut cbf = CountingBloomFilter::new(M, K);
+    h.bench("insert", "cbf", || cbf.insert(black_box("NewMoon")));
+    // The TCBF rejects duplicate inserts, so each iteration needs a
+    // fresh filter; the clone cost is part of the measured loop.
+    let empty = Tcbf::new(M, K, C);
+    h.bench("insert", "tcbf_clone_and_insert", || {
+        let mut f = empty.clone();
+        f.insert(black_box("NewMoon")).expect("fresh");
+        f
     });
-    group.bench_function("cbf", |b| {
-        let mut f = CountingBloomFilter::new(M, K);
-        b.iter(|| f.insert(black_box("NewMoon")));
-    });
-    group.bench_function("tcbf", |b| {
-        b.iter_batched(
-            || Tcbf::new(M, K, C),
-            |mut f| f.insert(black_box("NewMoon")).expect("fresh"),
-            criterion::BatchSize::SmallInput,
-        );
-    });
-    group.finish();
 }
 
-fn bench_queries(c: &mut Criterion) {
-    let mut group = c.benchmark_group("query");
+fn bench_queries(h: &mut Harness) {
     let tcbf = loaded_tcbf(38);
     let bloom = tcbf.to_bloom();
-    group.bench_function("bloom_hit", |b| {
-        b.iter(|| bloom.contains(black_box("NewMoon")));
+    h.bench("query", "bloom_hit", || {
+        bloom.contains(black_box("NewMoon"))
     });
-    group.bench_function("tcbf_existential_hit", |b| {
-        b.iter(|| tcbf.contains(black_box("NewMoon")));
+    h.bench("query", "tcbf_existential_hit", || {
+        tcbf.contains(black_box("NewMoon"))
     });
-    group.bench_function("tcbf_existential_miss", |b| {
-        b.iter(|| tcbf.contains(black_box("definitely-absent")));
+    h.bench("query", "tcbf_existential_miss", || {
+        tcbf.contains(black_box("definitely-absent"))
     });
-    group.bench_function("tcbf_min_counter", |b| {
-        b.iter(|| tcbf.min_counter(black_box("NewMoon")));
+    h.bench("query", "tcbf_min_counter", || {
+        tcbf.min_counter(black_box("NewMoon"))
     });
     let other = loaded_tcbf(20);
-    group.bench_function("tcbf_preferential", |b| {
-        b.iter(|| tcbf.preference(&other, black_box("NewMoon")).expect("params"));
+    h.bench("query", "tcbf_preferential", || {
+        tcbf.preference(&other, black_box("NewMoon"))
+            .expect("params")
     });
-    group.finish();
 }
 
-fn bench_merges(c: &mut Criterion) {
-    let mut group = c.benchmark_group("merge");
+fn bench_merges(h: &mut Harness) {
     let left = loaded_tcbf(20);
     let right = loaded_tcbf(38);
-    group.bench_function("a_merge", |b| {
-        b.iter_batched(
-            || left.clone(),
-            |mut f| f.a_merge(black_box(&right)).expect("params"),
-            criterion::BatchSize::SmallInput,
-        );
+    h.bench("merge", "a_merge", || {
+        let mut f = left.clone();
+        f.a_merge(black_box(&right)).expect("params");
+        f
     });
-    group.bench_function("m_merge", |b| {
-        b.iter_batched(
-            || left.clone(),
-            |mut f| f.m_merge(black_box(&right)).expect("params"),
-            criterion::BatchSize::SmallInput,
-        );
+    h.bench("merge", "m_merge", || {
+        let mut f = left.clone();
+        f.m_merge(black_box(&right)).expect("params");
+        f
     });
-    group.bench_function("decay", |b| {
-        b.iter_batched(
-            || right.clone(),
-            |mut f| f.decay(black_box(3)),
-            criterion::BatchSize::SmallInput,
-        );
+    h.bench("merge", "decay", || {
+        let mut f = right.clone();
+        f.decay(black_box(3));
+        f
     });
-    group.finish();
 }
 
-fn bench_wire(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wire");
+fn bench_wire(h: &mut Harness) {
     let filter = loaded_tcbf(38);
     let full = wire::encode(&filter, CounterMode::Full).expect("encodes");
     let ripped = wire::encode(&filter, CounterMode::Ripped).expect("encodes");
-    group.bench_function("encode_full", |b| {
-        b.iter(|| wire::encode(black_box(&filter), CounterMode::Full).expect("encodes"));
+    h.bench("wire", "encode_full", || {
+        wire::encode(black_box(&filter), CounterMode::Full).expect("encodes")
     });
-    group.bench_function("encode_ripped", |b| {
-        b.iter(|| wire::encode(black_box(&filter), CounterMode::Ripped).expect("encodes"));
+    h.bench("wire", "encode_ripped", || {
+        wire::encode(black_box(&filter), CounterMode::Ripped).expect("encodes")
     });
-    group.bench_function("decode_full", |b| {
-        b.iter(|| wire::decode(black_box(&full)).expect("decodes"));
+    h.bench("wire", "decode_full", || {
+        wire::decode(black_box(&full)).expect("decodes")
     });
-    group.bench_function("decode_ripped", |b| {
-        b.iter(|| wire::decode(black_box(&ripped)).expect("decodes"));
+    h.bench("wire", "decode_ripped", || {
+        wire::decode(black_box(&ripped)).expect("decodes")
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_inserts, bench_queries, bench_merges, bench_wire);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_inserts(&mut h);
+    bench_queries(&mut h);
+    bench_merges(&mut h);
+    bench_wire(&mut h);
+    h.report("tcbf_ops — TCBF primitive operations");
+}

@@ -1,12 +1,12 @@
 //! One function per table/figure of the paper. See DESIGN.md §3 for
 //! the experiment index and EXPERIMENTS.md for recorded results.
 
-use crate::output::{f1, f3, f4, render_table, write_csv};
+use crate::engine::{Executor, RunSpec, SweepSpec};
+use crate::output::{f1, f3, f4, record_perf, render_table, write_csv};
 use crate::{Experiment, ProtocolKind, MASTER_SEED};
 use bsub_bloom::wire::{self, CounterMode};
 use bsub_bloom::{math, AllocationPlan, Tcbf};
 use bsub_core::{BrokerPolicy, BsubConfig, BsubProtocol, DfMode, ForwardingPolicy, MergeRule};
-use bsub_sim::{SimConfig, Simulation};
 use bsub_traces::stats::TraceStats;
 use bsub_traces::SimDuration;
 use bsub_workload::keys::{average_key_len, trend_keys};
@@ -61,7 +61,10 @@ pub fn table1() {
         "mean degree",
         "paper (nodes/contacts/days)",
     ];
-    print!("{}", render_table("Table I — trace parameters", &headers, &rows));
+    print!(
+        "{}",
+        render_table("Table I — trace parameters", &headers, &rows)
+    );
     write_csv("table1", &headers, &rows);
 }
 
@@ -75,25 +78,55 @@ pub fn table2() {
         .iter()
         .take(4)
         .map(|k| {
-            let subscribed = e
-                .subscriptions
-                .subscribers_of(k.name)
-                .count() as f64;
-            vec![
-                k.name.to_string(),
-                f4(k.weight),
-                f4(subscribed / n),
-            ]
+            let subscribed = e.subscriptions.subscribers_of(k.name).count() as f64;
+            vec![k.name.to_string(), f4(k.weight), f4(subscribed / n)]
         })
         .collect();
     let headers = ["key", "paper weight", "assigned share (79 nodes)"];
-    print!("{}", render_table("Table II — top-4 key weights", &headers, &rows));
+    print!(
+        "{}",
+        render_table("Table II — top-4 key weights", &headers, &rows)
+    );
     println!(
         "38 keys total, weight sum {:.4}, average key length {:.1} bytes (paper: 11.5)",
         keys.iter().map(|k| k.weight).sum::<f64>(),
         average_key_len(keys),
     );
     write_csv("table2", &headers, &rows);
+}
+
+/// Declares the shared TTL sweep of Figs. 7 and 8 — every
+/// (TTL, protocol) pair as an independent run.
+#[must_use]
+pub fn ttl_sweep_spec(figure: &str, experiment: &Experiment) -> SweepSpec {
+    let mut runs = Vec::new();
+    for &mins in &TTL_GRID_MINS {
+        let ttl = SimDuration::from_mins(mins);
+        let df = experiment.df_for_ttl(ttl);
+        let protocols = [
+            ("push", ProtocolKind::Push),
+            (
+                "bsub",
+                ProtocolKind::Bsub {
+                    df: DfMode::Fixed(df),
+                },
+            ),
+            ("pull", ProtocolKind::Pull),
+        ];
+        for (label, kind) in protocols {
+            runs.push(RunSpec {
+                point: mins.to_string(),
+                label: label.to_string(),
+                sim: experiment.sim(ttl),
+                factory: experiment.factory(kind, ttl),
+            });
+        }
+    }
+    SweepSpec {
+        name: figure.to_string(),
+        master_seed: MASTER_SEED,
+        runs,
+    }
 }
 
 /// Shared TTL sweep for Figs. 7 and 8: delivery ratio, delay, and
@@ -111,32 +144,29 @@ fn ttl_sweep(figure: &str, experiment: &Experiment) {
         "bsub_fwd",
         "pull_fwd",
     ];
-    let mut rows = Vec::new();
-    for &mins in &TTL_GRID_MINS {
-        let ttl = SimDuration::from_mins(mins);
-        let df = experiment.df_for_ttl(ttl);
-        let push = experiment.run(ProtocolKind::Push, ttl);
-        let bsub = experiment.run(
-            ProtocolKind::Bsub {
-                df: DfMode::Fixed(df),
-            },
-            ttl,
-        );
-        let pull = experiment.run(ProtocolKind::Pull, ttl);
-        rows.push(vec![
-            mins.to_string(),
-            f3(push.delivery_ratio()),
-            f3(bsub.delivery_ratio()),
-            f3(pull.delivery_ratio()),
-            f1(push.mean_delay_mins()),
-            f1(bsub.mean_delay_mins()),
-            f1(pull.mean_delay_mins()),
-            f1(push.forwardings_per_delivered()),
-            f1(bsub.forwardings_per_delivered()),
-            f1(pull.forwardings_per_delivered()),
-        ]);
-        eprintln!("[{figure}] ttl={mins}min df={df:.3}/min done");
-    }
+    let spec = ttl_sweep_spec(figure, experiment);
+    let outcome = Executor::from_env().run(&spec);
+    let rows: Vec<Vec<String>> = outcome
+        .records
+        .chunks(3)
+        .map(|point| {
+            let [push, bsub, pull] = point else {
+                unreachable!("three protocols per TTL point")
+            };
+            vec![
+                push.point.clone(),
+                f3(push.report.delivery_ratio()),
+                f3(bsub.report.delivery_ratio()),
+                f3(pull.report.delivery_ratio()),
+                f1(push.report.mean_delay_mins()),
+                f1(bsub.report.mean_delay_mins()),
+                f1(pull.report.mean_delay_mins()),
+                f1(push.report.forwardings_per_delivered()),
+                f1(bsub.report.forwardings_per_delivered()),
+                f1(pull.report.forwardings_per_delivered()),
+            ]
+        })
+        .collect();
     print!(
         "{}",
         render_table(
@@ -146,6 +176,7 @@ fn ttl_sweep(figure: &str, experiment: &Experiment) {
         )
     );
     write_csv(figure, &headers, &rows);
+    record_perf(&outcome);
 }
 
 /// Fig. 7 — the three TTL-sweep panels on the Haggle-like trace.
@@ -158,10 +189,37 @@ pub fn fig8() {
     ttl_sweep("fig8", &Experiment::reality(MASTER_SEED));
 }
 
+/// Declares the Fig. 9 DF sweep — every (DF, trace) pair as an
+/// independent run at TTL = 20 h.
+#[must_use]
+pub fn df_sweep_spec(haggle: &Experiment, reality: &Experiment) -> SweepSpec {
+    let ttl = SimDuration::from_hours(20);
+    let mut runs = Vec::new();
+    for &df in &DF_GRID {
+        let mode = if df == 0.0 {
+            DfMode::Disabled
+        } else {
+            DfMode::Fixed(df)
+        };
+        for (label, env) in [("haggle", haggle), ("reality", reality)] {
+            runs.push(RunSpec {
+                point: format!("{df:.2}"),
+                label: label.to_string(),
+                sim: env.sim(ttl),
+                factory: env.factory(ProtocolKind::Bsub { df: mode }, ttl),
+            });
+        }
+    }
+    SweepSpec {
+        name: "fig9".to_string(),
+        master_seed: MASTER_SEED,
+        runs,
+    }
+}
+
 /// Fig. 9 — the four metrics vs the decaying factor, both traces,
 /// TTL = 20 h.
 pub fn fig9() {
-    let ttl = SimDuration::from_hours(20);
     let headers = [
         "df_per_min",
         "haggle_delivery",
@@ -175,33 +233,38 @@ pub fn fig9() {
     ];
     let haggle = Experiment::haggle(MASTER_SEED);
     let reality = Experiment::reality(MASTER_SEED);
-    let mut rows = Vec::new();
-    for &df in &DF_GRID {
-        let mode = if df == 0.0 {
-            DfMode::Disabled
-        } else {
-            DfMode::Fixed(df)
-        };
-        let h = haggle.run(ProtocolKind::Bsub { df: mode }, ttl);
-        let r = reality.run(ProtocolKind::Bsub { df: mode }, ttl);
-        rows.push(vec![
-            format!("{df:.2}"),
-            f3(h.delivery_ratio()),
-            f3(r.delivery_ratio()),
-            f1(h.mean_delay_mins()),
-            f1(r.mean_delay_mins()),
-            f1(h.forwardings_per_delivered()),
-            f1(r.forwardings_per_delivered()),
-            f4(h.injection_fpr()),
-            f4(r.injection_fpr()),
-        ]);
-        eprintln!("[fig9] df={df} done");
-    }
+    let spec = df_sweep_spec(&haggle, &reality);
+    let outcome = Executor::from_env().run(&spec);
+    let rows: Vec<Vec<String>> = outcome
+        .records
+        .chunks(2)
+        .map(|point| {
+            let [h, r] = point else {
+                unreachable!("two traces per DF point")
+            };
+            vec![
+                h.point.clone(),
+                f3(h.report.delivery_ratio()),
+                f3(r.report.delivery_ratio()),
+                f1(h.report.mean_delay_mins()),
+                f1(r.report.mean_delay_mins()),
+                f1(h.report.forwardings_per_delivered()),
+                f1(r.report.forwardings_per_delivered()),
+                f4(h.report.injection_fpr()),
+                f4(r.report.injection_fpr()),
+            ]
+        })
+        .collect();
     print!(
         "{}",
-        render_table("fig9 — four metrics vs decaying factor (TTL = 20 h)", &headers, &rows)
+        render_table(
+            "fig9 — four metrics vs decaying factor (TTL = 20 h)",
+            &headers,
+            &rows
+        )
     );
     write_csv("fig9", &headers, &rows);
+    record_perf(&outcome);
 }
 
 /// Ablation study of B-SUB's design choices (not a paper figure, but
@@ -251,31 +314,42 @@ pub fn ablation() {
         ),
     ];
 
-    let mut rows = Vec::new();
-    for (name, config) in variants {
-        let mut bsub = BsubProtocol::new(config, &experiment.subscriptions);
-        let sim_config = SimConfig {
-            ttl,
-            ..SimConfig::default()
-        };
-        let sim = Simulation::new(
-            &experiment.trace,
-            &experiment.subscriptions,
-            &experiment.schedule,
-            sim_config,
-        );
-        let r = sim.run(&mut bsub);
-        rows.push(vec![
-            name.to_string(),
-            f3(r.delivery_ratio()),
-            f1(r.mean_delay_mins()),
-            f1(r.forwardings_per_delivered()),
-            f4(r.injection_fpr()),
-            f3(bsub.broker_fraction()),
-            bsub.max_relay_counter().to_string(),
-        ]);
-        eprintln!("[ablation] {name} done");
-    }
+    let spec = SweepSpec {
+        name: "ablation".to_string(),
+        master_seed: MASTER_SEED,
+        runs: variants
+            .iter()
+            .map(|(name, config)| RunSpec {
+                point: (*name).to_string(),
+                label: "bsub".to_string(),
+                sim: experiment.sim(ttl),
+                factory: experiment.bsub_factory(config.clone()),
+            })
+            .collect(),
+    };
+    let outcome = Executor::from_env().run(&spec);
+    let rows: Vec<Vec<String>> = outcome
+        .records
+        .iter()
+        .map(|record| {
+            // The engine hands the protocol back in its end-of-run
+            // state; recover the concrete type for B-SUB's own
+            // diagnostics.
+            let bsub = (record.protocol.as_ref() as &dyn std::any::Any)
+                .downcast_ref::<BsubProtocol>()
+                .expect("ablation runs BsubProtocol");
+            let r = &record.report;
+            vec![
+                record.point.clone(),
+                f3(r.delivery_ratio()),
+                f1(r.mean_delay_mins()),
+                f1(r.forwardings_per_delivered()),
+                f4(r.injection_fpr()),
+                f3(bsub.broker_fraction()),
+                bsub.max_relay_counter().to_string(),
+            ]
+        })
+        .collect();
     let headers = [
         "variant",
         "delivery",
@@ -294,6 +368,7 @@ pub fn ablation() {
         )
     );
     write_csv("ablation", &headers, &rows);
+    record_perf(&outcome);
 }
 
 /// Section VI-C / VII-A analysis artifacts: worst-case FPR, memory
@@ -327,9 +402,15 @@ pub fn analysis() {
         let subset: Vec<&str> = keys.iter().take(n).map(|k| k.name).collect();
         let filter = Tcbf::from_keys(256, 4, 50, subset.iter().map(|s| s.as_bytes()));
         let raw = wire::raw_strings_len(subset.iter().copied());
-        let full = wire::encode(&filter, CounterMode::Full).expect("encodes").len();
-        let shared = wire::encode(&filter, CounterMode::Shared).expect("encodes").len();
-        let ripped = wire::encode(&filter, CounterMode::Ripped).expect("encodes").len();
+        let full = wire::encode(&filter, CounterMode::Full)
+            .expect("encodes")
+            .len();
+        let shared = wire::encode(&filter, CounterMode::Shared)
+            .expect("encodes")
+            .len();
+        let ripped = wire::encode(&filter, CounterMode::Ripped)
+            .expect("encodes")
+            .len();
         rows.push(vec![
             n.to_string(),
             raw.to_string(),
@@ -403,11 +484,7 @@ pub fn analysis() {
     let mut rows = Vec::new();
     for ncol in [10u64, 50, 100, 300, 800] {
         let unique = math::expected_unique_keys(ncol as f64, 1.0, 38);
-        rows.push(vec![
-            ncol.to_string(),
-            f1(unique),
-            f3(unique / ncol as f64),
-        ]);
+        rows.push(vec![ncol.to_string(), f1(unique), f3(unique / ncol as f64)]);
     }
     let headers = ["keys collected ℕ", "unique (Eq.6)", "unique/collected"];
     print!(

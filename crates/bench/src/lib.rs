@@ -3,31 +3,42 @@
 //! EXPERIMENTS.md for paper-vs-measured results).
 //!
 //! Each `fig*`/`table*` binary in `src/bin/` is a thin wrapper around
-//! a function in [`experiments`]; the functions print aligned tables
-//! to stdout and write machine-readable CSV into `results/`.
+//! a function in [`experiments`]. Sweep-style experiments are
+//! *declared* as [`engine::SweepSpec`]s and executed by the
+//! deterministic parallel [`engine::Executor`]; the functions print
+//! aligned tables to stdout and write machine-readable CSV into
+//! `results/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod engine;
 pub mod experiments;
+pub mod microbench;
 pub mod output;
 
 use bsub_baselines::{Pull, Push};
 use bsub_core::{BsubConfig, BsubProtocol, DfMode};
-use bsub_sim::{GeneratedMessage, SimConfig, SimReport, Simulation, SubscriptionTable};
+use bsub_sim::{
+    GeneratedMessage, Protocol, ProtocolFactory, SimConfig, SimReport, Simulation,
+    SubscriptionTable,
+};
 use bsub_traces::{ContactTrace, SimDuration};
 use bsub_workload::{interests, keys, WorkloadBuilder};
+use std::sync::Arc;
 
 /// A fully prepared evaluation environment: trace, ground-truth
-/// subscriptions, and a message schedule, all from one seed.
-#[derive(Debug)]
+/// subscriptions, and a message schedule, all from one seed. All
+/// three are `Arc`-shared, so cloning an `Experiment` (or building
+/// many [`Simulation`]s from one) never copies the world.
+#[derive(Debug, Clone)]
 pub struct Experiment {
     /// The contact trace driving the simulation.
-    pub trace: ContactTrace,
+    pub trace: Arc<ContactTrace>,
     /// Ground-truth subscriptions (one weighted key per node).
-    pub subscriptions: SubscriptionTable,
+    pub subscriptions: Arc<SubscriptionTable>,
     /// The centrality-scaled message schedule.
-    pub schedule: Vec<GeneratedMessage>,
+    pub schedule: Arc<[GeneratedMessage]>,
 }
 
 /// The master seed all experiment binaries use, so every figure is
@@ -42,9 +53,9 @@ impl Experiment {
             interests::assign_interests(trace.node_count(), keys::trend_keys(), seed ^ 0x1111);
         let schedule = WorkloadBuilder::new(&trace).seed(seed ^ 0x2222).build();
         Self {
-            trace,
-            subscriptions,
-            schedule,
+            trace: Arc::new(trace),
+            subscriptions: Arc::new(subscriptions),
+            schedule: schedule.into(),
         }
     }
 
@@ -60,23 +71,57 @@ impl Experiment {
         Self::over(bsub_traces::synthetic::reality_like(seed), seed)
     }
 
-    /// Runs one protocol over this environment with the given TTL.
+    /// A [`Simulation`] over this environment with the given TTL —
+    /// the world is shared, not copied.
     #[must_use]
-    pub fn run(&self, protocol: ProtocolKind, ttl: SimDuration) -> SimReport {
+    pub fn sim(&self, ttl: SimDuration) -> Simulation {
         let config = SimConfig {
             ttl,
             ..SimConfig::default()
         };
-        let sim = Simulation::new(&self.trace, &self.subscriptions, &self.schedule, config);
+        Simulation::new(
+            Arc::clone(&self.trace),
+            Arc::clone(&self.subscriptions),
+            Arc::clone(&self.schedule),
+            config,
+        )
+    }
+
+    /// A factory producing fresh instances of the given protocol for
+    /// this environment (the TTL feeds B-SUB's delay budget).
+    #[must_use]
+    pub fn factory(&self, protocol: ProtocolKind, ttl: SimDuration) -> Box<dyn ProtocolFactory> {
+        let nodes = self.trace.node_count();
         match protocol {
-            ProtocolKind::Push => sim.run(&mut Push::new(self.trace.node_count())),
-            ProtocolKind::Pull => sim.run(&mut Pull::new(self.trace.node_count())),
+            ProtocolKind::Push => {
+                Box::new(move |_seed: u64| Box::new(Push::new(nodes)) as Box<dyn Protocol>)
+            }
+            ProtocolKind::Pull => {
+                Box::new(move |_seed: u64| Box::new(Pull::new(nodes)) as Box<dyn Protocol>)
+            }
             ProtocolKind::Bsub { df } => {
                 let config = BsubConfig::builder().df(df).delay_limit(ttl).build();
-                let mut bsub = BsubProtocol::new(config, &self.subscriptions);
-                sim.run(&mut bsub)
+                self.bsub_factory(config)
             }
         }
+    }
+
+    /// A factory producing fresh [`BsubProtocol`] instances with an
+    /// explicit configuration (for ablations).
+    #[must_use]
+    pub fn bsub_factory(&self, config: BsubConfig) -> Box<dyn ProtocolFactory> {
+        let subscriptions = Arc::clone(&self.subscriptions);
+        Box::new(move |_seed: u64| {
+            Box::new(BsubProtocol::new(config.clone(), &subscriptions)) as Box<dyn Protocol>
+        })
+    }
+
+    /// Runs one protocol over this environment with the given TTL.
+    #[must_use]
+    pub fn run(&self, protocol: ProtocolKind, ttl: SimDuration) -> SimReport {
+        let factory = self.factory(protocol, ttl);
+        let (report, _) = self.sim(ttl).run_factory(factory.as_ref(), 0);
+        report
     }
 
     /// The Eq. 5 decaying factor for a given TTL, exactly as the paper
@@ -132,6 +177,16 @@ mod tests {
     }
 
     #[test]
+    fn experiment_clone_shares_the_world() {
+        let e = tiny();
+        let clone = e.clone();
+        assert!(Arc::ptr_eq(&e.trace, &clone.trace));
+        assert!(Arc::ptr_eq(&e.subscriptions, &clone.subscriptions));
+        let sim = e.sim(SimDuration::from_hours(1));
+        assert!(Arc::ptr_eq(sim.trace(), &e.trace));
+    }
+
+    #[test]
     fn protocol_ordering_holds_on_tiny_trace() {
         let e = tiny();
         let ttl = SimDuration::from_hours(3);
@@ -165,5 +220,16 @@ mod tests {
         let a = e.run(ProtocolKind::Push, ttl);
         let b = e.run(ProtocolKind::Push, ttl);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn factory_builds_independent_instances() {
+        let e = tiny();
+        let ttl = SimDuration::from_hours(2);
+        let factory = e.factory(ProtocolKind::Push, ttl);
+        let sim = e.sim(ttl);
+        let (first, _) = sim.run_factory(factory.as_ref(), 1);
+        let (second, _) = sim.run_factory(factory.as_ref(), 2);
+        assert_eq!(first, second, "fresh protocol per run, no state bleed");
     }
 }

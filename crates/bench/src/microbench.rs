@@ -1,0 +1,123 @@
+//! A minimal in-tree timing harness for the `benches/` targets.
+//!
+//! The workspace builds offline with no external dependencies, so
+//! instead of `criterion` the microbenchmarks use this module: warm
+//! up, run timed batches, and report the median batch's per-iteration
+//! cost. It is deliberately small — good enough to compare the cost
+//! of TCBF primitives and catch order-of-magnitude regressions, not a
+//! statistics suite.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed batches per benchmark; the median is reported.
+const BATCHES: usize = 15;
+/// Target wall-clock duration of one batch.
+const BATCH_TARGET: Duration = Duration::from_millis(20);
+
+/// One measured benchmark: median per-iteration time.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Median per-iteration duration across batches.
+    pub per_iter: Duration,
+    /// Iterations per timed batch.
+    pub iters_per_batch: u64,
+}
+
+impl Measurement {
+    /// Nanoseconds per iteration, as a float for display.
+    #[must_use]
+    pub fn nanos(&self) -> f64 {
+        self.per_iter.as_secs_f64() * 1e9
+    }
+}
+
+/// A named collection of benchmarks that prints a summary table.
+#[derive(Debug, Default)]
+pub struct Harness {
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// An empty harness.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `body` and records it under `group/name`. The closure's
+    /// return value is passed through [`std::hint::black_box`] so the
+    /// optimizer cannot delete the measured work.
+    pub fn bench<T>(&mut self, group: &str, name: &str, mut body: impl FnMut() -> T) {
+        // Warm up and size the batch so one batch lasts ~BATCH_TARGET.
+        let calibration_started = Instant::now();
+        let mut calibration_iters: u64 = 0;
+        while calibration_started.elapsed() < Duration::from_millis(5) {
+            std::hint::black_box(body());
+            calibration_iters += 1;
+        }
+        let per_iter = Duration::from_millis(5).as_secs_f64() / calibration_iters.max(1) as f64;
+        let iters = ((BATCH_TARGET.as_secs_f64() / per_iter) as u64).clamp(1, 50_000_000);
+
+        let mut batches: Vec<Duration> = (0..BATCHES)
+            .map(|_| {
+                let started = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(body());
+                }
+                started.elapsed()
+            })
+            .collect();
+        batches.sort();
+        let median = batches[BATCHES / 2];
+        let measurement = Measurement {
+            id: format!("{group}/{name}"),
+            per_iter: median / u32::try_from(iters).unwrap_or(u32::MAX),
+            iters_per_batch: iters,
+        };
+        eprintln!(
+            "{:<40} {:>12.1} ns/iter ({} iters/batch)",
+            measurement.id,
+            measurement.nanos(),
+            measurement.iters_per_batch,
+        );
+        self.results.push(measurement);
+    }
+
+    /// The recorded measurements, in bench order.
+    #[must_use]
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Prints the summary table to stdout.
+    pub fn report(&self, title: &str) {
+        println!("\n== {title} ==");
+        println!("{:<40} {:>14}", "benchmark", "median ns/iter");
+        println!("{}", "-".repeat(56));
+        for m in &self.results {
+            println!("{:<40} {:>14.1}", m.id, m.nanos());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut h = Harness::new();
+        let mut x: u64 = 1;
+        h.bench("unit", "wrapping_mul", || {
+            x = x.wrapping_mul(6_364_136_223_846_793_005);
+            x
+        });
+        assert_eq!(h.results().len(), 1);
+        let m = &h.results()[0];
+        assert_eq!(m.id, "unit/wrapping_mul");
+        assert!(m.per_iter > Duration::ZERO);
+        assert!(m.iters_per_batch >= 1);
+    }
+}

@@ -1,7 +1,15 @@
-//! Table and CSV output helpers for the experiment binaries.
+//! Table, CSV, and perf-trajectory output helpers for the experiment
+//! binaries.
+//!
+//! Figure CSVs must stay byte-identical across executor worker counts
+//! (see `engine`'s determinism contract), so wall-clock data never
+//! goes into them — [`record_perf`] writes it to separate artifacts.
 
+use crate::engine::SweepOutcome;
 use std::fmt::Write as _;
 use std::fs;
+use std::fs::OpenOptions;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Prints an aligned text table and returns it as a string.
@@ -60,6 +68,48 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("[written {}]", path.display());
 }
 
+/// Records a sweep's timing: per-run wall clocks as
+/// `results/perf_<name>.csv` (a snapshot, overwritten each run) and
+/// one summary line appended to `results/bench_perf.jsonl` (the
+/// cross-run perf trajectory).
+pub fn record_perf(outcome: &SweepOutcome) {
+    let headers = ["index", "point", "label", "seed", "wall_ms"];
+    let rows: Vec<Vec<String>> = outcome
+        .records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            vec![
+                i.to_string(),
+                r.point.clone(),
+                r.label.clone(),
+                r.seed.to_string(),
+                format!("{:.3}", r.wall.as_secs_f64() * 1e3),
+            ]
+        })
+        .collect();
+    write_csv(&format!("perf_{}", outcome.name), &headers, &rows);
+
+    let line = format!(
+        "{{\"experiment\":\"{}\",\"workers\":{},\"runs\":{},\"total_ms\":{:.3},\"cpu_ms\":{:.3},\"speedup\":{:.3}}}\n",
+        outcome.name,
+        outcome.workers,
+        outcome.records.len(),
+        outcome.total_wall.as_secs_f64() * 1e3,
+        outcome.cpu_wall().as_secs_f64() * 1e3,
+        outcome.speedup(),
+    );
+    let path = results_dir().join("bench_perf.jsonl");
+    let mut file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .expect("open perf trajectory");
+    file.write_all(line.as_bytes())
+        .expect("append perf trajectory");
+    println!("[appended {}]", path.display());
+}
+
 /// Formats a float with three decimals.
 #[must_use]
 pub fn f3(x: f64) -> String {
@@ -108,12 +158,11 @@ mod tests {
 
     #[test]
     fn csv_roundtrip() {
-        std::env::set_var("BSUB_RESULTS_DIR", std::env::temp_dir().join("bsub-test-results"));
-        write_csv(
-            "unit-test",
-            &["x", "y"],
-            &[vec!["1".into(), "2".into()]],
+        std::env::set_var(
+            "BSUB_RESULTS_DIR",
+            std::env::temp_dir().join("bsub-test-results"),
         );
+        write_csv("unit-test", &["x", "y"], &[vec!["1".into(), "2".into()]]);
         let path = results_dir().join("unit-test.csv");
         let content = fs::read_to_string(path).unwrap();
         assert_eq!(content, "x,y\n1,2\n");

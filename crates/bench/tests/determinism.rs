@@ -1,0 +1,131 @@
+//! The executor's determinism contract, end to end: for fig7- and
+//! fig9-shaped sweeps, the records (reports, seeds, labels — and
+//! therefore any CSV rendered from them) are bit-identical whether
+//! the sweep runs on 1, 2, or 8 workers.
+
+use bsub_bench::engine::{Executor, RunSpec, SweepOutcome, SweepSpec};
+use bsub_bench::{Experiment, ProtocolKind};
+use bsub_core::DfMode;
+use bsub_traces::SimDuration;
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn tiny(name: &str, seed: u64) -> Experiment {
+    let trace =
+        bsub_traces::synthetic::SyntheticTrace::new(name, 14, SimDuration::from_hours(8), 900)
+            .seed(seed)
+            .build();
+    Experiment::over(trace, seed)
+}
+
+/// A fig7-shaped sweep: a TTL grid crossed with PUSH / B-SUB / PULL
+/// over one environment.
+fn fig7_shaped() -> SweepSpec {
+    let experiment = tiny("t7", 31);
+    let mut runs = Vec::new();
+    for mins in [30u64, 90, 240] {
+        let ttl = SimDuration::from_mins(mins);
+        let df = experiment.df_for_ttl(ttl);
+        let protocols = [
+            ("push", ProtocolKind::Push),
+            (
+                "bsub",
+                ProtocolKind::Bsub {
+                    df: DfMode::Fixed(df),
+                },
+            ),
+            ("pull", ProtocolKind::Pull),
+        ];
+        for (label, kind) in protocols {
+            runs.push(RunSpec {
+                point: mins.to_string(),
+                label: label.to_string(),
+                sim: experiment.sim(ttl),
+                factory: experiment.factory(kind, ttl),
+            });
+        }
+    }
+    SweepSpec {
+        name: "fig7-shaped".into(),
+        master_seed: 7,
+        runs,
+    }
+}
+
+/// A fig9-shaped sweep: a DF grid crossed with two environments.
+fn fig9_shaped() -> SweepSpec {
+    let ttl = SimDuration::from_hours(4);
+    let first = tiny("t9a", 41);
+    let second = tiny("t9b", 43);
+    let mut runs = Vec::new();
+    for df in [0.0f64, 0.25, 1.0, 2.0] {
+        let mode = if df == 0.0 {
+            DfMode::Disabled
+        } else {
+            DfMode::Fixed(df)
+        };
+        for (label, env) in [("first", &first), ("second", &second)] {
+            runs.push(RunSpec {
+                point: format!("{df:.2}"),
+                label: label.to_string(),
+                sim: env.sim(ttl),
+                factory: env.factory(ProtocolKind::Bsub { df: mode }, ttl),
+            });
+        }
+    }
+    SweepSpec {
+        name: "fig9-shaped".into(),
+        master_seed: 9,
+        runs,
+    }
+}
+
+/// Flattens everything deterministic about an outcome (wall-clock
+/// excluded by design) into a comparable string.
+fn fingerprint(outcome: &SweepOutcome) -> String {
+    outcome
+        .records
+        .iter()
+        .map(|r| format!("{}|{}|{}|{:?}\n", r.point, r.label, r.seed, r.report))
+        .collect()
+}
+
+fn assert_identical_across_workers(build: impl Fn() -> SweepSpec) {
+    let baseline = fingerprint(&Executor::with_workers(1).run(&build()));
+    assert!(!baseline.is_empty());
+    for workers in WORKER_COUNTS {
+        let outcome = Executor::with_workers(workers).run(&build());
+        assert_eq!(
+            outcome.workers,
+            workers.min(build().runs.len()),
+            "executor reports its actual worker count"
+        );
+        assert_eq!(
+            fingerprint(&outcome),
+            baseline,
+            "{} must be bit-identical on {workers} workers",
+            outcome.name,
+        );
+    }
+}
+
+#[test]
+fn fig7_shaped_sweep_is_worker_count_invariant() {
+    assert_identical_across_workers(fig7_shaped);
+}
+
+#[test]
+fn fig9_shaped_sweep_is_worker_count_invariant() {
+    assert_identical_across_workers(fig9_shaped);
+}
+
+/// The protocol instances come back too, in input order — the
+/// ablation experiment relies on this to read B-SUB diagnostics.
+#[test]
+fn protocols_return_in_input_order() {
+    let outcome = Executor::with_workers(4).run(&fig7_shaped());
+    for point in outcome.records.chunks(3) {
+        let names: Vec<&str> = point.iter().map(|r| r.protocol.name()).collect();
+        assert_eq!(names, ["PUSH", "B-SUB", "PULL"]);
+    }
+}

@@ -159,10 +159,9 @@ impl TcbfPool {
     pub fn insert<K: AsRef<[u8]>>(&mut self, key: K) {
         let key = key.as_ref();
         let active = self.filters.last_mut().expect("pool is never empty");
-        if active.fill_ratio() <= self.fr_threshold
-            && active.insert(key).is_ok() {
-                return;
-            }
+        if active.fill_ratio() <= self.fr_threshold && active.insert(key).is_ok() {
+            return;
+        }
         let mut fresh = Tcbf::new(self.bits, self.hashes, self.initial);
         fresh.insert(key).expect("fresh filter accepts inserts");
         self.filters.push(fresh);

@@ -101,7 +101,10 @@ impl BloomFilter {
     /// present before insertion (which may itself be a false positive).
     pub fn insert<K: AsRef<[u8]>>(&mut self, key: K) -> bool {
         let mut already = true;
-        for pos in self.hasher.positions(key.as_ref(), self.hashes, self.bits.len()) {
+        for pos in self
+            .hasher
+            .positions(key.as_ref(), self.hashes, self.bits.len())
+        {
             already &= self.bits.set(pos);
         }
         already

@@ -134,10 +134,7 @@ impl Iterator for Positions {
         if self.i >= self.k {
             return None;
         }
-        let pos = self
-            .h1
-            .wrapping_add(self.h2.wrapping_mul(self.i as u64))
-            % self.m;
+        let pos = self.h1.wrapping_add(self.h2.wrapping_mul(self.i as u64)) % self.m;
         self.i += 1;
         Some(pos as usize)
     }
@@ -173,9 +170,7 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a: Vec<_> = KeyHasher::default()
-            .positions(b"key", 4, 256)
-            .collect();
+        let a: Vec<_> = KeyHasher::default().positions(b"key", 4, 256).collect();
         let b: Vec<_> = KeyHasher::with_seeds(1, 2)
             .positions(b"key", 4, 256)
             .collect();

@@ -53,6 +53,7 @@ mod counting;
 mod error;
 pub mod hash;
 pub mod math;
+pub mod rng;
 mod tcbf;
 pub mod wire;
 
@@ -62,4 +63,5 @@ pub use crate::bloom::BloomFilter;
 pub use crate::counting::CountingBloomFilter;
 pub use crate::error::Error;
 pub use crate::hash::KeyHasher;
+pub use crate::rng::SplitMix64;
 pub use crate::tcbf::{Decayer, Preference, Tcbf};

@@ -56,7 +56,10 @@ pub fn expected_set_bits(m: usize, k: usize, n: f64) -> f64 {
 pub fn fill_ratio(m: usize, k: usize, n: f64) -> f64 {
     assert!(m > 0, "m must be positive");
     assert!(k > 0, "k must be positive");
-    assert!(n >= 0.0 && n.is_finite(), "n must be finite and non-negative");
+    assert!(
+        n >= 0.0 && n.is_finite(),
+        "n must be finite and non-negative"
+    );
     1.0 - (-(k as f64) * n / m as f64).exp()
 }
 
@@ -110,7 +113,10 @@ pub fn binomial_pmf(x: u64, n: u64, p: f64) -> f64 {
 /// Panics if `p` is outside `[0, 1]`.
 #[must_use]
 pub fn binomial_cdf(x: u64, n: u64, p: f64) -> f64 {
-    (0..=x.min(n)).map(|i| binomial_pmf(i, n, p)).sum::<f64>().min(1.0)
+    (0..=x.min(n))
+        .map(|i| binomial_pmf(i, n, p))
+        .sum::<f64>()
+        .min(1.0)
 }
 
 fn ln_choose(n: u64, x: u64) -> f64 {

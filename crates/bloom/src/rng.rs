@@ -1,0 +1,222 @@
+//! A tiny deterministic PRNG shared by the whole workspace.
+//!
+//! The workspace builds fully offline, so instead of depending on the
+//! `rand` crate every randomized component (synthetic traces, workload
+//! generation, property-style tests, per-run sweep seeds) draws from
+//! this SplitMix64 generator. SplitMix64 (Steele, Lea & Flood, 2014) is
+//! the same finalizer already used by [`crate::hash::KeyHasher`]: a
+//! 64-bit counter stepped by the golden-ratio increment and scrambled
+//! by two multiply-xor-shift rounds. It passes BigCrush, is trivially
+//! seedable from any `u64`, and — crucially for the experiment engine —
+//! makes *seed derivation* explicit: [`SplitMix64::mix`] maps a
+//! `(master, stream)` pair to an independent child seed, so parallel
+//! sweep runs get bit-identical randomness regardless of scheduling.
+
+/// Deterministic SplitMix64 pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use bsub_bloom::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let u = a.next_f64();
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The SplitMix64 output scramble (same constants as
+/// [`crate::hash::KeyHasher`]'s finalizer).
+const fn scramble(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds give equal streams.
+    #[must_use]
+    pub const fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Derives an independent child seed from a master seed and a
+    /// stream index — the experiment engine's per-run seed rule.
+    ///
+    /// Distinct `(master, stream)` pairs land in distinct SplitMix64
+    /// streams, so run *k* of a sweep draws the same randomness whether
+    /// it executes first, last, or on another thread.
+    #[must_use]
+    pub const fn mix(master: u64, stream: u64) -> u64 {
+        scramble(
+            master
+                .wrapping_add(GOLDEN_GAMMA)
+                .wrapping_add(stream.wrapping_mul(GOLDEN_GAMMA)),
+        )
+    }
+
+    /// Next uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        scramble(self.state)
+    }
+
+    /// Next uniform `f64` in `[0, 1)`, using the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Next uniform `f64` in the open interval `(0, 1]` — safe to pass
+    /// to `ln()` when inverting an exponential CDF.
+    pub fn next_unit_positive(&mut self) -> f64 {
+        1.0 - self.next_f64()
+    }
+
+    /// Fair coin flip.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform `u64` in `[0, bound)` via Lemire's multiply-shift
+    /// reduction (bias below `bound / 2^64`, negligible here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below_usize(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Uniform `u64` in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(hi - lo + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn reference_vector() {
+        // First outputs of SplitMix64 seeded with 0 (Vigna's reference
+        // implementation).
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(r.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(r.next_u64(), 0x06c4_5d18_8009_454f);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            let u = r.next_f64();
+            assert!((0.0..1.0).contains(&u), "u = {u}");
+        }
+    }
+
+    #[test]
+    fn unit_positive_never_zero() {
+        let mut r = SplitMix64::new(4);
+        for _ in 0..10_000 {
+            let u = r.next_unit_positive();
+            assert!(u > 0.0 && u <= 1.0, "u = {u}");
+        }
+    }
+
+    #[test]
+    fn below_stays_in_bounds() {
+        let mut r = SplitMix64::new(5);
+        for bound in [1u64, 2, 3, 7, 140, 1 << 40] {
+            for _ in 0..1000 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_covers_small_ranges() {
+        let mut r = SplitMix64::new(6);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[r.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_inclusive_hits_both_ends() {
+        let mut r = SplitMix64::new(8);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..2000 {
+            match r.range_u64(1, 140) {
+                1 => lo_seen = true,
+                140 => hi_seen = true,
+                v => assert!((1..=140).contains(&v)),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn mix_separates_streams() {
+        let a = SplitMix64::mix(99, 0);
+        let b = SplitMix64::mix(99, 1);
+        let c = SplitMix64::mix(100, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // And it is a pure function of its inputs.
+        assert_eq!(a, SplitMix64::mix(99, 0));
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut r = SplitMix64::new(9);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.next_f64()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+}

@@ -235,11 +235,7 @@ impl Tcbf {
     ///
     /// Returns [`Error::ParamMismatch`] if the filters' parameters
     /// differ.
-    pub fn preference<K: AsRef<[u8]>>(
-        &self,
-        against: &Self,
-        key: K,
-    ) -> Result<Preference, Error> {
+    pub fn preference<K: AsRef<[u8]>>(&self, against: &Self, key: K) -> Result<Preference, Error> {
         self.check_compatible(against)?;
         let key = key.as_ref();
         let f = i64::from(self.min_counter(key));
@@ -540,7 +536,9 @@ mod tests {
         // "In order to insert multiple keys into a merged filter, we
         // first insert the keys into an empty TCBF, then merge."
         let mut merged = tcbf();
-        merged.a_merge(&Tcbf::from_keys(256, 4, 10, ["old"])).unwrap();
+        merged
+            .a_merge(&Tcbf::from_keys(256, 4, 10, ["old"]))
+            .unwrap();
         let fresh = Tcbf::from_keys(256, 4, 10, ["new"]);
         merged.a_merge(&fresh).unwrap();
         assert!(merged.contains("old"));
@@ -739,7 +737,7 @@ mod tests {
         f.m_merge(&ins("k1")).unwrap(); // t=1
         f.decay(1);
         f.m_merge(&ins("k2")).unwrap(); // t=2
-        // decay to t=10: k1 inserted at t=1 has counter 10-9=1, k2 has 2.
+                                        // decay to t=10: k1 inserted at t=1 has counter 10-9=1, k2 has 2.
         f.decay(8);
         f.m_merge(&ins("k0")).unwrap(); // k0 refreshed at t=10
         f.decay(9); // t=19

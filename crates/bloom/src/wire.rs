@@ -103,9 +103,7 @@ where
     I: IntoIterator<Item = K>,
     K: AsRef<str>,
 {
-    keys.into_iter()
-        .map(|k| 2 + k.as_ref().len() + 1)
-        .sum()
+    keys.into_iter().map(|k| 2 + k.as_ref().len() + 1).sum()
 }
 
 /// Encodes a TCBF.
@@ -156,9 +154,14 @@ pub fn encode(filter: &Tcbf, mode: CounterMode) -> Result<Vec<u8>, Error> {
         CounterMode::Ripped => TAG_RIPPED,
     });
     out.extend_from_slice(&(m as u32).to_le_bytes());
-    out.push(filter.hash_count().try_into().map_err(|_| Error::InvalidParams {
-        reason: "hash count exceeds 255",
-    })?);
+    out.push(
+        filter
+            .hash_count()
+            .try_into()
+            .map_err(|_| Error::InvalidParams {
+                reason: "hash count exceeds 255",
+            })?,
+    );
     out.extend_from_slice(&(set.len() as u16).to_le_bytes());
 
     // Bit-packed locations, MSB-first.
@@ -258,7 +261,11 @@ pub fn decode(bytes: &[u8]) -> Result<WirePayload, Error> {
             let mut counters = vec![0u32; m];
             let payload = &bytes[8 + loc_bytes..];
             for (i, &loc) in locations.iter().enumerate() {
-                let c = if tag == TAG_FULL { payload[i] } else { payload[0] };
+                let c = if tag == TAG_FULL {
+                    payload[i]
+                } else {
+                    payload[0]
+                };
                 if c == 0 {
                     return Err(err("zero counter for a set bit"));
                 }
@@ -308,7 +315,8 @@ mod tests {
     #[test]
     fn shared_rejects_non_uniform() {
         let mut f = sample_tcbf();
-        f.a_merge(&Tcbf::from_keys(256, 4, 50, ["NewMoon"])).unwrap();
+        f.a_merge(&Tcbf::from_keys(256, 4, 50, ["NewMoon"]))
+            .unwrap();
         assert!(matches!(
             encode(&f, CounterMode::Shared),
             Err(Error::InvalidParams { .. })

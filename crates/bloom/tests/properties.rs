@@ -1,158 +1,201 @@
-//! Property-based tests for the filter family's invariants.
+//! Property-style tests for the filter family's invariants.
+//!
+//! The workspace builds offline with no external dev-dependencies, so
+//! instead of `proptest` these drive each invariant over a few hundred
+//! seeded random cases from the in-tree [`SplitMix64`] generator. Every
+//! case is fully determined by its index, so failures reproduce
+//! exactly.
 
+use bsub_bloom::rng::SplitMix64;
 use bsub_bloom::wire::{self, CounterMode};
 use bsub_bloom::{math, BloomFilter, CountingBloomFilter, Tcbf};
-use proptest::collection::vec;
-use proptest::prelude::*;
 
-fn key_strategy() -> impl Strategy<Value = String> {
-    "[a-zA-Z0-9 ]{0,24}"
+const CASES: u64 = 128;
+
+const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ";
+
+/// A random key matching the old `[a-zA-Z0-9 ]{0,24}` strategy.
+fn rand_key(rng: &mut SplitMix64) -> String {
+    let len = rng.below_usize(25);
+    (0..len)
+        .map(|_| ALPHABET[rng.below_usize(ALPHABET.len())] as char)
+        .collect()
 }
 
-proptest! {
-    /// A Bloom filter never produces a false negative.
-    #[test]
-    fn bloom_no_false_negatives(keys in vec(key_strategy(), 0..60)) {
+/// Between `lo` and `hi - 1` random keys.
+fn rand_keys(rng: &mut SplitMix64, lo: usize, hi: usize) -> Vec<String> {
+    let n = lo + rng.below_usize(hi - lo);
+    (0..n).map(|_| rand_key(rng)).collect()
+}
+
+/// Runs `body` over `CASES` independent seeded cases.
+fn cases(mut body: impl FnMut(&mut SplitMix64)) {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(SplitMix64::mix(0xb5_0b_0000, case));
+        body(&mut rng);
+    }
+}
+
+/// A Bloom filter never produces a false negative.
+#[test]
+fn bloom_no_false_negatives() {
+    cases(|rng| {
+        let keys = rand_keys(rng, 0, 60);
         let mut f = BloomFilter::new(512, 4);
         for k in &keys {
             f.insert(k);
         }
         for k in &keys {
-            prop_assert!(f.contains(k));
+            assert!(f.contains(k));
         }
-    }
+    });
+}
 
-    /// Merging is a set union: the merge contains everything either
-    /// filter contained, and nothing tested-absent in both becomes
-    /// newly present... except by the union's own (larger) FPR — so we
-    /// only assert the superset direction, which is exact.
-    #[test]
-    fn bloom_merge_is_superset(
-        left in vec(key_strategy(), 0..30),
-        right in vec(key_strategy(), 0..30),
-    ) {
+/// Merging is a set union: the merge contains everything either filter
+/// contained (the superset direction is exact; the other direction is
+/// only probabilistic).
+#[test]
+fn bloom_merge_is_superset() {
+    cases(|rng| {
+        let left = rand_keys(rng, 0, 30);
+        let right = rand_keys(rng, 0, 30);
         let a = BloomFilter::from_keys(512, 4, left.iter());
         let b = BloomFilter::from_keys(512, 4, right.iter());
         let mut merged = a.clone();
         merged.merge(&b).unwrap();
-        prop_assert!(a.bits().is_subset_of(merged.bits()));
-        prop_assert!(b.bits().is_subset_of(merged.bits()));
+        assert!(a.bits().is_subset_of(merged.bits()));
+        assert!(b.bits().is_subset_of(merged.bits()));
         for k in left.iter().chain(&right) {
-            prop_assert!(merged.contains(k));
+            assert!(merged.contains(k));
         }
-    }
+    });
+}
 
-    /// Bloom merge is commutative.
-    #[test]
-    fn bloom_merge_commutes(
-        left in vec(key_strategy(), 0..30),
-        right in vec(key_strategy(), 0..30),
-    ) {
+/// Bloom merge is commutative.
+#[test]
+fn bloom_merge_commutes() {
+    cases(|rng| {
+        let left = rand_keys(rng, 0, 30);
+        let right = rand_keys(rng, 0, 30);
         let a = BloomFilter::from_keys(512, 4, left.iter());
         let b = BloomFilter::from_keys(512, 4, right.iter());
         let mut ab = a.clone();
         ab.merge(&b).unwrap();
         let mut ba = b.clone();
         ba.merge(&a).unwrap();
-        prop_assert_eq!(ab, ba);
-    }
+        assert_eq!(ab, ba);
+    });
+}
 
-    /// CBF: inserting then removing the same multiset restores emptiness
-    /// (when no counter saturates).
-    #[test]
-    fn cbf_insert_remove_cancels(keys in vec(key_strategy(), 0..40)) {
+/// CBF: inserting then removing the same multiset restores emptiness
+/// (when no counter saturates).
+#[test]
+fn cbf_insert_remove_cancels() {
+    cases(|rng| {
+        let keys = rand_keys(rng, 0, 40);
         let mut f = CountingBloomFilter::new(512, 4);
         for k in &keys {
             f.insert(k);
         }
         for k in &keys {
-            prop_assert!(f.remove(k));
+            assert!(f.remove(k));
         }
-        prop_assert!(f.is_empty());
-    }
+        assert!(f.is_empty());
+    });
+}
 
-    /// TCBF: a never-merged filter has all counters in {0, C}.
-    #[test]
-    fn tcbf_fresh_counters_uniform(keys in vec(key_strategy(), 0..40), initial in 1u32..200) {
+/// TCBF: a never-merged filter has all counters in {0, C}.
+#[test]
+fn tcbf_fresh_counters_uniform() {
+    cases(|rng| {
+        let keys = rand_keys(rng, 0, 40);
+        let initial = 1 + rng.below(199) as u32;
         let f = Tcbf::from_keys(512, 4, initial, keys.iter());
         for &c in f.counters() {
-            prop_assert!(c == 0 || c == initial);
+            assert!(c == 0 || c == initial);
         }
-    }
+    });
+}
 
-    /// TCBF M-merge is idempotent: merging a filter into itself (a
-    /// copy) changes nothing.
-    #[test]
-    fn tcbf_m_merge_idempotent(keys in vec(key_strategy(), 0..40)) {
+/// TCBF M-merge is idempotent: merging a filter into itself (a copy)
+/// changes nothing.
+#[test]
+fn tcbf_m_merge_idempotent() {
+    cases(|rng| {
+        let keys = rand_keys(rng, 0, 40);
         let f = Tcbf::from_keys(512, 4, 10, keys.iter());
         let mut m = f.clone();
         m.m_merge(&f).unwrap();
-        prop_assert_eq!(m.counters(), f.counters());
-    }
+        assert_eq!(m.counters(), f.counters());
+    });
+}
 
-    /// TCBF M-merge is commutative and counter-wise max.
-    #[test]
-    fn tcbf_m_merge_commutes(
-        left in vec(key_strategy(), 0..25),
-        right in vec(key_strategy(), 0..25),
-    ) {
+/// TCBF M-merge is commutative and counter-wise max.
+#[test]
+fn tcbf_m_merge_commutes() {
+    cases(|rng| {
+        let left = rand_keys(rng, 0, 25);
+        let right = rand_keys(rng, 0, 25);
         let a = Tcbf::from_keys(512, 4, 10, left.iter());
         let b = Tcbf::from_keys(512, 4, 20, right.iter());
         let mut ab = a.clone();
         ab.m_merge(&b).unwrap();
         let mut ba = b.clone();
         ba.m_merge(&a).unwrap();
-        prop_assert_eq!(ab.counters(), ba.counters());
+        assert_eq!(ab.counters(), ba.counters());
         for (i, &c) in ab.counters().iter().enumerate() {
-            prop_assert_eq!(c, a.counters()[i].max(b.counters()[i]));
+            assert_eq!(c, a.counters()[i].max(b.counters()[i]));
         }
-    }
+    });
+}
 
-    /// TCBF A-merge adds counters exactly (below saturation).
-    #[test]
-    fn tcbf_a_merge_adds(
-        left in vec(key_strategy(), 0..25),
-        right in vec(key_strategy(), 0..25),
-    ) {
+/// TCBF A-merge adds counters exactly (below saturation).
+#[test]
+fn tcbf_a_merge_adds() {
+    cases(|rng| {
+        let left = rand_keys(rng, 0, 25);
+        let right = rand_keys(rng, 0, 25);
         let a = Tcbf::from_keys(512, 4, 10, left.iter());
         let b = Tcbf::from_keys(512, 4, 20, right.iter());
         let mut ab = a.clone();
         ab.a_merge(&b).unwrap();
         for (i, &c) in ab.counters().iter().enumerate() {
-            prop_assert_eq!(c, a.counters()[i] + b.counters()[i]);
+            assert_eq!(c, a.counters()[i] + b.counters()[i]);
         }
-    }
+    });
+}
 
-    /// Decay then decay equals one combined decay (additivity), and
-    /// decay never resurrects a key.
-    #[test]
-    fn tcbf_decay_additive(
-        keys in vec(key_strategy(), 0..30),
-        d1 in 0u32..40,
-        d2 in 0u32..40,
-    ) {
+/// Decay then decay equals one combined decay (additivity), and decay
+/// never resurrects a key.
+#[test]
+fn tcbf_decay_additive() {
+    cases(|rng| {
+        let keys = rand_keys(rng, 0, 30);
+        let d1 = rng.below(40) as u32;
+        let d2 = rng.below(40) as u32;
         let base = Tcbf::from_keys(512, 4, 50, keys.iter());
         let mut split = base.clone();
         split.decay(d1);
         split.decay(d2);
         let mut whole = base.clone();
         whole.decay(d1 + d2);
-        prop_assert_eq!(split.counters(), whole.counters());
+        assert_eq!(split.counters(), whole.counters());
         // Monotone: everything absent in base stays absent.
         for k in &keys {
             if !base.contains(k) {
-                prop_assert!(!split.contains(k));
+                assert!(!split.contains(k));
             }
         }
-    }
+    });
+}
 
-    /// Decay commutes with M-merge: max(a - d, b - d) == max(a, b) - d.
-    #[test]
-    fn tcbf_decay_commutes_with_m_merge(
-        left in vec(key_strategy(), 0..20),
-        right in vec(key_strategy(), 0..20),
-        d in 0u32..60,
-    ) {
+/// Decay commutes with M-merge: max(a - d, b - d) == max(a, b) - d.
+#[test]
+fn tcbf_decay_commutes_with_m_merge() {
+    cases(|rng| {
+        let left = rand_keys(rng, 0, 20);
+        let right = rand_keys(rng, 0, 20);
+        let d = rng.below(60) as u32;
         let a = Tcbf::from_keys(512, 4, 50, left.iter());
         let b = Tcbf::from_keys(512, 4, 30, right.iter());
 
@@ -167,53 +210,72 @@ proptest! {
         let mut decay_then_merge = da;
         decay_then_merge.m_merge(&db).unwrap();
 
-        prop_assert_eq!(merge_then_decay.counters(), decay_then_merge.counters());
-    }
+        assert_eq!(merge_then_decay.counters(), decay_then_merge.counters());
+    });
+}
 
-    /// Wire round-trip (full counters) is lossless for counters <= 255.
-    #[test]
-    fn wire_full_roundtrip(keys in vec(key_strategy(), 0..50), initial in 1u32..=255) {
+/// Wire round-trip (full counters) is lossless for counters <= 255.
+#[test]
+fn wire_full_roundtrip() {
+    cases(|rng| {
+        let keys = rand_keys(rng, 0, 50);
+        let initial = 1 + rng.below(255) as u32;
         let f = Tcbf::from_keys(512, 4, initial, keys.iter());
         let bytes = wire::encode(&f, CounterMode::Full).unwrap();
         let decoded = wire::decode(&bytes).unwrap().into_tcbf().unwrap();
-        prop_assert_eq!(decoded.counters(), f.counters());
-    }
+        assert_eq!(decoded.counters(), f.counters());
+    });
+}
 
-    /// Ripped wire round-trip preserves exact bit membership.
-    #[test]
-    fn wire_ripped_roundtrip(keys in vec(key_strategy(), 0..50)) {
+/// Ripped wire round-trip preserves exact bit membership.
+#[test]
+fn wire_ripped_roundtrip() {
+    cases(|rng| {
+        let keys = rand_keys(rng, 0, 50);
         let f = Tcbf::from_keys(512, 4, 10, keys.iter());
         let bytes = wire::encode(&f, CounterMode::Ripped).unwrap();
         let bloom = wire::decode(&bytes).unwrap().into_bloom();
-        prop_assert_eq!(bloom.set_bits(), f.set_bits());
+        assert_eq!(bloom.set_bits(), f.set_bits());
         for k in &keys {
-            prop_assert!(bloom.contains(k));
+            assert!(bloom.contains(k));
         }
-    }
+    });
+}
 
-    /// Decoding arbitrary bytes never panics.
-    #[test]
-    fn wire_decode_never_panics(bytes in vec(any::<u8>(), 0..200)) {
+/// Decoding arbitrary bytes never panics.
+#[test]
+fn wire_decode_never_panics() {
+    cases(|rng| {
+        let len = rng.below_usize(200);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         let _ = wire::decode(&bytes);
-    }
+    });
+}
 
-    /// The min-counter of a contained key is bounded by the largest
-    /// counter in the filter.
-    #[test]
-    fn tcbf_min_counter_bounded(keys in vec(key_strategy(), 1..30)) {
+/// The min-counter of a contained key is bounded by the largest counter
+/// in the filter.
+#[test]
+fn tcbf_min_counter_bounded() {
+    cases(|rng| {
+        let keys = rand_keys(rng, 1, 30);
         let f = Tcbf::from_keys(512, 4, 37, keys.iter());
         for k in &keys {
             let c = f.min_counter(k);
-            prop_assert!(c > 0);
-            prop_assert!(c <= f.max_counter_value());
+            assert!(c > 0);
+            assert!(c <= f.max_counter_value());
         }
-    }
+    });
+}
 
-    /// Eq. 1 / Eq. 3 relationship: FPR == FR^k for any parameters.
-    #[test]
-    fn math_fpr_is_fr_pow_k(m in 8usize..2048, k in 1usize..8, n in 0u32..500) {
+/// Eq. 1 / Eq. 3 relationship: FPR == FR^k for any parameters.
+#[test]
+fn math_fpr_is_fr_pow_k() {
+    cases(|rng| {
+        let m = 8 + rng.below_usize(2040);
+        let k = 1 + rng.below_usize(7);
+        let n = rng.below(500) as u32;
         let fr = math::fill_ratio(m, k, f64::from(n));
         let fpr = math::false_positive_rate(m, k, f64::from(n));
-        prop_assert!((fpr - fr.powi(k as i32)).abs() < 1e-12);
-    }
+        assert!((fpr - fr.powi(k as i32)).abs() < 1e-12);
+    });
 }

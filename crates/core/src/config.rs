@@ -52,8 +52,7 @@ pub enum ForwardingPolicy {
 }
 
 /// How nodes become brokers.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum BrokerPolicy {
     /// The paper's decentralized election (Section V-B).
     #[default]
@@ -63,7 +62,6 @@ pub enum BrokerPolicy {
     /// `[0, 1]` and at least one broker is always designated.
     Static(f64),
 }
-
 
 /// B-SUB parameters, defaulting to the evaluation settings of
 /// Section VII-A.

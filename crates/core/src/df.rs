@@ -67,8 +67,7 @@ impl AdaptiveDf {
         delay_limit_mins: f64,
         delta: f64,
     ) -> Self {
-        let current =
-            decaying_factor_per_min(initial, 0, bits, hashes, delay_limit_mins, delta);
+        let current = decaying_factor_per_min(initial, 0, bits, hashes, delay_limit_mins, delta);
         Self {
             initial,
             bits,

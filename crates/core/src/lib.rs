@@ -48,7 +48,7 @@
 //! }];
 //! let config = BsubConfig::builder().df(DfMode::Fixed(0.05)).build();
 //! let mut bsub = BsubProtocol::new(config, &subs);
-//! let sim = Simulation::new(&trace, &subs, &schedule, SimConfig::default());
+//! let sim = Simulation::new(trace, subs.clone(), schedule, SimConfig::default());
 //! let report = sim.run(&mut bsub);
 //! assert!(report.delivered > 0, "dense little network delivers");
 //! ```

@@ -19,10 +19,12 @@ pub enum Role {
     Broker,
 }
 
-/// A message carried by a broker.
+/// A message carried by a broker. The payload is shared (`Arc`) with
+/// the producer's store and the simulator — moving a message between
+/// stores never copies it.
 #[derive(Debug, Clone)]
 pub(crate) struct Carried {
-    pub msg: Message,
+    pub msg: Arc<Message>,
     /// Consumers this copy was already handed to (suppresses repeated
     /// transfers on later meetings; the metrics would dedup anyway,
     /// but re-sending would waste link budget and inflate the
@@ -30,10 +32,11 @@ pub(crate) struct Carried {
     pub delivered_to: HashSet<NodeId>,
 }
 
-/// A message in its producer's memory.
+/// A message in its producer's memory (payload shared, see
+/// [`Carried`]).
 #[derive(Debug, Clone)]
 pub(crate) struct Produced {
-    pub msg: Message,
+    pub msg: Arc<Message>,
     /// Broker copies still allowed (starts at ℂ; Section V-D: "The
     /// message is removed from the producer's memory after its copy
     /// number reaches the limit").
@@ -283,12 +286,7 @@ mod tests {
         let mut n = NodeState::new(&cfg, &interests(&["news"]));
         n.promote(&cfg, SimTime::ZERO);
         let genuine = Tcbf::from_keys(cfg.bits, cfg.hashes, cfg.initial_counter, ["x"]);
-        n.relay
-            .as_mut()
-            .unwrap()
-            .filter
-            .a_merge(&genuine)
-            .unwrap();
+        n.relay.as_mut().unwrap().filter.a_merge(&genuine).unwrap();
         n.promote(&cfg, SimTime::from_secs(10));
         assert!(
             n.relay.as_ref().unwrap().filter.contains("x"),
@@ -365,14 +363,14 @@ mod tests {
     fn prune_drops_expired() {
         let cfg = config();
         let mut n = NodeState::new(&cfg, &interests(&["k"]));
-        let msg = Message {
+        let msg = Arc::new(Message {
             id: MessageId::new(1),
             key: "k".into(),
             size: 10,
             created: SimTime::ZERO,
             ttl: SimDuration::from_secs(100),
             producer: NodeId::new(0),
-        };
+        });
         n.store.push(Carried {
             msg: msg.clone(),
             delivered_to: HashSet::new(),

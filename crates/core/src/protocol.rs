@@ -47,6 +47,7 @@ use bsub_bloom::wire::{self, CounterMode};
 use bsub_sim::{Link, Message, Protocol, SimCtx, SubscriptionTable};
 use bsub_traces::{ContactEvent, NodeId, SimTime};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Bytes of one identity beacon (id + role + degree).
 const IDENTITY_BYTES: u64 = 8;
@@ -336,15 +337,17 @@ impl BsubProtocol {
                 break;
             }
             // Ground truth: was this acceptance a pure Bloom FP?
-            injections.push(!broker_state
-                .relay
-                .as_ref()
-                .expect("broker")
-                .truly_holds(&produced.msg.key));
+            injections.push(
+                !broker_state
+                    .relay
+                    .as_ref()
+                    .expect("broker")
+                    .truly_holds(&produced.msg.key),
+            );
             produced.copies_left -= 1;
             broker_state.seen.insert(produced.msg.id);
             broker_state.store.push(Carried {
-                msg: produced.msg.clone(),
+                msg: Arc::clone(&produced.msg),
                 delivered_to: HashSet::new(),
             });
         }
@@ -464,7 +467,7 @@ impl BsubProtocol {
         let mut moved: Vec<usize> = Vec::new();
         let mut ok = true;
         for (idx, _) in candidates {
-            let msg = self.nodes[src.index()].store[idx].msg.clone();
+            let msg = Arc::clone(&self.nodes[src.index()].store[idx].msg);
             if !ctx.transfer_message(link, &msg) {
                 ok = false;
                 break;
@@ -489,11 +492,11 @@ impl Protocol for BsubProtocol {
         "B-SUB"
     }
 
-    fn on_message(&mut self, _ctx: &mut SimCtx<'_>, msg: &Message) {
+    fn on_message(&mut self, _ctx: &mut SimCtx<'_>, msg: &Arc<Message>) {
         let state = &mut self.nodes[msg.producer.index()];
         state.seen.insert(msg.id);
         state.published.push(Produced {
-            msg: msg.clone(),
+            msg: Arc::clone(msg),
             copies_left: self.config.copies,
             delivered_to: HashSet::new(),
         });
@@ -596,7 +599,12 @@ mod tests {
         let trace = ContactTrace::new("p", 2, vec![contact(0, 1, 10, 100)]).unwrap();
         let subs = SubscriptionTable::new(2);
         let sched = Vec::new();
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(
+            trace.clone(),
+            subs.clone(),
+            sched.clone(),
+            SimConfig::default(),
+        );
         let mut bsub = BsubProtocol::new(config(), &subs);
         let _ = sim.run(&mut bsub);
         assert_eq!(bsub.role_of(NodeId::new(0)), Role::User);
@@ -610,7 +618,12 @@ mod tests {
         let mut subs = SubscriptionTable::new(2);
         subs.subscribe(NodeId::new(1), "news");
         let sched = vec![message(10, 0, "news")];
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(
+            trace.clone(),
+            subs.clone(),
+            sched.clone(),
+            SimConfig::default(),
+        );
         let mut bsub = BsubProtocol::new(config(), &subs);
         let report = sim.run(&mut bsub);
         assert_eq!(report.delivered, 1, "direct delivery on first meeting");
@@ -637,11 +650,40 @@ mod tests {
         let mut subs = SubscriptionTable::new(4);
         subs.subscribe(NodeId::new(2), "news");
         let sched = vec![message(10, 0, "news")];
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(
+            trace.clone(),
+            subs.clone(),
+            sched.clone(),
+            SimConfig::default(),
+        );
         let mut bsub = BsubProtocol::new(config(), &subs);
         let report = sim.run(&mut bsub);
         assert_eq!(report.delivered, 1, "broker-relayed delivery");
         assert_eq!(report.forwardings, 2, "producer→broker and broker→consumer");
+    }
+
+    /// Replication shares the payload: the broker's carried copy and
+    /// the producer's published entry point at the same allocation.
+    #[test]
+    fn replication_shares_payload_allocation() {
+        let trace = ContactTrace::new(
+            "share",
+            4,
+            vec![contact(2, 3, 100, 300), contact(0, 3, 500, 700)],
+        )
+        .unwrap();
+        let mut subs = SubscriptionTable::new(4);
+        subs.subscribe(NodeId::new(2), "news");
+        let sched = vec![message(10, 0, "news")];
+        let sim = Simulation::new(trace, subs.clone(), sched, SimConfig::default());
+        let mut bsub = BsubProtocol::new(config(), &subs);
+        let _ = sim.run(&mut bsub);
+        let produced = &bsub.nodes[0].published[0];
+        let carried = &bsub.nodes[3].store[0];
+        assert!(
+            Arc::ptr_eq(&produced.msg, &carried.msg),
+            "producer and broker share one payload allocation"
+        );
     }
 
     #[test]
@@ -652,11 +694,21 @@ mod tests {
         // get promoted) and teaches them its interest.
         let mut events = Vec::new();
         for (i, broker) in (2..=5).enumerate() {
-            events.push(contact(0, broker, 50 + i as u64 * 100, 100 + i as u64 * 100));
+            events.push(contact(
+                0,
+                broker,
+                50 + i as u64 * 100,
+                100 + i as u64 * 100,
+            ));
         }
         // Producer 1 then meets each broker.
         for (i, broker) in (2..=5).enumerate() {
-            events.push(contact(1, broker, 1000 + i as u64 * 100, 1050 + i as u64 * 100));
+            events.push(contact(
+                1,
+                broker,
+                1000 + i as u64 * 100,
+                1050 + i as u64 * 100,
+            ));
         }
         let trace = ContactTrace::new("copies", 6, events).unwrap();
         let mut subs = SubscriptionTable::new(6);
@@ -667,7 +719,12 @@ mod tests {
             .lower(4)
             .upper(6)
             .build();
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(
+            trace.clone(),
+            subs.clone(),
+            sched.clone(),
+            SimConfig::default(),
+        );
         let mut bsub = BsubProtocol::new(cfg, &subs);
         let report = sim.run(&mut bsub);
         // All four brokers exist and match, but ℂ = 3 caps replication.
@@ -699,7 +756,12 @@ mod tests {
         subs.subscribe(NodeId::new(0), "news");
         let sched = vec![message(10, 1, "news")];
         let fast_decay = BsubConfig::builder().df(DfMode::Fixed(2.0)).build();
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(
+            trace.clone(),
+            subs.clone(),
+            sched.clone(),
+            SimConfig::default(),
+        );
         let mut bsub = BsubProtocol::new(fast_decay, &subs);
         let report = sim.run(&mut bsub);
         assert_eq!(report.forwardings, 0, "decayed interest stops replication");
@@ -725,7 +787,7 @@ mod tests {
             ttl: SimDuration::from_days(30),
             ..SimConfig::default()
         };
-        let sim = Simulation::new(&trace, &subs, &sched, sim_cfg);
+        let sim = Simulation::new(trace.clone(), subs.clone(), sched.clone(), sim_cfg);
         let mut bsub = BsubProtocol::new(cfg, &subs);
         let report = sim.run(&mut bsub);
         assert_eq!(report.delivered, 1, "without decay the relay remembers");
@@ -742,19 +804,24 @@ mod tests {
             "handoff",
             4,
             vec![
-                contact(0, 3, 100, 200),    // consumer 0 promotes+teaches broker 3
-                contact(0, 3, 300, 400),    // reinforcement
-                contact(0, 2, 500, 600),    // consumer 0 promotes+teaches broker 2 once
-                contact(1, 2, 700, 800),    // producer 1 → broker 2 (copy)
-                contact(2, 3, 900, 1000),   // brokers meet: prefer 3
-                contact(0, 3, 1200, 1300),  // broker 3 delivers
+                contact(0, 3, 100, 200),   // consumer 0 promotes+teaches broker 3
+                contact(0, 3, 300, 400),   // reinforcement
+                contact(0, 2, 500, 600),   // consumer 0 promotes+teaches broker 2 once
+                contact(1, 2, 700, 800),   // producer 1 → broker 2 (copy)
+                contact(2, 3, 900, 1000),  // brokers meet: prefer 3
+                contact(0, 3, 1200, 1300), // broker 3 delivers
             ],
         )
         .unwrap();
         let mut subs = SubscriptionTable::new(4);
         subs.subscribe(NodeId::new(0), "news");
         let sched = vec![message(10, 1, "news")];
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(
+            trace.clone(),
+            subs.clone(),
+            sched.clone(),
+            SimConfig::default(),
+        );
         let mut bsub = BsubProtocol::new(config(), &subs);
         let report = sim.run(&mut bsub);
         assert_eq!(report.delivered, 1);
@@ -772,18 +839,23 @@ mod tests {
             "move",
             4,
             vec![
-                contact(0, 3, 100, 200),  // consumer 0 teaches broker 3 (twice)
+                contact(0, 3, 100, 200), // consumer 0 teaches broker 3 (twice)
                 contact(0, 3, 250, 350),
-                contact(0, 2, 400, 500),  // consumer 0 teaches broker 2 once
-                contact(1, 2, 600, 700),  // producer 1 → broker 2
-                contact(2, 3, 800, 900),  // handoff 2 → 3
+                contact(0, 2, 400, 500), // consumer 0 teaches broker 2 once
+                contact(1, 2, 600, 700), // producer 1 → broker 2
+                contact(2, 3, 800, 900), // handoff 2 → 3
             ],
         )
         .unwrap();
         let mut subs = SubscriptionTable::new(4);
         subs.subscribe(NodeId::new(0), "news");
         let sched = vec![message(10, 1, "news")];
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(
+            trace.clone(),
+            subs.clone(),
+            sched.clone(),
+            SimConfig::default(),
+        );
         let mut bsub = BsubProtocol::new(config(), &subs);
         let _ = sim.run(&mut bsub);
         assert_eq!(
@@ -803,7 +875,7 @@ mod tests {
             bytes_per_sec: 10, // 10-byte budget: identity beacons fail
             ..SimConfig::default()
         };
-        let sim = Simulation::new(&trace, &subs, &sched, sim_cfg);
+        let sim = Simulation::new(trace.clone(), subs.clone(), sched.clone(), sim_cfg);
         let mut bsub = BsubProtocol::new(config(), &subs);
         let report = sim.run(&mut bsub);
         assert_eq!(report.delivered, 0);
@@ -822,7 +894,12 @@ mod tests {
         let mut subs = SubscriptionTable::new(2);
         subs.subscribe(NodeId::new(1), "news");
         let sched = vec![message(10, 0, "news")];
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(
+            trace.clone(),
+            subs.clone(),
+            sched.clone(),
+            SimConfig::default(),
+        );
         let mut bsub = BsubProtocol::new(config(), &subs);
         let report = sim.run(&mut bsub);
         assert_eq!(report.delivered, 1);
@@ -837,7 +914,12 @@ mod tests {
             .build();
         let subs = SubscriptionTable::new(40);
         let sched = Vec::new();
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(
+            trace.clone(),
+            subs.clone(),
+            sched.clone(),
+            SimConfig::default(),
+        );
         let mut bsub = BsubProtocol::new(config(), &subs);
         let _ = sim.run(&mut bsub);
         let frac = bsub.broker_fraction();
@@ -880,7 +962,12 @@ mod tests {
             .build();
         let mut bsub = BsubProtocol::new(cfg, &subs);
         let sched = Vec::new();
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(
+            trace.clone(),
+            subs.clone(),
+            sched.clone(),
+            SimConfig::default(),
+        );
         let _ = sim.run(&mut bsub);
         assert_eq!(bsub.role_of(NodeId::new(5)), Role::User, "demoted");
         assert_eq!(bsub.role_of(NodeId::new(6)), Role::Broker, "kept");
@@ -919,7 +1006,12 @@ mod tests {
             .build();
         let mut bsub = BsubProtocol::new(cfg, &subs);
         let sched = vec![message(10, 7, "news")];
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(
+            trace.clone(),
+            subs.clone(),
+            sched.clone(),
+            SimConfig::default(),
+        );
         let report = sim.run(&mut bsub);
         assert_eq!(bsub.role_of(NodeId::new(5)), Role::User, "5 was demoted");
         assert_eq!(report.delivered, 1, "cargo outlives the brokership");
@@ -943,7 +1035,12 @@ mod tests {
         assert_eq!(bsub.broker_count(), 3, "ceil(0.3 * 10)");
         let before: Vec<Role> = (0..10).map(|i| bsub.role_of(NodeId::new(i))).collect();
         let sched = Vec::new();
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(
+            trace.clone(),
+            subs.clone(),
+            sched.clone(),
+            SimConfig::default(),
+        );
         let _ = sim.run(&mut bsub);
         let after: Vec<Role> = (0..10).map(|i| bsub.role_of(NodeId::new(i))).collect();
         assert_eq!(before, after, "roles frozen under the static policy");
@@ -982,7 +1079,12 @@ mod tests {
                 .merge_rule(rule)
                 .build();
             let mut bsub = BsubProtocol::new(cfg, &subs);
-            let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+            let sim = Simulation::new(
+                trace.clone(),
+                subs.clone(),
+                sched.clone(),
+                SimConfig::default(),
+            );
             let _ = sim.run(&mut bsub);
             bsub.max_relay_counter()
         };
@@ -1023,12 +1125,14 @@ mod tests {
                 .forwarding(policy)
                 .build();
             let mut bsub = BsubProtocol::new(cfg, &subs);
-            let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+            let sim = Simulation::new(
+                trace.clone(),
+                subs.clone(),
+                sched.clone(),
+                SimConfig::default(),
+            );
             let _ = sim.run(&mut bsub);
-            (
-                bsub.nodes[2].store.len(),
-                bsub.nodes[3].store.len(),
-            )
+            (bsub.nodes[2].store.len(), bsub.nodes[3].store.len())
         };
         // Equal counters ⇒ preference 0 ⇒ no move under Preferential.
         assert_eq!(carried_by(ForwardingPolicy::Preferential), (1, 0));

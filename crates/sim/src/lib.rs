@@ -36,7 +36,7 @@
 //!     key: "news".into(),
 //!     size: 100,
 //! }];
-//! let sim = Simulation::new(&trace, &subs, &schedule, SimConfig::default());
+//! let sim = Simulation::new(trace, subs, schedule, SimConfig::default());
 //! let report = sim.run(&mut NullProtocol);
 //! assert_eq!(report.generated, 1);
 //! assert_eq!(report.delivered, 0); // the null protocol never forwards
@@ -55,6 +55,6 @@ mod subscriptions;
 pub use crate::link::Link;
 pub use crate::message::{Message, MessageId};
 pub use crate::metrics::{DeliveryOutcome, MetricsCollector, SimReport};
-pub use crate::protocols::{Protocol, SimCtx};
+pub use crate::protocols::{NullProtocol, Protocol, ProtocolFactory, SimCtx};
 pub use crate::runner::{GeneratedMessage, SimConfig, Simulation};
 pub use crate::subscriptions::SubscriptionTable;

@@ -6,6 +6,7 @@ use crate::message::Message;
 use crate::metrics::{DeliveryOutcome, MetricsCollector};
 use crate::subscriptions::SubscriptionTable;
 use bsub_traces::{ContactEvent, NodeId, SimTime};
+use std::sync::Arc;
 
 /// The simulation context handed to protocol hooks.
 ///
@@ -93,21 +94,58 @@ impl<'a> SimCtx<'a> {
 
 /// A forwarding protocol under simulation.
 ///
-/// One instance owns the state of *all* nodes (the simulator is
+/// One instance owns the state of *all* nodes (each run is
 /// single-threaded and contact-driven); hooks receive the node ids
 /// involved and must keep per-node state internally.
-pub trait Protocol {
+///
+/// The `Any + Send` supertraits let the sweep executor move a boxed
+/// protocol to a worker thread and let callers downcast the finished
+/// instance (returned by [`crate::Simulation::run_factory`]) to read
+/// protocol-specific statistics after a run.
+pub trait Protocol: std::any::Any + Send {
     /// Short name used in reports (e.g. `"B-SUB"`, `"PUSH"`).
     fn name(&self) -> &str;
 
     /// A producer published `msg` at `ctx.now()`. The message is
     /// already accounted as generated; the protocol should store it
-    /// for forwarding.
-    fn on_message(&mut self, ctx: &mut SimCtx<'_>, msg: &Message);
+    /// for forwarding. Payloads are shared: keep the `Arc`, don't copy
+    /// the message.
+    fn on_message(&mut self, ctx: &mut SimCtx<'_>, msg: &Arc<Message>);
 
     /// Nodes `contact.a` and `contact.b` are in range for the span of
     /// `contact`; `link` is the byte budget of the encounter.
     fn on_contact(&mut self, ctx: &mut SimCtx<'_>, contact: &ContactEvent, link: &mut Link);
+}
+
+/// Builds fresh [`Protocol`] instances, one per run.
+///
+/// A [`crate::Simulation`] plus a factory fully describes an
+/// independent run: the simulation owns the shared inputs, the factory
+/// constructs the per-run mutable state. Factories are `Send + Sync`
+/// so one factory can serve many worker threads; `seed` is the run's
+/// explicitly derived seed (deterministic protocols may ignore it).
+///
+/// Any `Fn(u64) -> Box<dyn Protocol> + Send + Sync` closure is a
+/// factory:
+///
+/// ```
+/// use bsub_sim::{NullProtocol, Protocol, ProtocolFactory};
+///
+/// let factory = |_seed: u64| Box::new(NullProtocol) as Box<dyn Protocol>;
+/// assert_eq!(factory.build(0).name(), "NULL");
+/// ```
+pub trait ProtocolFactory: Send + Sync {
+    /// Builds a fresh protocol instance for one run.
+    fn build(&self, seed: u64) -> Box<dyn Protocol>;
+}
+
+impl<F> ProtocolFactory for F
+where
+    F: Fn(u64) -> Box<dyn Protocol> + Send + Sync,
+{
+    fn build(&self, seed: u64) -> Box<dyn Protocol> {
+        self(seed)
+    }
 }
 
 /// A protocol that does nothing — the floor for every metric, useful
@@ -120,7 +158,7 @@ impl Protocol for NullProtocol {
         "NULL"
     }
 
-    fn on_message(&mut self, _ctx: &mut SimCtx<'_>, _msg: &Message) {}
+    fn on_message(&mut self, _ctx: &mut SimCtx<'_>, _msg: &Arc<Message>) {}
 
     fn on_contact(&mut self, _ctx: &mut SimCtx<'_>, _contact: &ContactEvent, _link: &mut Link) {}
 }
@@ -192,7 +230,7 @@ mod tests {
         let mut ctx = SimCtx::new(SimTime::ZERO, &subs, &mut metrics);
         let mut link = Link::with_budget(1000);
         let mut p = NullProtocol;
-        p.on_message(&mut ctx, &message());
+        p.on_message(&mut ctx, &Arc::new(message()));
         let contact = ContactEvent::new(
             NodeId::new(0),
             NodeId::new(1),

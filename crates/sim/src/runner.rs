@@ -4,7 +4,7 @@
 use crate::link::Link;
 use crate::message::{Message, MessageId};
 use crate::metrics::{MetricsCollector, SimReport};
-use crate::protocols::{Protocol, SimCtx};
+use crate::protocols::{Protocol, ProtocolFactory, SimCtx};
 use crate::subscriptions::SubscriptionTable;
 use bsub_traces::{ContactTrace, NodeId, SimDuration, SimTime};
 use std::sync::Arc;
@@ -48,18 +48,26 @@ pub struct GeneratedMessage {
 /// One simulation: a trace, the ground-truth subscriptions, a message
 /// schedule, and the global configuration.
 ///
-/// Borrowed inputs make sweeps cheap: the experiment harness reuses
-/// one trace and one schedule across every TTL/DF point and protocol.
-#[derive(Debug)]
-pub struct Simulation<'a> {
-    trace: &'a ContactTrace,
-    subscriptions: &'a SubscriptionTable,
-    schedule: &'a [GeneratedMessage],
+/// Inputs are held behind [`Arc`]s, so a `Simulation` is a cheap,
+/// thread-shareable *description* of a run: the sweep executor clones
+/// one per grid point and fans them out over worker threads without
+/// copying the trace or schedule. Together with a
+/// [`ProtocolFactory`], a `Simulation` fully describes an independent
+/// run (see [`Simulation::run_factory`]).
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    trace: Arc<ContactTrace>,
+    subscriptions: Arc<SubscriptionTable>,
+    schedule: Arc<[GeneratedMessage]>,
     config: SimConfig,
 }
 
-impl<'a> Simulation<'a> {
+impl Simulation {
     /// Creates a simulation.
+    ///
+    /// Accepts owned values, `Arc`s, or anything else convertible —
+    /// e.g. a `Vec<GeneratedMessage>` for the schedule. Passing `Arc`s
+    /// shares the inputs with the caller at zero cost.
     ///
     /// # Panics
     ///
@@ -67,11 +75,14 @@ impl<'a> Simulation<'a> {
     /// trace's, or the schedule is not sorted by time.
     #[must_use]
     pub fn new(
-        trace: &'a ContactTrace,
-        subscriptions: &'a SubscriptionTable,
-        schedule: &'a [GeneratedMessage],
+        trace: impl Into<Arc<ContactTrace>>,
+        subscriptions: impl Into<Arc<SubscriptionTable>>,
+        schedule: impl Into<Arc<[GeneratedMessage]>>,
         config: SimConfig,
     ) -> Self {
+        let trace = trace.into();
+        let subscriptions = subscriptions.into();
+        let schedule = schedule.into();
         assert_eq!(
             subscriptions.node_count(),
             trace.node_count(),
@@ -95,6 +106,24 @@ impl<'a> Simulation<'a> {
         &self.config
     }
 
+    /// The contact trace driving the run.
+    #[must_use]
+    pub fn trace(&self) -> &Arc<ContactTrace> {
+        &self.trace
+    }
+
+    /// The ground-truth subscription table.
+    #[must_use]
+    pub fn subscriptions(&self) -> &Arc<SubscriptionTable> {
+        &self.subscriptions
+    }
+
+    /// The message schedule.
+    #[must_use]
+    pub fn schedule(&self) -> &Arc<[GeneratedMessage]> {
+        &self.schedule
+    }
+
     /// Replays the trace through `protocol` and returns the metrics.
     ///
     /// Events are interleaved chronologically: message publications at
@@ -107,58 +136,71 @@ impl<'a> Simulation<'a> {
         let mut next_id = 0u64;
         let mut schedule = self.schedule.iter().peekable();
 
-        let mut publish_until =
-            |until: SimTime,
-             inclusive: bool,
-             metrics: &mut MetricsCollector,
-             protocol: &mut dyn Protocol| {
-                while let Some(next) = schedule.peek() {
-                    let due = if inclusive {
-                        next.at <= until
-                    } else {
-                        next.at < until
-                    };
-                    if !due {
-                        break;
-                    }
-                    let spec = schedule.next().expect("peeked");
-                    let msg = Message {
-                        id: MessageId::new(next_id),
-                        key: Arc::clone(&spec.key),
-                        size: spec.size,
-                        created: spec.at,
-                        ttl: self.config.ttl,
-                        producer: spec.producer,
-                    };
-                    next_id += 1;
-                    let targets = self
-                        .subscriptions
-                        .subscribers_of(&msg.key)
-                        .filter(|&n| n != msg.producer)
-                        .count() as u64;
-                    metrics.on_generated(targets);
-                    let mut ctx = SimCtx::new(spec.at, self.subscriptions, metrics);
-                    protocol.on_message(&mut ctx, &msg);
+        let mut publish_until = |until: SimTime,
+                                 inclusive: bool,
+                                 metrics: &mut MetricsCollector,
+                                 protocol: &mut dyn Protocol| {
+            while let Some(next) = schedule.peek() {
+                let due = if inclusive {
+                    next.at <= until
+                } else {
+                    next.at < until
+                };
+                if !due {
+                    break;
                 }
-            };
+                let spec = schedule.next().expect("peeked");
+                // One allocation per publication; every protocol
+                // store afterwards shares this payload.
+                let msg = Arc::new(Message {
+                    id: MessageId::new(next_id),
+                    key: Arc::clone(&spec.key),
+                    size: spec.size,
+                    created: spec.at,
+                    ttl: self.config.ttl,
+                    producer: spec.producer,
+                });
+                next_id += 1;
+                let targets = self
+                    .subscriptions
+                    .subscribers_of(&msg.key)
+                    .filter(|&n| n != msg.producer)
+                    .count() as u64;
+                metrics.on_generated(targets);
+                let mut ctx = SimCtx::new(spec.at, &self.subscriptions, metrics);
+                protocol.on_message(&mut ctx, &msg);
+            }
+        };
 
-        for contact in self.trace {
+        for contact in self.trace.iter() {
             publish_until(contact.start, true, &mut metrics, protocol);
             metrics.on_contact();
             let mut link = Link::for_contact(contact.duration(), self.config.bytes_per_sec);
-            let mut ctx = SimCtx::new(contact.start, self.subscriptions, &mut metrics);
+            let mut ctx = SimCtx::new(contact.start, &self.subscriptions, &mut metrics);
             protocol.on_contact(&mut ctx, contact, &mut link);
         }
         // Messages published after the last contact still count as
         // generated (they can never be delivered).
-        publish_until(
-            SimTime::from_secs(u64::MAX),
-            true,
-            &mut metrics,
-            protocol,
-        );
+        publish_until(SimTime::from_secs(u64::MAX), true, &mut metrics, protocol);
 
         metrics.finish(protocol.name())
+    }
+
+    /// Builds a fresh protocol from `factory` (passing `seed` through)
+    /// and replays the trace through it.
+    ///
+    /// Returns the report *and* the finished protocol so callers can
+    /// inspect post-run state (e.g. broker statistics) — downcast via
+    /// `std::any::Any` when the concrete type is needed.
+    #[must_use]
+    pub fn run_factory(
+        &self,
+        factory: &dyn ProtocolFactory,
+        seed: u64,
+    ) -> (SimReport, Box<dyn Protocol>) {
+        let mut protocol = factory.build(seed);
+        let report = self.run(&mut *protocol);
+        (report, protocol)
     }
 }
 
@@ -172,7 +214,7 @@ mod tests {
     /// peer it meets (one-hop flooding to whoever it sees).
     #[derive(Debug, Default)]
     struct DirectHandoff {
-        store: Vec<Message>,
+        store: Vec<Arc<Message>>,
     }
 
     impl Protocol for DirectHandoff {
@@ -180,8 +222,8 @@ mod tests {
             "DIRECT"
         }
 
-        fn on_message(&mut self, _ctx: &mut SimCtx<'_>, msg: &Message) {
-            self.store.push(msg.clone());
+        fn on_message(&mut self, _ctx: &mut SimCtx<'_>, msg: &Arc<Message>) {
+            self.store.push(Arc::clone(msg));
         }
 
         fn on_contact(&mut self, ctx: &mut SimCtx<'_>, contact: &ContactEvent, link: &mut Link) {
@@ -228,11 +270,9 @@ mod tests {
 
     #[test]
     fn message_delivered_on_contact() {
-        let trace = trace();
         let mut subs = SubscriptionTable::new(3);
         subs.subscribe(NodeId::new(1), "news");
-        let sched = schedule();
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(trace(), subs, schedule(), SimConfig::default());
         let report = sim.run(&mut DirectHandoff::default());
         assert_eq!(report.generated, 1);
         assert_eq!(report.target_pairs, 1);
@@ -244,10 +284,8 @@ mod tests {
 
     #[test]
     fn uninterested_peer_is_false_delivery() {
-        let trace = trace();
         let subs = SubscriptionTable::new(3); // nobody subscribed
-        let sched = schedule();
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(trace(), subs, schedule(), SimConfig::default());
         let report = sim.run(&mut DirectHandoff::default());
         assert_eq!(report.delivered, 0);
         assert!(report.false_delivered > 0);
@@ -256,22 +294,19 @@ mod tests {
 
     #[test]
     fn ttl_cuts_off_late_deliveries() {
-        let trace = trace();
         let mut subs = SubscriptionTable::new(3);
         subs.subscribe(NodeId::new(1), "news");
-        let sched = schedule();
         let config = SimConfig {
             ttl: SimDuration::from_secs(20), // expires at t=70, contact at t=100
             ..SimConfig::default()
         };
-        let sim = Simulation::new(&trace, &subs, &sched, config);
+        let sim = Simulation::new(trace(), subs, schedule(), config);
         let report = sim.run(&mut DirectHandoff::default());
         assert_eq!(report.delivered, 0);
     }
 
     #[test]
     fn generation_after_last_contact_still_counted() {
-        let trace = trace();
         let mut subs = SubscriptionTable::new(3);
         subs.subscribe(NodeId::new(1), "late");
         let sched = vec![GeneratedMessage {
@@ -280,7 +315,7 @@ mod tests {
             key: "late".into(),
             size: 10,
         }];
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(trace(), subs, sched, SimConfig::default());
         let report = sim.run(&mut DirectHandoff::default());
         assert_eq!(report.generated, 1);
         assert_eq!(report.delivered, 0);
@@ -312,7 +347,7 @@ mod tests {
             bytes_per_sec: 50,
             ..SimConfig::default()
         };
-        let sim = Simulation::new(&trace, &subs, &sched, config);
+        let sim = Simulation::new(trace, subs, sched, config);
         let report = sim.run(&mut DirectHandoff::default());
         assert_eq!(report.delivered, 0);
         assert_eq!(report.forwardings, 0);
@@ -320,10 +355,12 @@ mod tests {
 
     #[test]
     fn contacts_counted() {
-        let trace = trace();
-        let subs = SubscriptionTable::new(3);
-        let sched = Vec::new();
-        let sim = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let sim = Simulation::new(
+            trace(),
+            SubscriptionTable::new(3),
+            Vec::new(),
+            SimConfig::default(),
+        );
         let report = sim.run(&mut DirectHandoff::default());
         assert_eq!(report.contacts, 2);
     }
@@ -331,17 +368,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "does not match trace")]
     fn mismatched_table_panics() {
-        let trace = trace();
-        let subs = SubscriptionTable::new(7);
-        let sched = Vec::new();
-        let _ = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let _ = Simulation::new(
+            trace(),
+            SubscriptionTable::new(7),
+            Vec::new(),
+            SimConfig::default(),
+        );
     }
 
     #[test]
     #[should_panic(expected = "sorted")]
     fn unsorted_schedule_panics() {
-        let trace = trace();
-        let subs = SubscriptionTable::new(3);
         let sched = vec![
             GeneratedMessage {
                 at: SimTime::from_secs(100),
@@ -356,7 +393,12 @@ mod tests {
                 size: 1,
             },
         ];
-        let _ = Simulation::new(&trace, &subs, &sched, SimConfig::default());
+        let _ = Simulation::new(
+            trace(),
+            SubscriptionTable::new(3),
+            sched,
+            SimConfig::default(),
+        );
     }
 
     /// Smoke-check the DeliveryOutcome surface from a protocol's view.
@@ -380,5 +422,49 @@ mod tests {
             ctx.deliver(NodeId::new(1), &msg),
             DeliveryOutcome::Duplicate
         );
+    }
+
+    /// A cloned simulation shares its inputs rather than copying them.
+    #[test]
+    fn clone_shares_inputs() {
+        let sim = Simulation::new(
+            trace(),
+            SubscriptionTable::new(3),
+            schedule(),
+            SimConfig::default(),
+        );
+        let copy = sim.clone();
+        assert!(Arc::ptr_eq(sim.trace(), copy.trace()));
+        assert!(Arc::ptr_eq(sim.subscriptions(), copy.subscriptions()));
+        assert_eq!(Arc::strong_count(sim.trace()), 2);
+    }
+
+    /// A simulation is a self-contained run description: it can move to
+    /// another thread and produce the same report.
+    #[test]
+    fn runs_identically_across_threads() {
+        let mut subs = SubscriptionTable::new(3);
+        subs.subscribe(NodeId::new(1), "news");
+        let sim = Simulation::new(trace(), subs, schedule(), SimConfig::default());
+        let here = sim.run(&mut DirectHandoff::default());
+        let clone = sim.clone();
+        let there = std::thread::spawn(move || clone.run(&mut DirectHandoff::default()))
+            .join()
+            .unwrap();
+        assert_eq!(here, there);
+    }
+
+    /// `run_factory` hands back the finished protocol for inspection.
+    #[test]
+    fn run_factory_returns_protocol_state() {
+        let mut subs = SubscriptionTable::new(3);
+        subs.subscribe(NodeId::new(1), "news");
+        let sim = Simulation::new(trace(), subs, schedule(), SimConfig::default());
+        let factory = |_seed: u64| Box::new(DirectHandoff::default()) as Box<dyn Protocol>;
+        let (report, protocol) = sim.run_factory(&factory, 7);
+        assert_eq!(report.delivered, 1);
+        let any: &dyn std::any::Any = protocol.as_ref();
+        let handoff = any.downcast_ref::<DirectHandoff>().expect("concrete type");
+        assert_eq!(handoff.store.len(), 1);
     }
 }

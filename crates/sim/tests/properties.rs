@@ -1,22 +1,34 @@
-//! Property-based tests for the simulator's accounting: whatever a
+//! Property-style tests for the simulator's accounting: whatever a
 //! protocol does, the metrics must stay internally consistent.
+//!
+//! Driven by seeded random cases from the in-tree [`SplitMix64`]
+//! generator instead of `proptest`, so the suite builds offline and
+//! every failure reproduces from its case index.
 
+use bsub_bloom::rng::SplitMix64;
 use bsub_sim::{
     GeneratedMessage, Link, Message, Protocol, SimConfig, SimCtx, Simulation, SubscriptionTable,
 };
 use bsub_traces::{ContactEvent, ContactTrace, NodeId, SimTime};
-use proptest::collection::vec;
-use proptest::prelude::*;
 use std::sync::Arc;
 
 const NODES: u32 = 8;
+const CASES: u64 = 128;
+
+/// Runs `body` over `CASES` independent seeded cases.
+fn cases(mut body: impl FnMut(&mut SplitMix64)) {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(SplitMix64::mix(0x51_e5_0000, case));
+        body(&mut rng);
+    }
+}
 
 /// A chaotic protocol driven by a seed: on each contact it transfers
 /// and delivers pseudo-randomly — a stress source for the accounting
 /// invariants.
 struct ChaoticProtocol {
     state: u64,
-    inbox: Vec<Message>,
+    inbox: Vec<Arc<Message>>,
 }
 
 impl ChaoticProtocol {
@@ -41,8 +53,8 @@ impl Protocol for ChaoticProtocol {
         "CHAOS"
     }
 
-    fn on_message(&mut self, _ctx: &mut SimCtx<'_>, msg: &Message) {
-        self.inbox.push(msg.clone());
+    fn on_message(&mut self, _ctx: &mut SimCtx<'_>, msg: &Arc<Message>) {
+        self.inbox.push(Arc::clone(msg));
     }
 
     fn on_contact(&mut self, ctx: &mut SimCtx<'_>, contact: &ContactEvent, link: &mut Link) {
@@ -56,7 +68,7 @@ impl Protocol for ChaoticProtocol {
                 1 => {
                     if !self.inbox.is_empty() {
                         let idx = (self.next() as usize) % self.inbox.len();
-                        let msg = self.inbox[idx].clone();
+                        let msg = Arc::clone(&self.inbox[idx]);
                         if ctx.transfer_message(link, &msg) {
                             let to = if roll % 2 == 0 { contact.a } else { contact.b };
                             let _ = ctx.deliver(to, &msg);
@@ -106,71 +118,123 @@ fn arbitrary_world(
     (trace, table, schedule)
 }
 
-proptest! {
-    /// No matter what a protocol does, the report's accounting is
-    /// internally consistent.
-    #[test]
-    fn accounting_always_consistent(
-        contacts in vec((0..NODES, 0..NODES, 0u64..50_000, 1u64..3000), 0..40),
-        messages in vec((0u64..50_000, 0..NODES, any::<u8>(), any::<u32>()), 0..30),
-        subscriptions in vec((0..NODES, any::<u8>()), 0..12),
-        seed in any::<u64>(),
-    ) {
+/// The old proptest strategies, sampled explicitly: random contact,
+/// message, and subscription tuples over `NODES` nodes.
+fn rand_contacts(
+    rng: &mut SplitMix64,
+    max: usize,
+    start_max: u64,
+    dur_max: u64,
+) -> Vec<(u32, u32, u64, u64)> {
+    let n = rng.below_usize(max);
+    (0..n)
+        .map(|_| {
+            (
+                rng.below(u64::from(NODES)) as u32,
+                rng.below(u64::from(NODES)) as u32,
+                rng.below(start_max),
+                1 + rng.below(dur_max - 1),
+            )
+        })
+        .collect()
+}
+
+fn rand_messages(rng: &mut SplitMix64, max: usize, at_max: u64) -> Vec<(u64, u32, u8, u32)> {
+    let n = rng.below_usize(max);
+    (0..n)
+        .map(|_| {
+            (
+                rng.below(at_max),
+                rng.below(u64::from(NODES)) as u32,
+                rng.next_u64() as u8,
+                rng.next_u64() as u32,
+            )
+        })
+        .collect()
+}
+
+fn rand_subscriptions(rng: &mut SplitMix64, max: usize) -> Vec<(u32, u8)> {
+    let n = rng.below_usize(max);
+    (0..n)
+        .map(|_| (rng.below(u64::from(NODES)) as u32, rng.next_u64() as u8))
+        .collect()
+}
+
+/// No matter what a protocol does, the report's accounting is
+/// internally consistent.
+#[test]
+fn accounting_always_consistent() {
+    cases(|rng| {
+        let contacts = rand_contacts(rng, 40, 50_000, 3000);
+        let messages = rand_messages(rng, 30, 50_000);
+        let subscriptions = rand_subscriptions(rng, 12);
+        let seed = rng.next_u64();
         let (trace, table, schedule) = arbitrary_world(contacts, messages, subscriptions);
-        let sim = Simulation::new(&trace, &table, &schedule, SimConfig::default());
+        let contacts_len = trace.len();
+        let schedule_len = schedule.len();
+        let sim = Simulation::new(trace, table, schedule, SimConfig::default());
         let report = sim.run(&mut ChaoticProtocol::new(seed));
 
-        prop_assert_eq!(report.generated as usize, schedule.len());
-        prop_assert!(report.delivered <= report.target_pairs);
-        prop_assert!(report.false_injections <= report.injections);
-        prop_assert!((0.0..=1.0).contains(&report.delivery_ratio()));
-        prop_assert!((0.0..=1.0).contains(&report.false_positive_rate()));
-        prop_assert!((0.0..=1.0).contains(&report.injection_fpr()));
-        prop_assert_eq!(report.contacts as usize, trace.len());
-        prop_assert_eq!(report.total_bytes(), report.control_bytes + report.data_bytes);
+        assert_eq!(report.generated as usize, schedule_len);
+        assert!(report.delivered <= report.target_pairs);
+        assert!(report.false_injections <= report.injections);
+        assert!((0.0..=1.0).contains(&report.delivery_ratio()));
+        assert!((0.0..=1.0).contains(&report.false_positive_rate()));
+        assert!((0.0..=1.0).contains(&report.injection_fpr()));
+        assert_eq!(report.contacts as usize, contacts_len);
+        assert_eq!(
+            report.total_bytes(),
+            report.control_bytes + report.data_bytes
+        );
         // Delays only accrue for delivered pairs within TTL.
         if report.delivered == 0 {
-            prop_assert_eq!(report.delay_secs_total, 0);
+            assert_eq!(report.delay_secs_total, 0);
         } else {
             let max_delay = SimConfig::default().ttl.as_secs() * report.delivered;
-            prop_assert!(report.delay_secs_total <= max_delay);
+            assert!(report.delay_secs_total <= max_delay);
         }
-    }
+    });
+}
 
-    /// Bytes moved never exceed the sum of all link budgets.
-    #[test]
-    fn bytes_bounded_by_link_budgets(
-        contacts in vec((0..NODES, 0..NODES, 0u64..20_000, 1u64..2000), 1..30),
-        messages in vec((0u64..20_000, 0..NODES, any::<u8>(), any::<u32>()), 1..20),
-        seed in any::<u64>(),
-    ) {
+/// Bytes moved never exceed the sum of all link budgets.
+#[test]
+fn bytes_bounded_by_link_budgets() {
+    cases(|rng| {
+        let contacts = rand_contacts(rng, 30, 20_000, 2000);
+        let messages = rand_messages(rng, 20, 20_000);
+        let seed = rng.next_u64();
         let (trace, table, schedule) = arbitrary_world(contacts, messages, vec![(0, 0)]);
         let config = SimConfig::default();
         let budget: u64 = trace
             .iter()
             .map(|e| e.duration().as_secs() * config.bytes_per_sec)
             .sum();
-        let sim = Simulation::new(&trace, &table, &schedule, config);
+        let sim = Simulation::new(trace, table, schedule, config);
         let report = sim.run(&mut ChaoticProtocol::new(seed));
-        prop_assert!(
+        assert!(
             report.total_bytes() <= budget,
             "moved {} over budget {budget}",
             report.total_bytes()
         );
-    }
+    });
+}
 
-    /// The same world and seed always produce the same report.
-    #[test]
-    fn chaos_is_deterministic(
-        contacts in vec((0..NODES, 0..NODES, 0u64..10_000, 1u64..1000), 0..20),
-        seed in any::<u64>(),
-    ) {
-        let (trace, table, schedule) =
-            arbitrary_world(contacts, vec![(5, 0, 1, 99)], vec![(1, 1)]);
-        let run = |seed| {
-            let sim = Simulation::new(&trace, &table, &schedule, SimConfig::default());
-            sim.run(&mut ChaoticProtocol::new(seed))
-        };
-        prop_assert_eq!(run(seed), run(seed));
-    }
+/// The same world and seed always produce the same report — whether the
+/// run executes here or on another thread.
+#[test]
+fn chaos_is_deterministic() {
+    cases(|rng| {
+        let contacts = rand_contacts(rng, 20, 10_000, 1000);
+        let seed = rng.next_u64();
+        let (trace, table, schedule) = arbitrary_world(contacts, vec![(5, 0, 1, 99)], vec![(1, 1)]);
+        let sim = Simulation::new(trace, table, schedule, SimConfig::default());
+        let here = sim.run(&mut ChaoticProtocol::new(seed));
+        let again = sim.run(&mut ChaoticProtocol::new(seed));
+        assert_eq!(here, again);
+        let clone = sim.clone();
+        let there = std::thread::spawn(move || clone.run(&mut ChaoticProtocol::new(seed)))
+            .join()
+            .unwrap();
+        assert_eq!(here, there);
+    });
 }

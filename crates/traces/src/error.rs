@@ -45,10 +45,7 @@ impl fmt::Display for ParseError {
                 line,
                 found,
                 expected,
-            } => write!(
-                f,
-                "line {line}: expected {expected} fields, found {found}"
-            ),
+            } => write!(f, "line {line}: expected {expected} fields, found {found}"),
             ParseError::BadNumber { line, text } => {
                 write!(f, "line {line}: cannot parse number from {text:?}")
             }

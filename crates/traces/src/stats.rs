@@ -257,11 +257,7 @@ mod tests {
         }
         events.push(ev(0, 1, 5000, 5010));
         let t = ContactTrace::new("b", 2, events).unwrap();
-        let w = busiest_window(
-            &t,
-            SimDuration::from_secs(200),
-            SimDuration::from_secs(100),
-        );
+        let w = busiest_window(&t, SimDuration::from_secs(200), SimDuration::from_secs(100));
         assert!(w.as_secs() >= 900 && w.as_secs() <= 1100, "got {w:?}");
     }
 

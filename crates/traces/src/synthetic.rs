@@ -22,8 +22,7 @@
 
 use crate::contact::{ContactEvent, ContactTrace, NodeId};
 use crate::time::{SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bsub_bloom::rng::SplitMix64;
 
 /// Builder for a synthetic community-based contact trace.
 ///
@@ -136,7 +135,7 @@ impl SyntheticTrace {
     /// Generates the trace.
     #[must_use]
     pub fn build(&self) -> ContactTrace {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let n = self.nodes as usize;
 
         // Zipf-like sociability weights, shuffled so node id carries no
@@ -145,11 +144,11 @@ impl SyntheticTrace {
             .map(|i| 1.0 / ((i + 1) as f64).powf(self.sociability_alpha))
             .collect();
         for i in (1..n).rev() {
-            let j = rng.gen_range(0..=i);
+            let j = rng.below_usize(i + 1);
             weights.swap(i, j);
         }
         // Random community assignment.
-        let community: Vec<usize> = (0..n).map(|_| rng.gen_range(0..self.communities)).collect();
+        let community: Vec<usize> = (0..n).map(|_| rng.below_usize(self.communities)).collect();
 
         // Pair intensities.
         let mut pair_rates: Vec<(u32, u32, f64)> = Vec::with_capacity(n * (n - 1) / 2);
@@ -184,17 +183,17 @@ impl SyntheticTrace {
                 .map(|_| self.sample_start(&mut rng, horizon))
                 .collect();
             for _ in 0..count {
-                let anchor = anchors[rng.gen_range(0..anchors.len())];
-                let jitter =
-                    sample_exponential(&mut rng, SESSION_JITTER_SECS).min(4.0 * SESSION_JITTER_SECS);
-                let sign: bool = rng.gen();
+                let anchor = anchors[rng.below_usize(anchors.len())];
+                let jitter = sample_exponential(&mut rng, SESSION_JITTER_SECS)
+                    .min(4.0 * SESSION_JITTER_SECS);
+                let sign = rng.next_bool();
                 let start = if sign {
                     anchor.saturating_add(jitter as u64).min(horizon - 1)
                 } else {
                     anchor.saturating_sub(jitter as u64)
                 };
-                let dur = sample_exponential(&mut rng, self.mean_contact_secs)
-                    .clamp(10.0, 7200.0) as u64;
+                let dur =
+                    sample_exponential(&mut rng, self.mean_contact_secs).clamp(10.0, 7200.0) as u64;
                 let end = (start + dur).min(horizon);
                 events.push(ContactEvent::new(
                     NodeId::new(i),
@@ -211,16 +210,16 @@ impl SyntheticTrace {
 
     /// Draws a contact start time, rejection-sampled against the
     /// diurnal activity curve when enabled.
-    fn sample_start(&self, rng: &mut StdRng, horizon: u64) -> u64 {
+    fn sample_start(&self, rng: &mut SplitMix64, horizon: u64) -> u64 {
         loop {
-            let t = rng.gen_range(0..horizon);
+            let t = rng.below(horizon);
             if !self.diurnal {
                 return t;
             }
             let hour = (t % 86_400) / 3600;
             // Waking hours (08:00–22:00) at full intensity, nights at 15%.
             let weight = if (8..22).contains(&hour) { 1.0 } else { 0.15 };
-            if rng.gen::<f64>() < weight {
+            if rng.next_f64() < weight {
                 return t;
             }
         }
@@ -238,7 +237,7 @@ const SESSION_JITTER_SECS: f64 = 1200.0;
 /// Poisson sample: Knuth's method for small λ, normal approximation
 /// for large λ (where Knuth would need λ iterations and `e^-λ`
 /// underflows).
-fn sample_poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+fn sample_poisson(rng: &mut SplitMix64, lambda: f64) -> u64 {
     debug_assert!(lambda >= 0.0);
     if lambda <= 0.0 {
         return 0;
@@ -248,7 +247,7 @@ fn sample_poisson(rng: &mut StdRng, lambda: f64) -> u64 {
         let mut k = 0u64;
         let mut p = 1.0;
         loop {
-            p *= rng.gen::<f64>();
+            p *= rng.next_f64();
             if p <= l {
                 return k;
             }
@@ -261,15 +260,14 @@ fn sample_poisson(rng: &mut StdRng, lambda: f64) -> u64 {
 }
 
 /// Exponential sample with the given mean (inverse-CDF method).
-fn sample_exponential(rng: &mut StdRng, mean: f64) -> f64 {
-    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    -mean * u.ln()
+fn sample_exponential(rng: &mut SplitMix64, mean: f64) -> f64 {
+    -mean * rng.next_unit_positive().ln()
 }
 
 /// Standard normal sample (Box–Muller).
-fn sample_standard_normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen::<f64>();
+fn sample_standard_normal(rng: &mut SplitMix64) -> f64 {
+    let u1 = rng.next_unit_positive();
+    let u2 = rng.next_f64();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
@@ -465,7 +463,7 @@ mod tests {
 
     #[test]
     fn poisson_sampler_mean() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SplitMix64::new(11);
         for &lambda in &[0.5f64, 5.0, 50.0, 400.0] {
             let n = 2000;
             let total: u64 = (0..n).map(|_| sample_poisson(&mut rng, lambda)).sum();
@@ -479,13 +477,13 @@ mod tests {
 
     #[test]
     fn poisson_zero_lambda() {
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = SplitMix64::new(12);
         assert_eq!(sample_poisson(&mut rng, 0.0), 0);
     }
 
     #[test]
     fn exponential_sampler_mean() {
-        let mut rng = StdRng::seed_from_u64(13);
+        let mut rng = SplitMix64::new(13);
         let n = 20_000;
         let total: f64 = (0..n).map(|_| sample_exponential(&mut rng, 120.0)).sum();
         let mean = total / f64::from(n);

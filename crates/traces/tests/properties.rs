@@ -1,69 +1,103 @@
-//! Property-based tests for trace construction, parsing, windowing,
+//! Property-style tests for trace construction, parsing, windowing,
 //! and the synthetic generator's invariants.
+//!
+//! Driven by seeded random cases from the in-tree [`SplitMix64`]
+//! generator instead of `proptest`, so the suite builds offline and
+//! every failure reproduces from its case index.
 
+use bsub_bloom::rng::SplitMix64;
 use bsub_traces::stats;
 use bsub_traces::synthetic::SyntheticTrace;
 use bsub_traces::{parser, ContactEvent, ContactTrace, NodeId, SimDuration, SimTime};
-use proptest::collection::vec;
-use proptest::prelude::*;
 
-/// Strategy: a random valid event over `nodes` nodes and a time
-/// horizon.
-fn event_strategy(nodes: u32, horizon: u64) -> impl Strategy<Value = ContactEvent> {
-    (0..nodes, 0..nodes, 0..horizon, 0..3_600u64)
-        .prop_filter("distinct endpoints", |(a, b, _, _)| a != b)
-        .prop_map(move |(a, b, start, dur)| {
-            ContactEvent::new(
-                NodeId::new(a),
-                NodeId::new(b),
-                SimTime::from_secs(start),
-                SimTime::from_secs(start + dur),
-            )
-        })
+const CASES: u64 = 128;
+
+/// Runs `body` over `CASES` independent seeded cases.
+fn cases(mut body: impl FnMut(&mut SplitMix64)) {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(SplitMix64::mix(0x7ace_0000, case));
+        body(&mut rng);
+    }
 }
 
-proptest! {
-    /// Traces always end up sorted, regardless of input order.
-    #[test]
-    fn trace_events_sorted(events in vec(event_strategy(12, 100_000), 0..80)) {
-        let trace = ContactTrace::new("p", 12, events).expect("valid ids");
-        prop_assert!(trace
-            .events()
-            .windows(2)
-            .all(|w| w[0].start <= w[1].start));
-    }
+/// A random valid event over `nodes` nodes and a time horizon — the
+/// old `event_strategy`.
+fn rand_event(rng: &mut SplitMix64, nodes: u32, horizon: u64) -> ContactEvent {
+    let a = rng.below(u64::from(nodes)) as u32;
+    let b = loop {
+        let b = rng.below(u64::from(nodes)) as u32;
+        if b != a {
+            break b;
+        }
+    };
+    let start = rng.below(horizon);
+    let dur = rng.below(3_600);
+    ContactEvent::new(
+        NodeId::new(a),
+        NodeId::new(b),
+        SimTime::from_secs(start),
+        SimTime::from_secs(start + dur),
+    )
+}
 
-    /// Windowing never invents events, and re-windowing the full span
-    /// keeps every event.
-    #[test]
-    fn window_is_conservative(
-        events in vec(event_strategy(10, 50_000), 1..60),
-        from in 0u64..60_000,
-        len in 1u64..60_000,
-    ) {
+fn rand_events(
+    rng: &mut SplitMix64,
+    nodes: u32,
+    horizon: u64,
+    lo: usize,
+    hi: usize,
+) -> Vec<ContactEvent> {
+    let n = lo + rng.below_usize(hi - lo);
+    (0..n).map(|_| rand_event(rng, nodes, horizon)).collect()
+}
+
+/// Traces always end up sorted, regardless of input order.
+#[test]
+fn trace_events_sorted() {
+    cases(|rng| {
+        let events = rand_events(rng, 12, 100_000, 0, 80);
+        let trace = ContactTrace::new("p", 12, events).expect("valid ids");
+        assert!(trace.events().windows(2).all(|w| w[0].start <= w[1].start));
+    });
+}
+
+/// Windowing never invents events, and re-windowing the full span keeps
+/// every event.
+#[test]
+fn window_is_conservative() {
+    cases(|rng| {
+        let events = rand_events(rng, 10, 50_000, 1, 60);
+        let from = rng.below(60_000);
+        let len = 1 + rng.below(59_999);
         let trace = ContactTrace::new("w", 10, events).expect("valid ids");
         let window = trace.window(SimTime::from_secs(from), SimDuration::from_secs(len));
-        prop_assert!(window.len() <= trace.len());
+        assert!(window.len() <= trace.len());
         let full = trace.window(SimTime::ZERO, SimDuration::from_secs(u64::MAX / 4));
-        prop_assert_eq!(full.len(), trace.len());
-    }
+        assert_eq!(full.len(), trace.len());
+    });
+}
 
-    /// Degrees are bounded by n-1 and consistent with centrality: the
-    /// node with the most contact participations has centrality 1.
-    #[test]
-    fn degree_and_centrality_bounds(events in vec(event_strategy(9, 10_000), 1..60)) {
+/// Degrees are bounded by n-1 and consistent with centrality: the node
+/// with the most contact participations has centrality 1.
+#[test]
+fn degree_and_centrality_bounds() {
+    cases(|rng| {
+        let events = rand_events(rng, 9, 10_000, 1, 60);
         let trace = ContactTrace::new("d", 9, events).expect("valid ids");
         let degrees = stats::degrees(&trace);
-        prop_assert!(degrees.iter().all(|&d| d <= 8));
+        assert!(degrees.iter().all(|&d| d <= 8));
         let centrality = stats::centrality(&trace);
-        prop_assert!(centrality.iter().all(|&c| (0.0..=1.0).contains(&c)));
-        prop_assert!(centrality.iter().any(|&c| (c - 1.0).abs() < 1e-12));
-    }
+        assert!(centrality.iter().all(|&c| (0.0..=1.0).contains(&c)));
+        assert!(centrality.iter().any(|&c| (c - 1.0).abs() < 1e-12));
+    });
+}
 
-    /// The Haggle text round-trip preserves every event for arbitrary
-    /// traces.
-    #[test]
-    fn haggle_text_roundtrip(events in vec(event_strategy(8, 20_000), 1..50)) {
+/// The Haggle text round-trip preserves every event for arbitrary
+/// traces.
+#[test]
+fn haggle_text_roundtrip() {
+    cases(|rng| {
+        let events = rand_events(rng, 8, 20_000, 1, 50);
         let trace = ContactTrace::new("rt", 8, events).expect("valid ids");
         let mut text = String::new();
         // Shift by the earliest start so re-zeroing is the identity.
@@ -78,73 +112,96 @@ proptest! {
             ));
         }
         let parsed = parser::parse_haggle("rt", &text).expect("parses");
-        prop_assert_eq!(parsed.len(), trace.len());
+        assert_eq!(parsed.len(), trace.len());
         for (a, b) in trace.iter().zip(parsed.iter()) {
-            prop_assert_eq!(a.a, b.a);
-            prop_assert_eq!(a.b, b.b);
-            prop_assert_eq!(a.duration(), b.duration());
+            assert_eq!(a.a, b.a);
+            assert_eq!(a.b, b.b);
+            assert_eq!(a.duration(), b.duration());
         }
-    }
+    });
+}
 
-    /// Parsing arbitrary text never panics.
-    #[test]
-    fn parsers_never_panic(text in "[ -~\n]{0,400}") {
+/// Parsing arbitrary text never panics.
+#[test]
+fn parsers_never_panic() {
+    cases(|rng| {
+        let len = rng.below_usize(400);
+        let text: String = (0..len)
+            .map(|_| {
+                // Printable ASCII plus newline, like the old "[ -~\n]"
+                // fuzz strategy.
+                let c = rng.below(96) as u8;
+                if c == 95 {
+                    '\n'
+                } else {
+                    (b' ' + c) as char
+                }
+            })
+            .collect();
         let _ = parser::parse_haggle("fuzz", &text);
         let _ = parser::parse_reality("fuzz", &text);
-    }
+    });
+}
 
-    /// The synthetic generator respects its declared envelope for any
-    /// parameters.
-    #[test]
-    fn generator_envelope(
-        nodes in 2u32..25,
-        hours in 1u64..48,
-        target in 1usize..2_000,
-        seed in 0u64..1_000,
-        communities in 1usize..5,
-    ) {
+/// The synthetic generator respects its declared envelope for any
+/// parameters.
+#[test]
+fn generator_envelope() {
+    cases(|rng| {
+        let nodes = 2 + rng.below(23) as u32;
+        let hours = 1 + rng.below(47);
+        let target = 1 + rng.below_usize(1_999);
+        let seed = rng.below(1_000);
+        let communities = 1 + rng.below_usize(4);
         let duration = SimDuration::from_hours(hours);
         let trace = SyntheticTrace::new("g", nodes, duration, target)
             .communities(communities)
             .seed(seed)
             .build();
-        prop_assert_eq!(trace.node_count(), nodes);
+        assert_eq!(trace.node_count(), nodes);
         let horizon = SimTime::ZERO + duration;
         for e in &trace {
-            prop_assert!(e.end <= horizon);
-            prop_assert!(e.a != e.b);
-            prop_assert!(e.a.index() < nodes as usize);
-            prop_assert!(e.b.index() < nodes as usize);
+            assert!(e.end <= horizon);
+            assert!(e.a != e.b);
+            assert!(e.a.index() < nodes as usize);
+            assert!(e.b.index() < nodes as usize);
         }
         // Poisson totals concentrate near the target (loose 5-sigma
         // band plus slack for tiny targets).
         let got = trace.len() as f64;
         let t = target as f64;
-        prop_assert!(
+        assert!(
             (got - t).abs() <= 5.0 * t.sqrt() + 10.0,
             "target {t}, got {got}"
         );
-    }
+    });
+}
 
-    /// Same seed, same trace — across any parameter combination.
-    #[test]
-    fn generator_deterministic(seed in 0u64..500, nodes in 2u32..15) {
+/// Same seed, same trace — across any parameter combination.
+#[test]
+fn generator_deterministic() {
+    cases(|rng| {
+        let seed = rng.below(500);
+        let nodes = 2 + rng.below(13) as u32;
         let build = || {
             SyntheticTrace::new("det", nodes, SimDuration::from_hours(4), 200)
                 .seed(seed)
                 .build()
         };
-        prop_assert_eq!(build(), build());
-    }
+        assert_eq!(build(), build());
+    });
+}
 
-    /// Inter-contact gaps are non-negative by construction and bounded
-    /// by the trace duration.
-    #[test]
-    fn inter_contact_gaps_bounded(events in vec(event_strategy(6, 30_000), 1..60)) {
+/// Inter-contact gaps are non-negative by construction and bounded by
+/// the trace duration.
+#[test]
+fn inter_contact_gaps_bounded() {
+    cases(|rng| {
+        let events = rand_events(rng, 6, 30_000, 1, 60);
         let trace = ContactTrace::new("icg", 6, events).expect("valid ids");
         let horizon = trace.duration().as_secs();
         for gap in stats::inter_contact_times(&trace) {
-            prop_assert!(gap <= horizon);
+            assert!(gap <= horizon);
         }
-    }
+    });
 }

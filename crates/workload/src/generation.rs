@@ -9,10 +9,9 @@
 //! are drawn from the trend-weight distribution.
 
 use crate::keys::{trend_keys, TrendKey};
+use bsub_bloom::rng::SplitMix64;
 use bsub_sim::GeneratedMessage;
 use bsub_traces::{stats, ContactTrace, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// Builds the message schedule for a trace.
@@ -123,7 +122,7 @@ impl<'a> WorkloadBuilder<'a> {
     #[must_use]
     pub fn build(&self) -> Vec<GeneratedMessage> {
         assert!(!self.keys.is_empty(), "need at least one key");
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let centrality = stats::centrality(self.trace);
         let c_min = centrality
             .iter()
@@ -149,8 +148,7 @@ impl<'a> WorkloadBuilder<'a> {
             let mut t_mins = 0.0f64;
             loop {
                 // Exponential inter-arrival gap.
-                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                t_mins += -u.ln() / rate;
+                t_mins += -rng.next_unit_positive().ln() / rate;
                 if t_mins >= horizon_mins {
                     break;
                 }
@@ -159,7 +157,7 @@ impl<'a> WorkloadBuilder<'a> {
                     at: SimTime::from_secs((t_mins * 60.0) as u64),
                     producer: node,
                     key: Arc::clone(&keys[key_idx]),
-                    size: rng.gen_range(1..=140),
+                    size: rng.range_u64(1, 140) as u32,
                 });
             }
         }
@@ -168,8 +166,8 @@ impl<'a> WorkloadBuilder<'a> {
     }
 }
 
-fn pick_weighted_index(rng: &mut StdRng, keys: &[TrendKey], total: f64) -> usize {
-    let mut point = rng.gen::<f64>() * total;
+fn pick_weighted_index(rng: &mut SplitMix64, keys: &[TrendKey], total: f64) -> usize {
+    let mut point = rng.next_f64() * total;
     for (i, key) in keys.iter().enumerate() {
         point -= key.weight;
         if point <= 0.0 {
@@ -302,8 +300,7 @@ mod tests {
             .build();
         let s = WorkloadBuilder::new(&t).seed(12).build();
         let top = trend_keys()[0].name;
-        let share =
-            s.iter().filter(|g| &*g.key == top).count() as f64 / s.len() as f64;
+        let share = s.iter().filter(|g| &*g.key == top).count() as f64 / s.len() as f64;
         assert!(
             (share - 0.132).abs() < 0.03,
             "top key share {share} vs weight 0.132"

@@ -4,10 +4,9 @@
 //! as an interest for each node is determined by the key's weight").
 
 use crate::keys::TrendKey;
+use bsub_bloom::rng::SplitMix64;
 use bsub_sim::SubscriptionTable;
 use bsub_traces::NodeId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Assigns one weighted-random interest to every node.
 ///
@@ -19,7 +18,7 @@ pub fn assign_interests(nodes: u32, keys: &[TrendKey], seed: u64) -> Subscriptio
     assert!(!keys.is_empty(), "need at least one key");
     let total: f64 = keys.iter().map(|k| k.weight).sum();
     assert!(total > 0.0, "weights must have positive mass");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut table = SubscriptionTable::new(nodes);
     for node in 0..nodes {
         let key = pick_weighted(&mut rng, keys, total);
@@ -29,8 +28,8 @@ pub fn assign_interests(nodes: u32, keys: &[TrendKey], seed: u64) -> Subscriptio
 }
 
 /// Draws one key proportionally to its weight.
-fn pick_weighted<'a>(rng: &mut StdRng, keys: &'a [TrendKey], total: f64) -> &'a TrendKey {
-    let mut point = rng.gen::<f64>() * total;
+fn pick_weighted<'a>(rng: &mut SplitMix64, keys: &'a [TrendKey], total: f64) -> &'a TrendKey {
+    let mut point = rng.next_f64() * total;
     for key in keys {
         point -= key.weight;
         if point <= 0.0 {

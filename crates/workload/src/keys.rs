@@ -205,8 +205,7 @@ mod tests {
                 keys.iter().any(|k| k.name == collider),
                 "{collider} must be in the key set"
             );
-            let bits: HashSet<usize> =
-                hasher.positions(collider.as_bytes(), 4, 256).collect();
+            let bits: HashSet<usize> = hasher.positions(collider.as_bytes(), 4, 256).collect();
             let uncovered: Vec<usize> = bits
                 .iter()
                 .copied()
@@ -221,7 +220,11 @@ mod tests {
             let providers = keys[14..]
                 .iter()
                 .filter(|k| k.name != collider)
-                .filter(|k| hasher.positions(k.name.as_bytes(), 4, 256).any(|p| p == bit))
+                .filter(|k| {
+                    hasher
+                        .positions(k.name.as_bytes(), 4, 256)
+                        .any(|p| p == bit)
+                })
                 .count();
             assert!(
                 providers >= 1,

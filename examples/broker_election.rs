@@ -36,7 +36,12 @@ fn main() {
             // Re-offset the slice back to absolute time by running it
             // as its own mini-simulation (roles persist in `bsub`).
             let sub_trace = trace_window_absolute(&trace, from, slice);
-            let sim = Simulation::new(&sub_trace, &subs, &[], SimConfig::default());
+            let sim = Simulation::new(
+                sub_trace.clone(),
+                subs.clone(),
+                Vec::new(),
+                SimConfig::default(),
+            );
             let _ = sim.run(&mut bsub);
         }
         from += slice;
@@ -48,7 +53,11 @@ fn main() {
         let mean_degree = if brokers.is_empty() {
             0.0
         } else {
-            brokers.iter().map(|n| degrees[n.index()] as f64).sum::<f64>() / brokers.len() as f64
+            brokers
+                .iter()
+                .map(|n| degrees[n.index()] as f64)
+                .sum::<f64>()
+                / brokers.len() as f64
         };
         println!(
             "{:>8.0}  {:>8}  {:>9.2}  {:>18.1}",

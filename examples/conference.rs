@@ -35,7 +35,12 @@ fn main() {
     };
 
     let mut reports: Vec<SimReport> = Vec::new();
-    let sim = Simulation::new(&trace, &subs, &schedule, config.clone());
+    let sim = Simulation::new(
+        trace.clone(),
+        subs.clone(),
+        schedule.clone(),
+        config.clone(),
+    );
     reports.push(sim.run(&mut Push::new(trace.node_count())));
 
     let bsub_config = BsubConfig::builder()
@@ -43,10 +48,15 @@ fn main() {
         .delay_limit(ttl)
         .build();
     let mut bsub = BsubProtocol::new(bsub_config, &subs);
-    let sim = Simulation::new(&trace, &subs, &schedule, config.clone());
+    let sim = Simulation::new(
+        trace.clone(),
+        subs.clone(),
+        schedule.clone(),
+        config.clone(),
+    );
     reports.push(sim.run(&mut bsub));
 
-    let sim = Simulation::new(&trace, &subs, &schedule, config);
+    let sim = Simulation::new(trace.clone(), subs.clone(), schedule.clone(), config);
     reports.push(sim.run(&mut Pull::new(trace.node_count())));
 
     println!(

@@ -38,14 +38,20 @@ fn tcbf_tour() {
 
     // Decay: 90 counter-units later the interest expires.
     relay.decay(90);
-    println!("Alive after decay(90): {}", relay.min_counter("Thanksgiving") > 0);
+    println!(
+        "Alive after decay(90): {}",
+        relay.min_counter("Thanksgiving") > 0
+    );
     relay.decay(10);
     println!("Alive after decay(100): {}", relay.contains("Thanksgiving"));
 
     // Preferential query: who is the better carrier for a key?
     let strong = Tcbf::from_keys(256, 4, 80, ["NewMoon"]);
     let weak = Tcbf::from_keys(256, 4, 30, ["NewMoon"]);
-    match strong.preference(&weak, "NewMoon").expect("same parameters") {
+    match strong
+        .preference(&weak, "NewMoon")
+        .expect("same parameters")
+    {
         Preference::Relative(v) => println!("strong vs weak preference: +{v}"),
         Preference::Absolute(v) => println!("absolute preference: {v}"),
     }
@@ -95,7 +101,12 @@ fn micro_scenario() {
 
     let config = BsubConfig::builder().df(DfMode::Fixed(0.01)).build();
     let mut bsub = BsubProtocol::new(config, &subs);
-    let sim = Simulation::new(&trace, &subs, &schedule, SimConfig::default());
+    let sim = Simulation::new(
+        trace.clone(),
+        subs.clone(),
+        schedule.clone(),
+        SimConfig::default(),
+    );
     let report = sim.run(&mut bsub);
 
     println!("{report}");

@@ -25,7 +25,10 @@ fn main() {
     // Who follows what? The trend weights skew the subscriptions.
     for key in keys::trend_keys().iter().take(4) {
         let followers = subs.subscribers_of(key.name).count();
-        println!("#{:<16} {:>2} followers (weight {:.3})", key.name, followers, key.weight);
+        println!(
+            "#{:<16} {:>2} followers (weight {:.3})",
+            key.name, followers, key.weight
+        );
     }
 
     let ttl = SimDuration::from_hours(20);
@@ -45,7 +48,7 @@ fn main() {
             ttl,
             ..SimConfig::default()
         };
-        let sim = Simulation::new(&trace, &subs, &schedule, sim_config);
+        let sim = Simulation::new(trace.clone(), subs.clone(), schedule.clone(), sim_config);
         let r = sim.run(&mut bsub);
         println!(
             "{:>10.2}  {:>9.3}  {:>10.1}  {:>8.2}  {:>9.0}",

@@ -118,7 +118,10 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("trace:               {}", trace.name());
             println!("nodes:               {}", s.nodes);
             println!("contacts:            {}", s.contacts);
-            println!("duration:            {:.2} days", s.duration.as_hours() / 24.0);
+            println!(
+                "duration:            {:.2} days",
+                s.duration.as_hours() / 24.0
+            );
             println!("contacts/node/day:   {:.1}", s.contacts_per_node_day);
             println!("mean contact:        {:.1} s", s.mean_contact_secs);
             println!("median contact:      {} s", s.median_contact_secs);
@@ -154,7 +157,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 options.ttl_mins,
                 options.protocol
             );
-            let sim = Simulation::new(&trace, &subs, &schedule, config);
+            let sim = Simulation::new(trace.clone(), subs.clone(), schedule.clone(), config);
             let report = match options.protocol.as_str() {
                 "push" => sim.run(&mut Push::new(trace.node_count())),
                 "pull" => sim.run(&mut Pull::new(trace.node_count())),
@@ -209,8 +212,16 @@ mod tests {
     #[test]
     fn flags_override_defaults() {
         let o = opts(&[
-            "--trace", "reality", "--protocol", "push", "--ttl-mins", "60", "--df", "0.5",
-            "--seed", "9",
+            "--trace",
+            "reality",
+            "--protocol",
+            "push",
+            "--ttl-mins",
+            "60",
+            "--df",
+            "0.5",
+            "--seed",
+            "9",
         ])
         .unwrap();
         assert_eq!(o.trace, "reality");

@@ -9,7 +9,13 @@ use bsub::traces::synthetic::SyntheticTrace;
 use bsub::traces::{ContactTrace, SimDuration};
 use bsub::workload::{interests, keys, WorkloadBuilder};
 
-fn environment(seed: u64) -> (ContactTrace, SubscriptionTable, Vec<bsub::sim::GeneratedMessage>) {
+fn environment(
+    seed: u64,
+) -> (
+    ContactTrace,
+    SubscriptionTable,
+    Vec<bsub::sim::GeneratedMessage>,
+) {
     let trace = SyntheticTrace::new("e2e", 24, SimDuration::from_hours(18), 4000)
         .communities(3)
         .seed(seed)
@@ -25,16 +31,26 @@ fn run_all(seed: u64, ttl: SimDuration) -> (SimReport, SimReport, SimReport) {
         ttl,
         ..SimConfig::default()
     };
-    let sim = Simulation::new(&trace, &subs, &schedule, config.clone());
+    let sim = Simulation::new(
+        trace.clone(),
+        subs.clone(),
+        schedule.clone(),
+        config.clone(),
+    );
     let push = sim.run(&mut Push::new(trace.node_count()));
-    let sim = Simulation::new(&trace, &subs, &schedule, config.clone());
+    let sim = Simulation::new(
+        trace.clone(),
+        subs.clone(),
+        schedule.clone(),
+        config.clone(),
+    );
     let pull = sim.run(&mut Pull::new(trace.node_count()));
     let bcfg = BsubConfig::builder()
         .df(DfMode::Auto { delta: 0.005 })
         .delay_limit(ttl)
         .build();
     let mut bsub_proto = BsubProtocol::new(bcfg, &subs);
-    let sim = Simulation::new(&trace, &subs, &schedule, config);
+    let sim = Simulation::new(trace.clone(), subs.clone(), schedule.clone(), config);
     let bsub = sim.run(&mut bsub_proto);
     (push, bsub, pull)
 }
@@ -144,9 +160,9 @@ fn bsub_broker_fraction_reasonable() {
         .build();
     let mut bsub = BsubProtocol::new(bcfg, &subs);
     let sim = Simulation::new(
-        &trace,
-        &subs,
-        &schedule,
+        trace.clone(),
+        subs.clone(),
+        schedule.clone(),
         SimConfig {
             ttl,
             ..SimConfig::default()
@@ -170,17 +186,25 @@ fn zero_ttl_allows_only_instant_delivery() {
         ttl: SimDuration::ZERO,
         ..SimConfig::default()
     };
-    let sim = Simulation::new(&trace, &subs, &schedule, config);
+    let sim = Simulation::new(trace.clone(), subs.clone(), schedule.clone(), config);
     let push = sim.run(&mut Push::new(trace.node_count()));
     assert_eq!(push.delay_secs_total, 0);
-    assert!(push.delivery_ratio() < 0.05, "near-zero window, near-zero delivery");
+    assert!(
+        push.delivery_ratio() < 0.05,
+        "near-zero window, near-zero delivery"
+    );
 }
 
 #[test]
 fn empty_schedule_is_quiet() {
     let (trace, subs, _) = environment(3);
     let schedule = Vec::new();
-    let sim = Simulation::new(&trace, &subs, &schedule, SimConfig::default());
+    let sim = Simulation::new(
+        trace.clone(),
+        subs.clone(),
+        schedule.clone(),
+        SimConfig::default(),
+    );
     let report = sim.run(&mut Push::new(trace.node_count()));
     assert_eq!(report.generated, 0);
     assert_eq!(report.delivered, 0);

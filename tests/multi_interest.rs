@@ -41,7 +41,12 @@ fn consumer_with_many_interests_gets_all_matching_keys() {
     ];
     let config = BsubConfig::builder().df(DfMode::Fixed(0.01)).build();
     let mut bsub = BsubProtocol::new(config, &subs);
-    let sim = Simulation::new(&trace, &subs, &schedule, SimConfig::default());
+    let sim = Simulation::new(
+        trace.clone(),
+        subs.clone(),
+        schedule.clone(),
+        SimConfig::default(),
+    );
     let report = sim.run(&mut bsub);
     assert_eq!(report.target_pairs, 3);
     assert_eq!(report.delivered, 3, "all three followed topics arrive");
@@ -69,7 +74,12 @@ fn broker_relays_for_multi_interest_consumer() {
     let schedule = vec![message(10, 1, "news"), message(20, 3, "music")];
     let config = BsubConfig::builder().df(DfMode::Fixed(0.001)).build();
     let mut bsub = BsubProtocol::new(config, &subs);
-    let sim = Simulation::new(&trace, &subs, &schedule, SimConfig::default());
+    let sim = Simulation::new(
+        trace.clone(),
+        subs.clone(),
+        schedule.clone(),
+        SimConfig::default(),
+    );
     let report = sim.run(&mut bsub);
     assert_eq!(report.delivered, 2, "both interests served via one broker");
 }
@@ -95,7 +105,12 @@ fn multiple_subscribers_per_key_all_count() {
     let schedule = vec![message(10, 3, "breaking")];
     let config = BsubConfig::builder().df(DfMode::Fixed(0.01)).build();
     let mut bsub = BsubProtocol::new(config, &subs);
-    let sim = Simulation::new(&trace, &subs, &schedule, SimConfig::default());
+    let sim = Simulation::new(
+        trace.clone(),
+        subs.clone(),
+        schedule.clone(),
+        SimConfig::default(),
+    );
     let report = sim.run(&mut bsub);
     assert_eq!(report.target_pairs, 3);
     assert_eq!(

@@ -21,7 +21,10 @@ fn worst_case_fpr_is_0_04() {
 #[test]
 fn single_key_costs_five_body_bytes() {
     let f = Tcbf::from_keys(256, 4, 50, ["NewMoon"]);
-    let body = wire::encode(&f, CounterMode::Shared).expect("encodes").len() - 8;
+    let body = wire::encode(&f, CounterMode::Shared)
+        .expect("encodes")
+        .len()
+        - 8;
     assert!(body <= 5, "body {body} bytes");
 }
 
@@ -32,7 +35,9 @@ fn tcbf_halves_interest_storage() {
     let keys: Vec<&str> = trend_keys().iter().map(|k| k.name).collect();
     let raw = wire::raw_strings_len(keys.iter().copied());
     let filter = Tcbf::from_keys(256, 4, 50, keys.iter().map(|s| s.as_bytes()));
-    let compressed = wire::encode(&filter, CounterMode::Full).expect("encodes").len();
+    let compressed = wire::encode(&filter, CounterMode::Full)
+        .expect("encodes")
+        .len();
     assert!(
         (compressed as f64) <= raw as f64 * 0.5,
         "compressed {compressed} vs raw {raw}"
@@ -109,7 +114,10 @@ fn splitting_lowers_joint_fpr() {
 fn wire_interop_roundtrip() {
     let original = Tcbf::from_keys(256, 4, 50, trend_keys().iter().map(|k| k.name));
     let bytes = wire::encode(&original, CounterMode::Full).expect("encodes");
-    let decoded = wire::decode(&bytes).expect("decodes").into_tcbf().expect("tcbf");
+    let decoded = wire::decode(&bytes)
+        .expect("decodes")
+        .into_tcbf()
+        .expect("tcbf");
     for k in trend_keys() {
         assert!(decoded.contains(k.name));
         assert_eq!(decoded.min_counter(k.name), original.min_counter(k.name));

@@ -90,7 +90,12 @@ fn parsed_trace_drives_a_simulation() {
         key: "news".into(),
         size: 100,
     }];
-    let sim = Simulation::new(&parsed, &subs, &schedule, SimConfig::default());
+    let sim = Simulation::new(
+        parsed.clone(),
+        subs.clone(),
+        schedule.clone(),
+        SimConfig::default(),
+    );
     let report = sim.run(&mut Push::new(parsed.node_count()));
     assert_eq!(report.generated, 1);
     // A dense 15-node trace floods one message through easily.
