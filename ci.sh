@@ -1,19 +1,37 @@
 #!/usr/bin/env bash
-# Local CI gate: build, tests, formatting, lints. Everything runs
-# offline — the workspace has no external dependencies.
+# Local CI gate: build, tests, formatting, lints, docs, and a smoke
+# run of the recording pipeline. Everything runs offline — the
+# workspace has no external dependencies.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 echo "== cargo build --release =="
 cargo build --release
 
-echo "== cargo test =="
-cargo test -q
+echo "== cargo test (workspace) =="
+cargo test --workspace -q
 
 echo "== cargo fmt --check =="
 cargo fmt --check
 
 echo "== cargo clippy -D warnings =="
 cargo clippy --all-targets -- -D warnings
+
+echo "== cargo doc -D warnings =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
+echo "== dynamics --smoke (recording pipeline) =="
+# A tiny synthetic trace exercises the event/time-series recorders end
+# to end; artifacts go to a scratch directory so the committed figure
+# CSVs are untouched.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+BSUB_RESULTS_DIR="$SMOKE_DIR" ./target/release/dynamics --smoke
+for artifact in timeseries_fig7.csv events_fig7.jsonl; do
+    test -s "$SMOKE_DIR/$artifact" || {
+        echo "missing smoke artifact: $artifact" >&2
+        exit 1
+    }
+done
 
 echo "CI OK"

@@ -1,6 +1,6 @@
 //! PULL: one-hop interest collection.
 
-use bsub_sim::{Link, Message, MessageId, Protocol, SimCtx};
+use bsub_sim::{Link, Message, MessageId, Protocol, SimCtx, TraceEvent};
 use bsub_traces::{ContactEvent, NodeId, SimTime};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -35,10 +35,18 @@ impl Pull {
         }
     }
 
-    fn prune(&mut self, node: NodeId, now: SimTime) {
-        self.nodes[node.index()]
-            .published
-            .retain(|m| !m.is_expired(now));
+    fn prune(&mut self, ctx: &mut SimCtx<'_>, node: NodeId, now: SimTime) {
+        let published = &mut self.nodes[node.index()].published;
+        let before = published.len();
+        published.retain(|m| !m.is_expired(now));
+        let dropped = (before - published.len()) as u64;
+        if dropped > 0 {
+            ctx.emit(|| TraceEvent::Expired {
+                at: now,
+                node,
+                count: dropped,
+            });
+        }
     }
 
     /// `consumer` pulls matching messages from `producer`'s published
@@ -97,10 +105,21 @@ impl Protocol for Pull {
     }
 
     fn on_contact(&mut self, ctx: &mut SimCtx<'_>, contact: &ContactEvent, link: &mut Link) {
-        self.prune(contact.a, ctx.now());
-        self.prune(contact.b, ctx.now());
+        let now = ctx.now();
+        self.prune(ctx, contact.a, now);
+        self.prune(ctx, contact.b, now);
         self.pull_from(ctx, link, contact.a, contact.b);
         self.pull_from(ctx, link, contact.b, contact.a);
+        // PULL never relays: the only buffered copies are the
+        // producers' own published stores.
+        ctx.emit(|| TraceEvent::Snapshot {
+            at: now,
+            brokers: 0,
+            buffered: self.nodes.iter().map(|n| n.published.len() as u64).sum(),
+            relay_fill: 0.0,
+            relay_fpr: 0.0,
+            max_counter: 0,
+        });
     }
 }
 

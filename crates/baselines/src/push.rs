@@ -1,6 +1,6 @@
 //! PUSH: epidemic flooding.
 
-use bsub_sim::{Link, Message, Protocol, SimCtx};
+use bsub_sim::{Link, Message, Protocol, SimCtx, TraceEvent};
 use bsub_traces::{ContactEvent, NodeId};
 use std::sync::Arc;
 
@@ -53,8 +53,9 @@ impl Push {
     /// Replicates from `src` to `dst` until the link budget runs out.
     fn replicate(&mut self, ctx: &mut SimCtx<'_>, link: &mut Link, src: NodeId, dst: NodeId) {
         let now = ctx.now();
+        let mut expired_now: u64 = 0;
         let words = self.has[src.index()].words.len();
-        for w in 0..words {
+        'sweep: for w in 0..words {
             let src_w = self.has[src.index()].word(w);
             let dst_w = self.has[dst.index()].word(w);
             let exp_w = self.expired.word(w);
@@ -66,10 +67,11 @@ impl Push {
                 let msg = &self.messages[id];
                 if msg.is_expired(now) {
                     self.expired.set(id);
+                    expired_now += 1;
                     continue;
                 }
                 if !ctx.transfer_message(link, msg) {
-                    return; // bandwidth exhausted for this direction
+                    break 'sweep; // bandwidth exhausted for this direction
                 }
                 self.has[dst.index()].set(id);
                 // A node hands a message to its application only when
@@ -79,6 +81,13 @@ impl Push {
                     let _ = ctx.deliver(dst, msg);
                 }
             }
+        }
+        if expired_now > 0 {
+            ctx.emit(|| TraceEvent::Expired {
+                at: now,
+                node: src,
+                count: expired_now,
+            });
         }
     }
 }
@@ -102,6 +111,17 @@ impl Protocol for Push {
     fn on_contact(&mut self, ctx: &mut SimCtx<'_>, contact: &ContactEvent, link: &mut Link) {
         self.replicate(ctx, link, contact.a, contact.b);
         self.replicate(ctx, link, contact.b, contact.a);
+        // PUSH has no brokers or filters; only the buffered-copy gauge
+        // is meaningful. The O(n) count runs only when recording.
+        let now = ctx.now();
+        ctx.emit(|| TraceEvent::Snapshot {
+            at: now,
+            brokers: 0,
+            buffered: self.known_live_copies() as u64,
+            relay_fill: 0.0,
+            relay_fpr: 0.0,
+            max_counter: 0,
+        });
     }
 }
 

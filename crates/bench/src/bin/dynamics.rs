@@ -1,0 +1,29 @@
+//! Regenerates the dynamics artifacts: `timeseries_fig7.csv` /
+//! `events_fig7.jsonl` (the Fig. 7 B-SUB run observed over time) and
+//! the `fig6_amerge` pair (the Additive-merge counter pathology).
+//! See DESIGN.md §3 and §7.
+//!
+//! `--smoke` runs the same pipeline on a small synthetic trace in a
+//! couple of seconds — CI uses it to keep the recording path honest
+//! without paying for the full Haggle-like replay.
+
+use bsub_bench::Experiment;
+use bsub_traces::synthetic::SyntheticTrace;
+use bsub_traces::SimDuration;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        let trace = SyntheticTrace::new("smoke", 16, SimDuration::from_hours(6), 900)
+            .seed(7)
+            .build();
+        let experiment = Experiment::over(trace, 7);
+        bsub_bench::experiments::dynamics_with(
+            &experiment,
+            SimDuration::from_mins(120),
+            SimDuration::from_mins(15),
+        );
+    } else {
+        bsub_bench::experiments::dynamics();
+    }
+}

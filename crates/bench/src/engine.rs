@@ -19,10 +19,44 @@
 //! [`crate::output::record_perf`]).
 
 use bsub_bloom::rng::SplitMix64;
-use bsub_sim::{Protocol, ProtocolFactory, SimReport, Simulation};
+use bsub_sim::{
+    EpochRow, EventLog, Protocol, ProtocolFactory, RunRecorder, SimReport, Simulation,
+    TimeSeriesRecorder,
+};
+use bsub_traces::SimDuration;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// What a run should record. The default records nothing, which keeps
+/// the run on the [`bsub_sim::NullRecorder`] fast path — the figure
+/// sweeps all use it, so observability never perturbs their CSVs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecordSpec {
+    /// Capture the full typed event log (rendered to JSONL by
+    /// [`crate::output::write_events`]).
+    pub events: bool,
+    /// Aggregate a per-epoch time series with this bucket width
+    /// (rendered to CSV by [`crate::output::write_timeseries`]).
+    pub series: Option<SimDuration>,
+}
+
+impl RecordSpec {
+    /// Whether anything is recorded at all.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.events || self.series.is_some()
+    }
+}
+
+/// The observability output of one recorded run.
+#[derive(Debug, Default)]
+pub struct RunRecording {
+    /// The typed event log, when [`RecordSpec::events`] was set.
+    pub events: Option<EventLog>,
+    /// Sealed per-epoch rows, when [`RecordSpec::series`] was set.
+    pub series: Vec<EpochRow>,
+}
 
 /// One independent simulation run: inputs + factory. The seed is
 /// assigned by the executor from the run's position in the sweep.
@@ -38,6 +72,8 @@ pub struct RunSpec {
     /// Builds the protocol instance for this run from the derived
     /// seed.
     pub factory: Box<dyn ProtocolFactory>,
+    /// What (if anything) to record while the run executes.
+    pub record: RecordSpec,
 }
 
 impl std::fmt::Debug for RunSpec {
@@ -75,6 +111,8 @@ pub struct RunRecord {
     pub report: SimReport,
     /// The protocol in its end-of-run state.
     pub protocol: Box<dyn Protocol>,
+    /// Captured observability output, when the spec asked for any.
+    pub recording: Option<RunRecording>,
     /// Wall-clock duration of this run (excluded from figure CSVs).
     pub wall: Duration,
 }
@@ -180,7 +218,27 @@ impl Executor {
                     let run = &spec.runs[index];
                     let seed = SplitMix64::mix(spec.master_seed, index as u64);
                     let run_started = Instant::now();
-                    let (report, protocol) = run.sim.run_factory(run.factory.as_ref(), seed);
+                    let (report, protocol, recording) = if run.record.is_enabled() {
+                        let mut recorder = RunRecorder {
+                            events: run.record.events.then(EventLog::new),
+                            series: run.record.series.map(TimeSeriesRecorder::new),
+                        };
+                        let (report, protocol) =
+                            run.sim
+                                .run_factory_recorded(run.factory.as_ref(), seed, &mut recorder);
+                        let end = run.sim.trace().duration();
+                        let recording = RunRecording {
+                            events: recorder.events,
+                            series: recorder
+                                .series
+                                .map(|s| s.into_rows(end))
+                                .unwrap_or_default(),
+                        };
+                        (report, protocol, Some(recording))
+                    } else {
+                        let (report, protocol) = run.sim.run_factory(run.factory.as_ref(), seed);
+                        (report, protocol, None)
+                    };
                     let wall = run_started.elapsed();
                     eprintln!(
                         "[{}] run {}/{} {}@{} done in {:.3}s",
@@ -197,6 +255,7 @@ impl Executor {
                         seed,
                         report,
                         protocol,
+                        recording,
                         wall,
                     });
                 });
@@ -253,6 +312,7 @@ mod tests {
                     label: "null".into(),
                     sim: sim.clone(),
                     factory: Box::new(|_seed: u64| Box::new(NullProtocol) as Box<dyn Protocol>),
+                    record: RecordSpec::default(),
                 })
                 .collect(),
         }

@@ -1,8 +1,10 @@
 //! One function per table/figure of the paper. See DESIGN.md §3 for
 //! the experiment index and EXPERIMENTS.md for recorded results.
 
-use crate::engine::{Executor, RunSpec, SweepSpec};
-use crate::output::{f1, f3, f4, record_perf, render_table, write_csv};
+use crate::engine::{Executor, RecordSpec, RunSpec, SweepSpec};
+use crate::output::{
+    f1, f3, f4, record_perf, render_table, write_csv, write_events, write_timeseries,
+};
 use crate::{Experiment, ProtocolKind, MASTER_SEED};
 use bsub_bloom::wire::{self, CounterMode};
 use bsub_bloom::{math, AllocationPlan, Tcbf};
@@ -119,6 +121,7 @@ pub fn ttl_sweep_spec(figure: &str, experiment: &Experiment) -> SweepSpec {
                 label: label.to_string(),
                 sim: experiment.sim(ttl),
                 factory: experiment.factory(kind, ttl),
+                record: RecordSpec::default(),
             });
         }
     }
@@ -207,6 +210,7 @@ pub fn df_sweep_spec(haggle: &Experiment, reality: &Experiment) -> SweepSpec {
                 label: label.to_string(),
                 sim: env.sim(ttl),
                 factory: env.factory(ProtocolKind::Bsub { df: mode }, ttl),
+                record: RecordSpec::default(),
             });
         }
     }
@@ -267,6 +271,118 @@ pub fn fig9() {
     record_perf(&outcome);
 }
 
+/// Declares the dynamics sweep: two recorded B-SUB runs over the same
+/// environment and TTL.
+///
+/// - `fig7` — the paper configuration (M-merge), i.e. the B-SUB run of
+///   the Fig. 7 scenario, now observed over time;
+/// - `fig6_amerge` — the same run with Additive broker↔broker merges,
+///   the misconfiguration whose unbounded counter growth Fig. 6 warns
+///   about.
+///
+/// Both runs record a time series (bucket width `bucket`) and the full
+/// event log; everything recorded derives from the deterministic event
+/// stream, so the artifacts are byte-identical at any worker count.
+#[must_use]
+pub fn dynamics_spec(experiment: &Experiment, ttl: SimDuration, bucket: SimDuration) -> SweepSpec {
+    let df = experiment.df_for_ttl(ttl);
+    let record = RecordSpec {
+        events: true,
+        series: Some(bucket),
+    };
+    let amerge = BsubConfig::builder()
+        .df(DfMode::Fixed(df))
+        .delay_limit(ttl)
+        .merge_rule(MergeRule::Additive)
+        .build();
+    SweepSpec {
+        name: "dynamics".to_string(),
+        master_seed: MASTER_SEED,
+        runs: vec![
+            RunSpec {
+                point: "fig7".to_string(),
+                label: "bsub".to_string(),
+                sim: experiment.sim(ttl),
+                factory: experiment.factory(
+                    ProtocolKind::Bsub {
+                        df: DfMode::Fixed(df),
+                    },
+                    ttl,
+                ),
+                record,
+            },
+            RunSpec {
+                point: "fig6_amerge".to_string(),
+                label: "bsub".to_string(),
+                sim: experiment.sim(ttl),
+                factory: experiment.bsub_factory(amerge),
+                record,
+            },
+        ],
+    }
+}
+
+/// Runs [`dynamics_spec`] and writes `timeseries_<point>.csv` and
+/// `events_<point>.jsonl` per run, plus a printed summary comparing
+/// the healthy M-merge counters against the A-merge pathology.
+pub fn dynamics_with(experiment: &Experiment, ttl: SimDuration, bucket: SimDuration) {
+    let spec = dynamics_spec(experiment, ttl, bucket);
+    let outcome = Executor::from_env().run(&spec);
+    let mut rows = Vec::new();
+    for record in &outcome.records {
+        let recording = record
+            .recording
+            .as_ref()
+            .expect("dynamics runs always record");
+        write_timeseries(&record.point, &recording.series);
+        if let Some(log) = &recording.events {
+            write_events(&record.point, log);
+        }
+        let last = recording.series.last();
+        let peak_counter = recording
+            .series
+            .iter()
+            .map(|r| r.max_counter)
+            .max()
+            .unwrap_or(0);
+        rows.push(vec![
+            record.point.clone(),
+            recording.series.len().to_string(),
+            last.map_or_else(|| "0".into(), |r| r.brokers.to_string()),
+            peak_counter.to_string(),
+            last.map_or_else(|| "0".into(), |r| format!("{:.6}", r.relay_fpr)),
+            f3(record.report.delivery_ratio()),
+        ]);
+    }
+    let headers = [
+        "run",
+        "epochs",
+        "final_brokers",
+        "peak_max_counter",
+        "final_relay_fpr",
+        "delivery",
+    ];
+    print!(
+        "{}",
+        render_table(
+            "dynamics — broker population & filter state over time",
+            &headers,
+            &rows
+        )
+    );
+    record_perf(&outcome);
+}
+
+/// The dynamics view of the Fig. 7 scenario: Haggle-like trace,
+/// TTL = 500 min, 30-minute epochs.
+pub fn dynamics() {
+    dynamics_with(
+        &Experiment::haggle(MASTER_SEED),
+        SimDuration::from_mins(500),
+        SimDuration::from_mins(30),
+    );
+}
+
 /// Ablation study of B-SUB's design choices (not a paper figure, but
 /// each row corresponds to an argument the paper makes in prose):
 ///
@@ -324,6 +440,7 @@ pub fn ablation() {
                 label: "bsub".to_string(),
                 sim: experiment.sim(ttl),
                 factory: experiment.bsub_factory(config.clone()),
+                record: RecordSpec::default(),
             })
             .collect(),
     };

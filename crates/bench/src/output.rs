@@ -6,6 +6,7 @@
 //! goes into them — [`record_perf`] writes it to separate artifacts.
 
 use crate::engine::SweepOutcome;
+use bsub_sim::{EpochRow, EventLog};
 use std::fmt::Write as _;
 use std::fs;
 use std::fs::OpenOptions;
@@ -66,6 +67,62 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     let path = results_dir().join(format!("{name}.csv"));
     fs::write(&path, out).expect("write CSV");
     println!("[written {}]", path.display());
+}
+
+/// Renders sealed epoch rows as `results/timeseries_<name>.csv`.
+///
+/// Every value comes from the deterministic event stream (see the
+/// `bsub-sim` record module), so the file is byte-identical across
+/// worker counts, like the figure CSVs.
+pub fn write_timeseries(name: &str, rows: &[EpochRow]) {
+    let headers = [
+        "epoch",
+        "end_mins",
+        "brokers",
+        "buffered",
+        "relay_fill",
+        "relay_fpr",
+        "max_counter",
+        "published",
+        "delivered",
+        "false_delivered",
+        "forwarded",
+        "injected",
+        "expired",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.epoch.to_string(),
+                f1(r.end_mins),
+                r.brokers.to_string(),
+                r.buffered.to_string(),
+                f4(r.relay_fill),
+                format!("{:.6}", r.relay_fpr),
+                r.max_counter.to_string(),
+                r.published.to_string(),
+                r.delivered.to_string(),
+                r.false_delivered.to_string(),
+                r.forwarded.to_string(),
+                r.injected.to_string(),
+                r.expired.to_string(),
+            ]
+        })
+        .collect();
+    write_csv(&format!("timeseries_{name}"), &headers, &body);
+}
+
+/// Renders an event log as `results/events_<name>.jsonl` — one JSON
+/// object per [`bsub_sim::TraceEvent`], in emission order.
+pub fn write_events(name: &str, log: &EventLog) {
+    let path = results_dir().join(format!("events_{name}.jsonl"));
+    fs::write(&path, log.to_jsonl()).expect("write event log");
+    println!(
+        "[written {} ({} events)]",
+        path.display(),
+        log.events().len()
+    );
 }
 
 /// Records a sweep's timing: per-run wall clocks as

@@ -3,7 +3,7 @@
 //! therefore any CSV rendered from them) are bit-identical whether
 //! the sweep runs on 1, 2, or 8 workers.
 
-use bsub_bench::engine::{Executor, RunSpec, SweepOutcome, SweepSpec};
+use bsub_bench::engine::{Executor, RecordSpec, RunSpec, SweepOutcome, SweepSpec};
 use bsub_bench::{Experiment, ProtocolKind};
 use bsub_core::DfMode;
 use bsub_traces::SimDuration;
@@ -42,6 +42,7 @@ fn fig7_shaped() -> SweepSpec {
                 label: label.to_string(),
                 sim: experiment.sim(ttl),
                 factory: experiment.factory(kind, ttl),
+                record: RecordSpec::default(),
             });
         }
     }
@@ -70,6 +71,7 @@ fn fig9_shaped() -> SweepSpec {
                 label: label.to_string(),
                 sim: env.sim(ttl),
                 factory: env.factory(ProtocolKind::Bsub { df: mode }, ttl),
+                record: RecordSpec::default(),
             });
         }
     }
@@ -121,6 +123,81 @@ fn fig9_shaped_sweep_is_worker_count_invariant() {
 
 /// The protocol instances come back too, in input order — the
 /// ablation experiment relies on this to read B-SUB diagnostics.
+/// A dynamics-shaped sweep: the same B-SUB run once silent and once
+/// with full recording (events + 15-minute time-series buckets).
+fn recorded_pair() -> SweepSpec {
+    let experiment = tiny("dyn", 53);
+    let ttl = SimDuration::from_mins(240);
+    let df = experiment.df_for_ttl(ttl);
+    let kind = ProtocolKind::Bsub {
+        df: DfMode::Fixed(df),
+    };
+    SweepSpec {
+        name: "recorded-pair".into(),
+        master_seed: 11,
+        runs: vec![
+            RunSpec {
+                point: "silent".into(),
+                label: "bsub".into(),
+                sim: experiment.sim(ttl),
+                factory: experiment.factory(kind, ttl),
+                record: RecordSpec::default(),
+            },
+            RunSpec {
+                point: "recorded".into(),
+                label: "bsub".into(),
+                sim: experiment.sim(ttl),
+                factory: experiment.factory(kind, ttl),
+                record: RecordSpec {
+                    events: true,
+                    series: Some(SimDuration::from_mins(15)),
+                },
+            },
+        ],
+    }
+}
+
+/// Recorders are pure observers: a run with full recording attached
+/// produces a report bit-identical to the same run on the
+/// NullRecorder fast path.
+#[test]
+fn recording_does_not_perturb_reports() {
+    let outcome = Executor::with_workers(2).run(&recorded_pair());
+    let [silent, recorded] = &outcome.records[..] else {
+        panic!("two runs expected")
+    };
+    assert_eq!(silent.report, recorded.report);
+    assert!(silent.recording.is_none());
+    let recording = recorded.recording.as_ref().expect("recording captured");
+    let events = recording.events.as_ref().expect("event log captured");
+    assert!(!events.events().is_empty(), "a live run emits events");
+    assert!(!recording.series.is_empty(), "epochs were sealed");
+}
+
+/// The recorded artifacts themselves are part of the determinism
+/// contract: identical JSONL and epoch rows at 1, 2, and 8 workers.
+#[test]
+fn recorded_artifacts_are_worker_count_invariant() {
+    let render = |workers: usize| {
+        let outcome = Executor::with_workers(workers).run(&recorded_pair());
+        let recording = outcome.records[1]
+            .recording
+            .as_ref()
+            .expect("recording captured");
+        let jsonl = recording
+            .events
+            .as_ref()
+            .expect("event log captured")
+            .to_jsonl();
+        (jsonl, format!("{:?}", recording.series))
+    };
+    let baseline = render(1);
+    assert!(baseline.0.lines().count() > 0);
+    for workers in WORKER_COUNTS {
+        assert_eq!(render(workers), baseline, "workers = {workers}");
+    }
+}
+
 #[test]
 fn protocols_return_in_input_order() {
     let outcome = Executor::with_workers(4).run(&fig7_shaped());

@@ -25,6 +25,12 @@
 //! setting it from a delay budget, and [`DfMode`] selects between a
 //! fixed DF, the online-adaptive variant, and no decay at all.
 //!
+//! Every protocol state transition — promotion/demotion, filter merge
+//! and decay, forwarding decision, injection, expiry — additionally
+//! emits a typed [`TraceEvent`] through the run's [`Recorder`]. With
+//! the default [`NullRecorder`] the emission closures are never run,
+//! so ordinary simulations pay nothing for the instrumentation.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -67,3 +73,11 @@ pub use crate::config::{
 };
 pub use crate::node::Role;
 pub use crate::protocol::BsubProtocol;
+
+// The observability surface: every emission site in this crate goes
+// through these types, so re-export them for callers that only depend
+// on `bsub-core`.
+pub use bsub_sim::{
+    EpochRow, EventLog, MergeKind, NullRecorder, PreferenceValue, Recorder, RunRecorder,
+    TimeSeriesRecorder, TraceEvent,
+};

@@ -94,9 +94,11 @@ impl RelayState {
     }
 
     /// Applies lazy decay up to `now` (filter and shadow identically).
-    pub fn decay_to(&mut self, now: SimTime) {
+    /// Returns the units subtracted from every counter (0 when the
+    /// accumulated fraction has not reached a whole unit yet).
+    pub fn decay_to(&mut self, now: SimTime) -> u32 {
         if now <= self.last_decay {
-            return;
+            return 0;
         }
         let minutes = (now - self.last_decay).as_mins();
         let amount = self.decayer.advance(minutes);
@@ -108,6 +110,7 @@ impl RelayState {
             });
         }
         self.last_decay = now;
+        amount
     }
 
     /// A-merges a consumer's genuine filter (and mirrors it in the
@@ -166,7 +169,7 @@ impl RelayState {
     pub fn on_consumer_contact(&mut self, now: SimTime, config: &BsubConfig) {
         self.contact_log.push_back(now);
         let cutoff = now.saturating_since(SimTime::ZERO + config.delay_limit);
-        let cutoff = SimTime::from_secs(cutoff.as_secs());
+        let cutoff = SimTime::ZERO + cutoff;
         while self.contact_log.front().is_some_and(|&t| t < cutoff) {
             self.contact_log.pop_front();
         }
@@ -237,10 +240,13 @@ impl NodeState {
         self.relay = None;
     }
 
-    /// Drops expired messages from both stores.
-    pub fn prune(&mut self, now: SimTime) {
+    /// Drops expired messages from both stores; returns how many
+    /// copies were dropped.
+    pub fn prune(&mut self, now: SimTime) -> u64 {
+        let before = self.store.len() + self.published.len();
         self.store.retain(|c| !c.msg.is_expired(now));
         self.published.retain(|p| !p.msg.is_expired(now));
+        (before - self.store.len() - self.published.len()) as u64
     }
 }
 

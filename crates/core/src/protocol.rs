@@ -44,7 +44,9 @@ use crate::broker::ElectionAction;
 use crate::config::BsubConfig;
 use crate::node::{Carried, NodeState, Produced, Role};
 use bsub_bloom::wire::{self, CounterMode};
-use bsub_sim::{Link, Message, Protocol, SimCtx, SubscriptionTable};
+use bsub_sim::{
+    Link, MergeKind, Message, PreferenceValue, Protocol, SimCtx, SubscriptionTable, TraceEvent,
+};
 use bsub_traces::{ContactEvent, NodeId, SimTime};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -132,18 +134,68 @@ impl BsubProtocol {
             .unwrap_or(0)
     }
 
-    fn housekeeping(&mut self, node: NodeId, now: SimTime) {
+    /// One [`TraceEvent::Snapshot`] of network-wide gauges: broker
+    /// population, buffered copies, mean relay fill / estimated FPR,
+    /// and the largest relay counter (the Fig. 6 quantity).
+    fn snapshot(&self, at: SimTime) -> TraceEvent {
+        let brokers = self.broker_count() as u64;
+        let buffered = self
+            .nodes
+            .iter()
+            .map(|n| (n.store.len() + n.published.len()) as u64)
+            .sum();
+        let relays: Vec<f64> = self
+            .nodes
+            .iter()
+            .filter_map(|n| n.relay.as_ref())
+            .map(|r| r.filter.fill_ratio())
+            .collect();
+        let relay_fill = if relays.is_empty() {
+            0.0
+        } else {
+            relays.iter().sum::<f64>() / relays.len() as f64
+        };
+        TraceEvent::Snapshot {
+            at,
+            brokers,
+            buffered,
+            relay_fill,
+            relay_fpr: relay_fill.powi(self.config.hashes as i32),
+            max_counter: self.max_relay_counter(),
+        }
+    }
+
+    fn housekeeping(&mut self, ctx: &mut SimCtx<'_>, node: NodeId, now: SimTime) {
         let state = &mut self.nodes[node.index()];
-        state.prune(now);
+        let dropped = state.prune(now);
         state.election.prune(now, self.config.window);
+        let mut decayed = None;
         if let Some(relay) = &mut state.relay {
-            relay.decay_to(now);
+            let amount = relay.decay_to(now);
+            if amount > 0 {
+                decayed = Some((amount, relay.filter.fill_ratio()));
+            }
+        }
+        if dropped > 0 {
+            ctx.emit(|| TraceEvent::Expired {
+                at: now,
+                node,
+                count: dropped,
+            });
+        }
+        if let Some((amount, fill)) = decayed {
+            ctx.emit(|| TraceEvent::FilterDecay {
+                at: now,
+                node,
+                amount,
+                fill,
+            });
         }
     }
 
     /// Step 3: sequential election, lower-id side first. A no-op under
     /// the static broker ablation.
-    fn election(&mut self, now: SimTime, a: NodeId, b: NodeId) {
+    fn election(&mut self, ctx: &mut SimCtx<'_>, now: SimTime, a: NodeId, b: NodeId) {
         if matches!(
             self.config.broker_policy,
             crate::config::BrokerPolicy::Static(_)
@@ -165,8 +217,22 @@ impl BsubProtocol {
                 ElectionAction::Keep
             };
             match action {
-                ElectionAction::Promote => self.nodes[peer.index()].promote(&self.config, now),
-                ElectionAction::Demote => self.nodes[peer.index()].demote(),
+                ElectionAction::Promote => {
+                    self.nodes[peer.index()].promote(&self.config, now);
+                    ctx.emit(|| TraceEvent::Promoted {
+                        at: now,
+                        node: peer,
+                        peer: me,
+                    });
+                }
+                ElectionAction::Demote => {
+                    self.nodes[peer.index()].demote();
+                    ctx.emit(|| TraceEvent::Demoted {
+                        at: now,
+                        node: peer,
+                        peer: me,
+                    });
+                }
                 ElectionAction::Keep => {}
             }
             // Record the peer's post-action role: a user that just
@@ -221,6 +287,13 @@ impl BsubProtocol {
             self.config.initial_counter,
         );
         relay.on_consumer_contact(now, &self.config);
+        let fill = relay.filter.fill_ratio();
+        ctx.emit(|| TraceEvent::FilterMerge {
+            at: now,
+            node: broker,
+            kind: MergeKind::Reinforce,
+            fill,
+        });
         true
     }
 
@@ -323,7 +396,6 @@ impl BsubProtocol {
             .filter
             .to_bloom();
         let mut budget_hit = false;
-        let mut injections: Vec<bool> = Vec::new();
         for produced in &mut producer_state.published {
             if produced.copies_left == 0
                 || produced.msg.is_expired(now)
@@ -337,22 +409,18 @@ impl BsubProtocol {
                 break;
             }
             // Ground truth: was this acceptance a pure Bloom FP?
-            injections.push(
-                !broker_state
-                    .relay
-                    .as_ref()
-                    .expect("broker")
-                    .truly_holds(&produced.msg.key),
-            );
+            let fp = !broker_state
+                .relay
+                .as_ref()
+                .expect("broker")
+                .truly_holds(&produced.msg.key);
             produced.copies_left -= 1;
             broker_state.seen.insert(produced.msg.id);
             broker_state.store.push(Carried {
                 msg: Arc::clone(&produced.msg),
                 delivered_to: HashSet::new(),
             });
-        }
-        for fp in injections {
-            ctx.record_injection(fp);
+            ctx.record_injection(broker, &produced.msg, fp);
         }
         // "The message is removed from the producer's memory after its
         // copy number reaches the limit."
@@ -409,17 +477,30 @@ impl BsubProtocol {
         // before merging their relay filters"). M-merge per the paper;
         // the Additive rule exists to reproduce Fig. 6's pathology.
         let rule = self.config.merge_rule;
+        let kind = match rule {
+            crate::config::MergeRule::Maximum => MergeKind::RelayMax,
+            crate::config::MergeRule::Additive => MergeKind::RelayAdditive,
+        };
+        let now = ctx.now();
         let (state_a, state_b) = two(&mut self.nodes, a.index(), b.index());
-        state_a
-            .relay
-            .as_mut()
-            .expect("broker")
-            .absorb_relay(&filter_b, &shadow_b, rule);
-        state_b
-            .relay
-            .as_mut()
-            .expect("broker")
-            .absorb_relay(&filter_a, &shadow_a, rule);
+        let relay_a = state_a.relay.as_mut().expect("broker");
+        relay_a.absorb_relay(&filter_b, &shadow_b, rule);
+        let fill_a = relay_a.filter.fill_ratio();
+        let relay_b = state_b.relay.as_mut().expect("broker");
+        relay_b.absorb_relay(&filter_a, &shadow_a, rule);
+        let fill_b = relay_b.filter.fill_ratio();
+        ctx.emit(|| TraceEvent::FilterMerge {
+            at: now,
+            node: a,
+            kind,
+            fill: fill_a,
+        });
+        ctx.emit(|| TraceEvent::FilterMerge {
+            at: now,
+            node: b,
+            kind,
+            fill: fill_b,
+        });
         ok
     }
 
@@ -464,14 +545,34 @@ impl BsubProtocol {
         // forwarded first."
         candidates.sort_by_key(|&(_, pref)| std::cmp::Reverse(pref));
 
+        let preferential = matches!(
+            self.config.forwarding,
+            crate::config::ForwardingPolicy::Preferential
+        );
         let mut moved: Vec<usize> = Vec::new();
         let mut ok = true;
-        for (idx, _) in candidates {
+        for (idx, pref) in candidates {
             let msg = Arc::clone(&self.nodes[src.index()].store[idx].msg);
             if !ctx.transfer_message(link, &msg) {
                 ok = false;
                 break;
             }
+            ctx.emit(|| TraceEvent::ForwardingDecision {
+                at: now,
+                from: src,
+                to: dst,
+                msg: msg.id,
+                preference: preferential.then_some(match pref {
+                    bsub_bloom::Preference::Relative(v) => PreferenceValue {
+                        absolute: false,
+                        value: v,
+                    },
+                    bsub_bloom::Preference::Absolute(v) => PreferenceValue {
+                        absolute: true,
+                        value: v,
+                    },
+                }),
+            });
             moved.push(idx);
         }
         // "Messages are removed from brokers' memory after being
@@ -507,8 +608,8 @@ impl Protocol for BsubProtocol {
         let now = ctx.now();
 
         // 1. Housekeeping.
-        self.housekeeping(a, now);
-        self.housekeeping(b, now);
+        self.housekeeping(ctx, a, now);
+        self.housekeeping(ctx, b, now);
 
         // 2. Identity beacons.
         if !ctx.send_control(link, 2 * IDENTITY_BYTES) {
@@ -516,7 +617,7 @@ impl Protocol for BsubProtocol {
         }
 
         // 3. Election (may change roles for the rest of the contact).
-        self.election(now, a, b);
+        self.election(ctx, now, a, b);
 
         // 4. Interest propagation (consumer → broker, both directions).
         let a_is_broker = self.nodes[a.index()].is_broker();
@@ -548,6 +649,11 @@ impl Protocol for BsubProtocol {
 
         // 5d: broker ↔ broker preferential handoff + M-merge.
         let _ = self.broker_exchange(ctx, link, a, b);
+
+        // Observability: one network-wide gauge sample per contact. The
+        // O(n) walk happens inside the closure, so a NullRecorder run
+        // never pays for it.
+        ctx.emit(|| self.snapshot(now));
     }
 }
 

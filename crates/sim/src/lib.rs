@@ -15,6 +15,11 @@
 //! B-SUB itself (in `bsub-core`) — all implement [`Protocol`], so one
 //! [`Simulation`] run produces directly comparable reports.
 //!
+//! Runs can additionally stream typed [`TraceEvent`]s into a
+//! [`Recorder`] ([`Simulation::run_recorded`]) for time-series and
+//! event-log observability; the default [`NullRecorder`] makes the
+//! tracing layer free — see the [`record`] module.
+//!
 //! [`ContactTrace`]: bsub_traces::ContactTrace
 //!
 //! # Quickstart
@@ -49,6 +54,7 @@ mod link;
 mod message;
 pub mod metrics;
 pub mod protocols;
+pub mod record;
 mod runner;
 mod subscriptions;
 
@@ -56,5 +62,9 @@ pub use crate::link::Link;
 pub use crate::message::{Message, MessageId};
 pub use crate::metrics::{DeliveryOutcome, MetricsCollector, SimReport};
 pub use crate::protocols::{NullProtocol, Protocol, ProtocolFactory, SimCtx};
+pub use crate::record::{
+    EpochRow, EventLog, MergeKind, NullRecorder, PreferenceValue, Recorder, RunRecorder,
+    TimeSeriesRecorder, TraceEvent,
+};
 pub use crate::runner::{GeneratedMessage, SimConfig, Simulation};
 pub use crate::subscriptions::SubscriptionTable;

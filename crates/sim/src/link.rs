@@ -25,9 +25,14 @@ impl Link {
 
     /// A link for a contact of the given duration at
     /// `bytes_per_sec` effective rate.
+    ///
+    /// The budget is computed at the clock's millisecond resolution
+    /// (`⌊ms × rate / 1000⌋`), which for whole-second durations equals
+    /// the plain `secs × rate` product exactly.
     #[must_use]
     pub fn for_contact(duration: SimDuration, bytes_per_sec: u64) -> Self {
-        Self::with_budget(duration.as_secs().saturating_mul(bytes_per_sec))
+        let budget = u128::from(duration.as_millis()) * u128::from(bytes_per_sec) / 1000;
+        Self::with_budget(u64::try_from(budget).unwrap_or(u64::MAX))
     }
 
     /// Attempts to transfer `bytes`; on success the budget is debited.
@@ -102,5 +107,13 @@ mod tests {
     fn zero_duration_contact_has_no_budget() {
         let l = Link::for_contact(SimDuration::ZERO, 31_250);
         assert_eq!(l.budget(), 0);
+    }
+
+    #[test]
+    fn sub_second_contact_gets_proportional_budget() {
+        // 400 ms at 31,250 B/s = 12,500 bytes (was 0 at whole-second
+        // resolution).
+        let l = Link::for_contact(SimDuration::from_millis(400), 31_250);
+        assert_eq!(l.budget(), 12_500);
     }
 }

@@ -22,7 +22,7 @@
 //! measurable too.
 
 use crate::message::{Message, MessageId};
-use bsub_traces::{NodeId, SimTime};
+use bsub_traces::{NodeId, SimDuration, SimTime};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -51,7 +51,7 @@ pub struct MetricsCollector {
     target_pairs: u64,
     delivered: HashSet<(MessageId, NodeId)>,
     false_delivered: HashSet<(MessageId, NodeId)>,
-    delay_secs_total: u64,
+    delay_total: SimDuration,
     forwardings: u64,
     control_bytes: u64,
     data_bytes: u64,
@@ -123,7 +123,7 @@ impl MetricsCollector {
             if !self.delivered.insert(pair) {
                 return DeliveryOutcome::Duplicate;
             }
-            self.delay_secs_total += msg.age(now).as_secs();
+            self.delay_total += msg.age(now);
             DeliveryOutcome::Genuine
         } else {
             if !self.false_delivered.insert(pair) {
@@ -142,7 +142,7 @@ impl MetricsCollector {
             target_pairs: self.target_pairs,
             delivered: self.delivered.len() as u64,
             false_delivered: self.false_delivered.len() as u64,
-            delay_secs_total: self.delay_secs_total,
+            delay_total: self.delay_total,
             forwardings: self.forwardings,
             control_bytes: self.control_bytes,
             data_bytes: self.data_bytes,
@@ -166,8 +166,9 @@ pub struct SimReport {
     pub delivered: u64,
     /// False deliveries (consumer never subscribed to the key).
     pub false_delivered: u64,
-    /// Sum of delivery delays in seconds, over genuine deliveries.
-    pub delay_secs_total: u64,
+    /// Sum of delivery delays at the clock's native (millisecond)
+    /// resolution, over genuine deliveries.
+    pub delay_total: SimDuration,
     /// Total message transmissions.
     pub forwardings: u64,
     /// Control bytes moved (filters, beacons).
@@ -201,7 +202,7 @@ impl SimReport {
         if self.delivered == 0 {
             0.0
         } else {
-            self.delay_secs_total as f64 / 60.0 / self.delivered as f64
+            self.delay_total.as_mins() / self.delivered as f64
         }
     }
 
@@ -304,6 +305,30 @@ mod tests {
         assert_eq!(r.delivered, 1);
         assert!((r.delivery_ratio() - 0.5).abs() < 1e-12);
         assert!((r.mean_delay_mins() - 1.0).abs() < 1e-12);
+    }
+
+    /// Regression test: delays accumulate at the clock's native
+    /// millisecond resolution. The old collector summed whole seconds
+    /// (`age().as_secs()`), which truncated every sub-second delay to
+    /// zero — on a sub-second contact trace the mean delay read 0.
+    #[test]
+    fn sub_second_delays_are_not_truncated() {
+        let mut m = MetricsCollector::new();
+        m.on_generated(2);
+        let message = msg(1, 0, 1000);
+        // Two deliveries at 400 ms and 700 ms.
+        assert_eq!(
+            m.on_delivery(&message, NodeId::new(1), SimTime::from_millis(400), true),
+            DeliveryOutcome::Genuine
+        );
+        assert_eq!(
+            m.on_delivery(&message, NodeId::new(2), SimTime::from_millis(700), true),
+            DeliveryOutcome::Genuine
+        );
+        let r = m.finish("t");
+        assert_eq!(r.delay_total, SimDuration::from_millis(1100));
+        // Mean delay: 550 ms = 0.55 s.
+        assert!((r.mean_delay_mins() - 0.55 / 60.0).abs() < 1e-12);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::link::Link;
 use crate::message::Message;
 use crate::metrics::{DeliveryOutcome, MetricsCollector};
+use crate::record::{Recorder, TraceEvent};
 use crate::subscriptions::SubscriptionTable;
 use bsub_traces::{ContactEvent, NodeId, SimTime};
 use std::sync::Arc;
@@ -12,12 +13,22 @@ use std::sync::Arc;
 ///
 /// It is the only way a protocol can move bytes or deliver messages,
 /// which keeps the accounting honest: every transfer debits the
-/// contact's [`Link`] and is recorded by the metrics.
-#[derive(Debug)]
+/// contact's [`Link`] and is recorded by the metrics. It also carries
+/// the run's [`Recorder`]; see [`SimCtx::emit`].
 pub struct SimCtx<'a> {
     now: SimTime,
     subscriptions: &'a SubscriptionTable,
     metrics: &'a mut MetricsCollector,
+    recorder: &'a mut dyn Recorder,
+}
+
+impl std::fmt::Debug for SimCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCtx")
+            .field("now", &self.now)
+            .field("recording", &self.recorder.is_active())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> SimCtx<'a> {
@@ -25,11 +36,13 @@ impl<'a> SimCtx<'a> {
         now: SimTime,
         subscriptions: &'a SubscriptionTable,
         metrics: &'a mut MetricsCollector,
+        recorder: &'a mut dyn Recorder,
     ) -> Self {
         Self {
             now,
             subscriptions,
             metrics,
+            recorder,
         }
     }
 
@@ -49,6 +62,20 @@ impl<'a> SimCtx<'a> {
         self.subscriptions
     }
 
+    /// Emits a trace event to the run's [`Recorder`].
+    ///
+    /// The event is built lazily: `make` runs only when the recorder is
+    /// active, so with the default [`crate::NullRecorder`] an emission
+    /// site costs a single branch and never constructs the event. Emit
+    /// *after* applying the state change the event describes — a
+    /// recorder must observe the run, never steer it.
+    pub fn emit(&mut self, make: impl FnOnce() -> TraceEvent) {
+        if self.recorder.is_active() {
+            let event = make();
+            self.recorder.record(&event);
+        }
+    }
+
     /// Sends `bytes` of control traffic (filters, beacons, requests)
     /// over the link. Returns whether it fit in the remaining budget.
     pub fn send_control(&mut self, link: &mut Link, bytes: u64) -> bool {
@@ -61,22 +88,32 @@ impl<'a> SimCtx<'a> {
     }
 
     /// Transmits one message over the link (a *forwarding*). Returns
-    /// whether it fit in the remaining budget.
+    /// whether it fit in the remaining budget. Emits
+    /// [`TraceEvent::Forwarded`] on success.
     pub fn transfer_message(&mut self, link: &mut Link, msg: &Message) -> bool {
         if link.try_transfer(u64::from(msg.size)) {
             self.metrics.on_forwarding(u64::from(msg.size));
+            let (at, id, bytes) = (self.now, msg.id, u64::from(msg.size));
+            self.emit(|| TraceEvent::Forwarded { at, msg: id, bytes });
             true
         } else {
             false
         }
     }
 
-    /// Records a relay injection (a copy accepted because a filter
-    /// matched), with `false_positive` flagging pure Bloom-FP
-    /// acceptances — see
-    /// [`MetricsCollector::on_injection`].
-    pub fn record_injection(&mut self, false_positive: bool) {
+    /// Records a relay injection (a copy accepted by `broker` because a
+    /// filter matched), with `false_positive` flagging pure Bloom-FP
+    /// acceptances — see [`MetricsCollector::on_injection`]. Emits
+    /// [`TraceEvent::Injected`].
+    pub fn record_injection(&mut self, broker: NodeId, msg: &Message, false_positive: bool) {
         self.metrics.on_injection(false_positive);
+        let (at, id) = (self.now, msg.id);
+        self.emit(|| TraceEvent::Injected {
+            at,
+            msg: id,
+            broker,
+            false_positive,
+        });
     }
 
     /// Hands `msg` to consumer `to` (the final step of forwarding; the
@@ -85,10 +122,24 @@ impl<'a> SimCtx<'a> {
     /// consuming a message out of its own store).
     ///
     /// Ground truth decides whether the delivery is genuine or a false
-    /// positive of the protocol's filter chain.
+    /// positive of the protocol's filter chain. First deliveries emit
+    /// [`TraceEvent::Delivered`].
     pub fn deliver(&mut self, to: NodeId, msg: &Message) -> DeliveryOutcome {
         let genuine = self.subscriptions.is_interested(to, &msg.key);
-        self.metrics.on_delivery(msg, to, self.now, genuine)
+        let outcome = self.metrics.on_delivery(msg, to, self.now, genuine);
+        if matches!(
+            outcome,
+            DeliveryOutcome::Genuine | DeliveryOutcome::FalsePositive
+        ) {
+            let (at, id) = (self.now, msg.id);
+            self.emit(|| TraceEvent::Delivered {
+                at,
+                msg: id,
+                node: to,
+                genuine,
+            });
+        }
+        outcome
     }
 }
 
@@ -184,7 +235,8 @@ mod tests {
     fn send_control_debits_link_and_records() {
         let mut metrics = MetricsCollector::new();
         let subs = SubscriptionTable::new(2);
-        let mut ctx = SimCtx::new(SimTime::ZERO, &subs, &mut metrics);
+        let mut rec = crate::record::NullRecorder;
+        let mut ctx = SimCtx::new(SimTime::ZERO, &subs, &mut metrics, &mut rec);
         let mut link = Link::with_budget(50);
         assert!(ctx.send_control(&mut link, 30));
         assert!(!ctx.send_control(&mut link, 30), "budget exceeded");
@@ -196,7 +248,8 @@ mod tests {
     fn transfer_message_records_forwarding() {
         let mut metrics = MetricsCollector::new();
         let subs = SubscriptionTable::new(2);
-        let mut ctx = SimCtx::new(SimTime::ZERO, &subs, &mut metrics);
+        let mut rec = crate::record::NullRecorder;
+        let mut ctx = SimCtx::new(SimTime::ZERO, &subs, &mut metrics, &mut rec);
         let mut link = Link::with_budget(150);
         assert!(ctx.transfer_message(&mut link, &message()));
         assert!(!ctx.transfer_message(&mut link, &message()));
@@ -211,7 +264,8 @@ mod tests {
         let mut subs = SubscriptionTable::new(3);
         subs.subscribe(NodeId::new(1), "k");
         metrics.on_generated(1);
-        let mut ctx = SimCtx::new(SimTime::from_secs(60), &subs, &mut metrics);
+        let mut rec = crate::record::NullRecorder;
+        let mut ctx = SimCtx::new(SimTime::from_secs(60), &subs, &mut metrics, &mut rec);
         let msg = message();
         assert_eq!(ctx.deliver(NodeId::new(1), &msg), DeliveryOutcome::Genuine);
         assert_eq!(
@@ -227,7 +281,8 @@ mod tests {
     fn null_protocol_is_inert() {
         let mut metrics = MetricsCollector::new();
         let subs = SubscriptionTable::new(2);
-        let mut ctx = SimCtx::new(SimTime::ZERO, &subs, &mut metrics);
+        let mut rec = crate::record::NullRecorder;
+        let mut ctx = SimCtx::new(SimTime::ZERO, &subs, &mut metrics, &mut rec);
         let mut link = Link::with_budget(1000);
         let mut p = NullProtocol;
         p.on_message(&mut ctx, &Arc::new(message()));

@@ -5,6 +5,7 @@ use crate::link::Link;
 use crate::message::{Message, MessageId};
 use crate::metrics::{MetricsCollector, SimReport};
 use crate::protocols::{Protocol, ProtocolFactory, SimCtx};
+use crate::record::{NullRecorder, Recorder, TraceEvent};
 use crate::subscriptions::SubscriptionTable;
 use bsub_traces::{ContactTrace, NodeId, SimDuration, SimTime};
 use std::sync::Arc;
@@ -130,8 +131,28 @@ impl Simulation {
     /// time `t` are handed to the protocol before contacts *starting*
     /// at `t`. Each contact's link budget is its duration times the
     /// configured rate.
+    ///
+    /// Equivalent to [`Simulation::run_recorded`] with a
+    /// [`NullRecorder`], which is free: no trace events are built.
     #[must_use]
     pub fn run(&self, protocol: &mut dyn Protocol) -> SimReport {
+        self.run_recorded(protocol, &mut NullRecorder)
+    }
+
+    /// Replays the trace through `protocol` while streaming
+    /// [`TraceEvent`]s into `recorder`.
+    ///
+    /// [`TraceEvent`]: crate::TraceEvent
+    ///
+    /// The recorder is a pure observer — the metrics path is identical
+    /// to [`Simulation::run`] and the returned report is bit-identical
+    /// whether or not a recorder is attached.
+    #[must_use]
+    pub fn run_recorded(
+        &self,
+        protocol: &mut dyn Protocol,
+        recorder: &mut dyn Recorder,
+    ) -> SimReport {
         let mut metrics = MetricsCollector::new();
         let mut next_id = 0u64;
         let mut schedule = self.schedule.iter().peekable();
@@ -139,7 +160,8 @@ impl Simulation {
         let mut publish_until = |until: SimTime,
                                  inclusive: bool,
                                  metrics: &mut MetricsCollector,
-                                 protocol: &mut dyn Protocol| {
+                                 protocol: &mut dyn Protocol,
+                                 recorder: &mut dyn Recorder| {
             while let Some(next) = schedule.peek() {
                 let due = if inclusive {
                     next.at <= until
@@ -167,21 +189,47 @@ impl Simulation {
                     .filter(|&n| n != msg.producer)
                     .count() as u64;
                 metrics.on_generated(targets);
-                let mut ctx = SimCtx::new(spec.at, &self.subscriptions, metrics);
+                let mut ctx = SimCtx::new(spec.at, &self.subscriptions, metrics, recorder);
+                ctx.emit(|| TraceEvent::Published {
+                    at: spec.at,
+                    msg: msg.id,
+                    producer: msg.producer,
+                    key: Arc::clone(&msg.key),
+                    size: msg.size,
+                    targets,
+                });
                 protocol.on_message(&mut ctx, &msg);
             }
         };
 
         for contact in self.trace.iter() {
-            publish_until(contact.start, true, &mut metrics, protocol);
+            publish_until(contact.start, true, &mut metrics, protocol, recorder);
             metrics.on_contact();
             let mut link = Link::for_contact(contact.duration(), self.config.bytes_per_sec);
-            let mut ctx = SimCtx::new(contact.start, &self.subscriptions, &mut metrics);
+            let mut ctx = SimCtx::new(contact.start, &self.subscriptions, &mut metrics, recorder);
+            ctx.emit(|| TraceEvent::ContactBegin {
+                at: contact.start,
+                a: contact.a,
+                b: contact.b,
+                budget: link.budget(),
+            });
             protocol.on_contact(&mut ctx, contact, &mut link);
+            ctx.emit(|| TraceEvent::ContactEnd {
+                at: contact.start,
+                a: contact.a,
+                b: contact.b,
+                used: link.used(),
+            });
         }
         // Messages published after the last contact still count as
         // generated (they can never be delivered).
-        publish_until(SimTime::from_secs(u64::MAX), true, &mut metrics, protocol);
+        publish_until(
+            SimTime::from_millis(u64::MAX),
+            true,
+            &mut metrics,
+            protocol,
+            recorder,
+        );
 
         metrics.finish(protocol.name())
     }
@@ -198,8 +246,20 @@ impl Simulation {
         factory: &dyn ProtocolFactory,
         seed: u64,
     ) -> (SimReport, Box<dyn Protocol>) {
+        self.run_factory_recorded(factory, seed, &mut NullRecorder)
+    }
+
+    /// [`Simulation::run_factory`] with a recorder attached — see
+    /// [`Simulation::run_recorded`].
+    #[must_use]
+    pub fn run_factory_recorded(
+        &self,
+        factory: &dyn ProtocolFactory,
+        seed: u64,
+        recorder: &mut dyn Recorder,
+    ) -> (SimReport, Box<dyn Protocol>) {
         let mut protocol = factory.build(seed);
-        let report = self.run(&mut *protocol);
+        let report = self.run_recorded(&mut *protocol, recorder);
         (report, protocol)
     }
 }
@@ -416,7 +476,8 @@ mod tests {
             ttl: SimDuration::from_hours(1),
             producer: NodeId::new(0),
         };
-        let mut ctx = SimCtx::new(SimTime::from_secs(1), &subs, &mut metrics);
+        let mut rec = crate::record::NullRecorder;
+        let mut ctx = SimCtx::new(SimTime::from_secs(1), &subs, &mut metrics, &mut rec);
         assert_eq!(ctx.deliver(NodeId::new(1), &msg), DeliveryOutcome::Genuine);
         assert_eq!(
             ctx.deliver(NodeId::new(1), &msg),

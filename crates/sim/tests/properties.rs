@@ -76,7 +76,11 @@ impl Protocol for ChaoticProtocol {
                     }
                 }
                 _ => {
-                    ctx.record_injection(roll % 7 == 0);
+                    if !self.inbox.is_empty() {
+                        let idx = (self.next() as usize) % self.inbox.len();
+                        let msg = Arc::clone(&self.inbox[idx]);
+                        ctx.record_injection(contact.a, &msg, roll % 7 == 0);
+                    }
                 }
             }
         }
@@ -188,10 +192,10 @@ fn accounting_always_consistent() {
         );
         // Delays only accrue for delivered pairs within TTL.
         if report.delivered == 0 {
-            assert_eq!(report.delay_secs_total, 0);
+            assert!(report.delay_total.is_zero());
         } else {
-            let max_delay = SimConfig::default().ttl.as_secs() * report.delivered;
-            assert!(report.delay_secs_total <= max_delay);
+            let max_delay = SimConfig::default().ttl.as_millis() * report.delivered;
+            assert!(report.delay_total.as_millis() <= max_delay);
         }
     });
 }

@@ -187,9 +187,9 @@ impl ContactTrace {
                 ContactEvent::new(
                     e.a,
                     e.b,
-                    SimTime::from_secs((e.start - from).as_secs()),
+                    SimTime::ZERO + (e.start - from),
                     // Clip contacts that outlive the window.
-                    SimTime::from_secs((e.end.min(until) - from).as_secs()),
+                    SimTime::ZERO + (e.end.min(until) - from),
                 )
             })
             .collect();

@@ -108,7 +108,10 @@ fn parse_lines(name: &str, input: &str, format: LineFormat) -> Result<ContactTra
             })
         };
         let (a, b) = (num(fields[0])?, num(fields[1])?);
-        let (start, end) = (num(fields[2])?, num(fields[3])?);
+        let (start, end) = (
+            parse_timestamp_millis(fields[2], lineno)?,
+            parse_timestamp_millis(fields[3], lineno)?,
+        );
         if end < start {
             return Err(ParseError::InvertedInterval { line: lineno });
         }
@@ -158,12 +161,46 @@ fn parse_lines(name: &str, input: &str, format: LineFormat) -> Result<ContactTra
             ContactEvent::new(
                 NodeId::new(a as u32),
                 NodeId::new(b as u32),
-                SimTime::from_secs(s - t0),
-                SimTime::from_secs(e - t0),
+                SimTime::from_millis(s - t0),
+                SimTime::from_millis(e - t0),
             )
         })
         .collect();
     ContactTrace::new(name, nodes, events)
+}
+
+/// Parses a timestamp in seconds — either a plain integer (`1096000600`)
+/// or a decimal with a fractional part (`117.25`, as in some Bluetooth
+/// sighting exports) — into whole milliseconds. Fractional digits
+/// beyond millisecond resolution are truncated.
+fn parse_timestamp_millis(text: &str, lineno: usize) -> Result<u64, ParseError> {
+    let bad = || ParseError::BadNumber {
+        line: lineno,
+        text: text.to_owned(),
+    };
+    match text.split_once('.') {
+        None => {
+            let secs: u64 = text.parse().map_err(|_| bad())?;
+            secs.checked_mul(1000).ok_or_else(bad)
+        }
+        Some((whole, frac)) => {
+            if frac.is_empty() || !frac.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(bad());
+            }
+            let secs: u64 = whole.parse().map_err(|_| bad())?;
+            let mut millis = 0u64;
+            for &digit in frac.as_bytes().iter().take(3) {
+                millis = millis * 10 + u64::from(digit - b'0');
+            }
+            // Scale up short fractions: ".2" is 200 ms, not 2 ms.
+            for _ in frac.len()..3 {
+                millis *= 10;
+            }
+            secs.checked_mul(1000)
+                .and_then(|ms| ms.checked_add(millis))
+                .ok_or_else(bad)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -280,5 +317,32 @@ person_a,person_b,starttime,endtime
     fn crlf_input_parses() {
         let t = parse_reality("r", "0,1,0,10\r\n1,2,5,15\r\n").unwrap();
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn fractional_second_timestamps_parse() {
+        let t = parse_reality("r", "0,1,10.5,12.25\n1,2,13.2,14\n").unwrap();
+        assert_eq!(t.events()[0].start.as_millis(), 0);
+        assert_eq!(t.events()[0].end.as_millis(), 1750);
+        assert_eq!(t.events()[1].start.as_millis(), 2700);
+        assert_eq!(t.events()[1].end.as_millis(), 3500);
+    }
+
+    #[test]
+    fn sub_millisecond_digits_truncate() {
+        let t = parse_reality("r", "0,1,0,0.1234999\n").unwrap();
+        assert_eq!(t.events()[0].end.as_millis(), 123);
+    }
+
+    #[test]
+    fn malformed_fraction_rejected() {
+        assert!(matches!(
+            parse_reality("r", "0,1,0,5.\n").unwrap_err(),
+            ParseError::BadNumber { .. }
+        ));
+        assert!(matches!(
+            parse_reality("r", "0,1,0,5.2x\n").unwrap_err(),
+            ParseError::BadNumber { .. }
+        ));
     }
 }

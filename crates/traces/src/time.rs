@@ -1,14 +1,22 @@
 //! The simulation clock.
 //!
-//! Times are whole seconds since the start of a trace. The paper's
-//! figures use minutes and hours; conversion helpers keep the units
-//! explicit at every call site so decaying factors (per-minute) and
-//! TTLs (minutes) never silently mix with seconds.
+//! Times are stored as milliseconds since the start of a trace, which
+//! is the native resolution of the supported contact traces (some
+//! Reality-style CSV exports carry fractional-second timestamps). The
+//! paper's figures use minutes and hours; conversion helpers keep the
+//! units explicit at every call site so decaying factors (per-minute)
+//! and TTLs (minutes) never silently mix with seconds.
+//!
+//! For whole-second inputs every derived quantity — `as_secs`,
+//! `as_mins`, `as_hours`, link byte budgets — is bit-identical to the
+//! earlier whole-second representation: `(s * 1000) / 60000.0` and
+//! `s / 60.0` round to the same `f64` because IEEE division is
+//! correctly rounded and the scale factor is exact.
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-/// An instant on the simulation clock: whole seconds since trace start.
+/// An instant on the simulation clock: milliseconds since trace start.
 ///
 /// # Examples
 ///
@@ -26,46 +34,59 @@ impl SimTime {
     /// Trace start.
     pub const ZERO: SimTime = SimTime(0);
 
-    /// Creates a time from whole seconds since trace start.
+    /// Creates a time from milliseconds since trace start.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis)
+    }
+
+    /// Creates a time from whole seconds since trace start
+    /// (saturating at the far end of the clock).
     #[must_use]
     pub const fn from_secs(secs: u64) -> Self {
-        SimTime(secs)
+        SimTime(secs.saturating_mul(1000))
     }
 
     /// Creates a time from whole minutes since trace start.
     #[must_use]
     pub const fn from_mins(mins: u64) -> Self {
-        SimTime(mins * 60)
+        SimTime::from_secs(mins * 60)
     }
 
     /// Creates a time from whole hours since trace start.
     #[must_use]
     pub const fn from_hours(hours: u64) -> Self {
-        SimTime(hours * 3600)
+        SimTime::from_secs(hours * 3600)
     }
 
     /// Creates a time from whole days since trace start.
     #[must_use]
     pub const fn from_days(days: u64) -> Self {
-        SimTime(days * 86_400)
+        SimTime::from_secs(days * 86_400)
     }
 
-    /// Seconds since trace start.
+    /// Milliseconds since trace start.
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since trace start (fractional part truncated).
     #[must_use]
     pub const fn as_secs(self) -> u64 {
-        self.0
+        self.0 / 1000
     }
 
     /// Minutes since trace start, fractional.
     #[must_use]
     pub fn as_mins(self) -> f64 {
-        self.0 as f64 / 60.0
+        self.0 as f64 / 60_000.0
     }
 
     /// Hours since trace start, fractional.
     #[must_use]
     pub fn as_hours(self) -> f64 {
-        self.0 as f64 / 3600.0
+        self.0 as f64 / 3_600_000.0
     }
 
     /// The duration from `earlier` to `self`; zero if `earlier` is
@@ -106,12 +127,18 @@ impl Sub for SimTime {
 
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let (h, rem) = (self.0 / 3600, self.0 % 3600);
-        write!(f, "{h:02}:{:02}:{:02}", rem / 60, rem % 60)
+        let secs = self.0 / 1000;
+        let (h, rem) = (secs / 3600, secs % 3600);
+        write!(f, "{h:02}:{:02}:{:02}", rem / 60, rem % 60)?;
+        let ms = self.0 % 1000;
+        if ms != 0 {
+            write!(f, ".{ms:03}")?;
+        }
+        Ok(())
     }
 }
 
-/// A span of simulation time, in whole seconds.
+/// A span of simulation time, stored as milliseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
@@ -119,46 +146,58 @@ impl SimDuration {
     /// The empty span.
     pub const ZERO: SimDuration = SimDuration(0);
 
-    /// Creates a duration from whole seconds.
+    /// Creates a duration from milliseconds.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis)
+    }
+
+    /// Creates a duration from whole seconds (saturating).
     #[must_use]
     pub const fn from_secs(secs: u64) -> Self {
-        SimDuration(secs)
+        SimDuration(secs.saturating_mul(1000))
     }
 
     /// Creates a duration from whole minutes.
     #[must_use]
     pub const fn from_mins(mins: u64) -> Self {
-        SimDuration(mins * 60)
+        SimDuration::from_secs(mins * 60)
     }
 
     /// Creates a duration from whole hours.
     #[must_use]
     pub const fn from_hours(hours: u64) -> Self {
-        SimDuration(hours * 3600)
+        SimDuration::from_secs(hours * 3600)
     }
 
     /// Creates a duration from whole days.
     #[must_use]
     pub const fn from_days(days: u64) -> Self {
-        SimDuration(days * 86_400)
+        SimDuration::from_secs(days * 86_400)
     }
 
-    /// Whole seconds in the span.
+    /// Milliseconds in the span.
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds in the span (fractional part truncated).
     #[must_use]
     pub const fn as_secs(self) -> u64 {
-        self.0
+        self.0 / 1000
     }
 
     /// Minutes in the span, fractional.
     #[must_use]
     pub fn as_mins(self) -> f64 {
-        self.0 as f64 / 60.0
+        self.0 as f64 / 60_000.0
     }
 
     /// Hours in the span, fractional.
     #[must_use]
     pub fn as_hours(self) -> f64 {
-        self.0 as f64 / 3600.0
+        self.0 as f64 / 3_600_000.0
     }
 
     /// Whether the span is empty.
@@ -184,12 +223,14 @@ impl AddAssign for SimDuration {
 
 impl fmt::Display for SimDuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0.is_multiple_of(3600) {
-            write!(f, "{}h", self.0 / 3600)
-        } else if self.0.is_multiple_of(60) {
-            write!(f, "{}min", self.0 / 60)
+        if self.0.is_multiple_of(3_600_000) {
+            write!(f, "{}h", self.0 / 3_600_000)
+        } else if self.0.is_multiple_of(60_000) {
+            write!(f, "{}min", self.0 / 60_000)
+        } else if self.0.is_multiple_of(1000) {
+            write!(f, "{}s", self.0 / 1000)
         } else {
-            write!(f, "{}s", self.0)
+            write!(f, "{}ms", self.0)
         }
     }
 }
@@ -205,6 +246,31 @@ mod tests {
         assert_eq!(SimTime::from_days(1).as_secs(), 86_400);
         assert!((SimTime::from_secs(90).as_mins() - 1.5).abs() < 1e-12);
         assert!((SimTime::from_secs(5400).as_hours() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn millisecond_resolution() {
+        let t = SimTime::from_millis(1500);
+        assert_eq!(t.as_millis(), 1500);
+        assert_eq!(t.as_secs(), 1, "whole-second view truncates");
+        assert!((t.as_mins() - 0.025).abs() < 1e-15);
+        let d = SimDuration::from_millis(250);
+        assert_eq!(d.as_secs(), 0);
+        assert_eq!(d.as_millis(), 250);
+        assert_eq!((t + d).as_millis(), 1750);
+    }
+
+    /// For whole-second values the fractional views must be *bit*
+    /// identical to a seconds-based representation: figure CSVs are
+    /// diffed byte-for-byte across refactors.
+    #[test]
+    fn whole_second_views_are_bit_identical() {
+        for s in [0u64, 1, 59, 60, 3599, 3600, 86_400, 248_636, 987_529] {
+            let t = SimTime::from_secs(s);
+            assert_eq!(t.as_mins().to_bits(), (s as f64 / 60.0).to_bits());
+            assert_eq!(t.as_hours().to_bits(), (s as f64 / 3600.0).to_bits());
+            assert_eq!(t.as_secs(), s);
+        }
     }
 
     #[test]
@@ -246,15 +312,18 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(SimTime::from_secs(3_661).to_string(), "01:01:01");
+        assert_eq!(SimTime::from_millis(3_661_020).to_string(), "01:01:01.020");
         assert_eq!(SimDuration::from_hours(2).to_string(), "2h");
         assert_eq!(SimDuration::from_mins(5).to_string(), "5min");
         assert_eq!(SimDuration::from_secs(61).to_string(), "61s");
+        assert_eq!(SimDuration::from_millis(1500).to_string(), "1500ms");
     }
 
     #[test]
-    fn add_saturates() {
-        let t = SimTime::from_secs(u64::MAX - 1);
+    fn construction_saturates() {
+        assert_eq!(SimTime::from_secs(u64::MAX).as_millis(), u64::MAX);
+        let t = SimTime::from_millis(u64::MAX - 1);
         let sum = t + SimDuration::from_secs(100);
-        assert_eq!(sum.as_secs(), u64::MAX);
+        assert_eq!(sum.as_millis(), u64::MAX);
     }
 }
