@@ -34,4 +34,14 @@ for artifact in timeseries_fig7.csv events_fig7.jsonl; do
     }
 done
 
+echo "== degradation --smoke (fault-injection pipeline) =="
+# The same trace under the fault-intensity grid: exercises contact
+# loss, truncation, churn, and control-plane corruption end to end,
+# including the monotone-degradation assertion inside the sweep.
+BSUB_RESULTS_DIR="$SMOKE_DIR" ./target/release/degradation --smoke
+test -s "$SMOKE_DIR/degradation.csv" || {
+    echo "missing smoke artifact: degradation.csv" >&2
+    exit 1
+}
+
 echo "CI OK"

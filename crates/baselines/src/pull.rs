@@ -104,6 +104,13 @@ impl Protocol for Pull {
             .push(Arc::clone(msg));
     }
 
+    fn on_node_reset(&mut self, _ctx: &mut SimCtx<'_>, node: NodeId) {
+        // A restart loses the published buffer and the pulled-id
+        // history; already-delivered messages stay delivered (the
+        // metrics layer owns that), but a re-encounter may re-transfer.
+        self.nodes[node.index()] = NodeState::default();
+    }
+
     fn on_contact(&mut self, ctx: &mut SimCtx<'_>, contact: &ContactEvent, link: &mut Link) {
         let now = ctx.now();
         self.prune(ctx, contact.a, now);
@@ -244,6 +251,37 @@ mod tests {
             1,
             "the producer's store owns the only copy after the run"
         );
+    }
+
+    #[test]
+    fn churn_reset_clears_published_store() {
+        use bsub_sim::FaultSpec;
+        // The producer restarts between publishing (t=10s) and its only
+        // consumer meeting (t=300s): the published store is empty, so a
+        // contact that would have delivered pulls nothing.
+        let period = SimDuration::from_secs(100);
+        let n = NodeId::new;
+        let spec = (0..10_000u64)
+            .map(|seed| {
+                FaultSpec::none()
+                    .with_seed(seed)
+                    .with_churn(300_000, period)
+            })
+            .find(|s| {
+                (0..=2).any(|c| s.node_down(n(0), c))
+                    && !s.node_down(n(0), 3)
+                    && !s.node_down(n(1), 3)
+            })
+            .expect("some seed downs the producer before the meeting");
+        let trace = ContactTrace::new("r", 2, vec![contact(0, 1, 300, 400)]).unwrap();
+        let mut subs = SubscriptionTable::new(2);
+        subs.subscribe(NodeId::new(1), "news");
+        let sched = vec![message(10, 0, "news")];
+        let sim = Simulation::new(trace, subs, sched, SimConfig::default()).with_faults(spec);
+        let report = sim.run(&mut Pull::new(2));
+        assert_eq!(report.delivered, 0, "the restart dropped the publication");
+        assert_eq!(report.forwardings, 0);
+        assert!(report.control_bytes > 0, "the announcement was still paid");
     }
 
     #[test]

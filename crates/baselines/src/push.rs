@@ -108,6 +108,14 @@ impl Protocol for Push {
         }
     }
 
+    fn on_node_reset(&mut self, _ctx: &mut SimCtx<'_>, node: NodeId) {
+        // A node rejoining after churn lost its buffer: the has-bits
+        // ARE its store, so the restart clears them. (Flooding will
+        // refill the buffer from any peer, including re-transfers of
+        // copies held before the outage.)
+        self.has[node.index()] = BitSet::default();
+    }
+
     fn on_contact(&mut self, ctx: &mut SimCtx<'_>, contact: &ContactEvent, link: &mut Link) {
         self.replicate(ctx, link, contact.a, contact.b);
         self.replicate(ctx, link, contact.b, contact.a);
@@ -319,6 +327,44 @@ mod tests {
             1,
             "flooding to two peers must not copy the payload"
         );
+    }
+
+    #[test]
+    fn churn_reset_clears_relay_buffer() {
+        use bsub_sim::FaultSpec;
+        // Two-hop line: node 1 picks up the copy at t=100s, goes down
+        // for a churn cell, and rejoins for the t=300s contact with an
+        // empty buffer — the flood dies at the relay.
+        let period = SimDuration::from_secs(100);
+        let n = NodeId::new;
+        let spec = (0..10_000u64)
+            .map(|seed| {
+                FaultSpec::none()
+                    .with_seed(seed)
+                    .with_churn(300_000, period)
+            })
+            .find(|s| {
+                (0..=1).all(|c| !s.node_down(n(0), c))
+                    && !s.node_down(n(1), 1)
+                    && s.node_down(n(1), 2)
+                    && !s.node_down(n(1), 3)
+                    && (0..=3).all(|c| !s.node_down(n(2), c))
+            })
+            .expect("some seed downs the relay between the hops");
+        let mut subs = SubscriptionTable::new(3);
+        subs.subscribe(NodeId::new(2), "news");
+        let sim = Simulation::new(
+            line_trace(),
+            subs,
+            one_message("news"),
+            SimConfig::default(),
+        )
+        .with_faults(spec);
+        let mut push = Push::new(3);
+        let report = sim.run(&mut push);
+        assert_eq!(report.forwardings, 1, "only the first hop happened");
+        assert_eq!(report.delivered, 0, "the relay's buffer was wiped");
+        assert_eq!(push.known_live_copies(), 1, "only the producer's copy");
     }
 
     #[test]

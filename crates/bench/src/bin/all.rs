@@ -7,4 +7,5 @@ fn main() {
     bsub_bench::experiments::fig7();
     bsub_bench::experiments::fig8();
     bsub_bench::experiments::fig9();
+    bsub_bench::experiments::degradation();
 }

@@ -1,0 +1,25 @@
+//! Regenerates `degradation.csv`: delivery ratio, delay, and
+//! forwarding cost vs fault intensity for PUSH, B-SUB, and PULL under
+//! the deterministic fault model (contact loss, contact truncation,
+//! node churn, control-plane corruption). See DESIGN.md §8.
+//!
+//! `--smoke` runs the same pipeline on a small synthetic trace in a
+//! couple of seconds — CI uses it to keep the fault-injection path
+//! honest without paying for the full Haggle-like replay.
+
+use bsub_bench::Experiment;
+use bsub_traces::synthetic::SyntheticTrace;
+use bsub_traces::SimDuration;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        let trace = SyntheticTrace::new("smoke", 16, SimDuration::from_hours(6), 900)
+            .seed(7)
+            .build();
+        let experiment = Experiment::over(trace, 7);
+        bsub_bench::experiments::degradation_with(&experiment, SimDuration::from_mins(120));
+    } else {
+        bsub_bench::experiments::degradation();
+    }
+}

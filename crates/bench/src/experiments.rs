@@ -9,6 +9,8 @@ use crate::{Experiment, ProtocolKind, MASTER_SEED};
 use bsub_bloom::wire::{self, CounterMode};
 use bsub_bloom::{math, AllocationPlan, Tcbf};
 use bsub_core::{BrokerPolicy, BsubConfig, BsubProtocol, DfMode, ForwardingPolicy, MergeRule};
+use bsub_sim::fault::PPM;
+use bsub_sim::FaultSpec;
 use bsub_traces::stats::TraceStats;
 use bsub_traces::SimDuration;
 use bsub_workload::keys::{average_key_len, trend_keys};
@@ -486,6 +488,144 @@ pub fn ablation() {
     );
     write_csv("ablation", &headers, &rows);
     record_perf(&outcome);
+}
+
+/// The fault-intensity grid of the degradation sweep, in parts per
+/// million (0.0 … 0.6 as a probability).
+pub const DEGRADATION_GRID_PPM: [u32; 5] = [0, 100_000, 200_000, 400_000, 600_000];
+
+/// The [`FaultSpec`] exercised at one degradation-grid intensity `i`:
+/// contact loss, contact truncation, and control-plane corruption each
+/// fire with probability `i`, and node churn downs each node per
+/// six-hour cell with probability `i/4` (churn is the most destructive
+/// fault — a full-rate setting would drown the other three).
+///
+/// Intensity 0 is exactly [`FaultSpec::none`], so the first grid row
+/// reproduces the committed fault-free figures.
+#[must_use]
+pub fn degradation_faults(intensity_ppm: u32) -> FaultSpec {
+    if intensity_ppm == 0 {
+        return FaultSpec::none();
+    }
+    FaultSpec::none()
+        .with_seed(MASTER_SEED)
+        .with_contact_loss(intensity_ppm)
+        .with_truncation(intensity_ppm)
+        .with_corruption(intensity_ppm)
+        .with_churn(intensity_ppm / 4, SimDuration::from_hours(6))
+}
+
+/// Declares the degradation sweep: every (fault intensity, protocol)
+/// pair as an independent run at a fixed TTL. The fault draws are keyed
+/// only on the [`FaultSpec`] seed and the contact index, so the same
+/// spec injects the identical fault pattern into PUSH, B-SUB, and PULL
+/// — the protocols are compared under the *same* outages.
+#[must_use]
+pub fn degradation_spec(experiment: &Experiment, ttl: SimDuration) -> SweepSpec {
+    let df = experiment.df_for_ttl(ttl);
+    let mut runs = Vec::new();
+    for &ppm in &DEGRADATION_GRID_PPM {
+        let faults = degradation_faults(ppm);
+        let protocols = [
+            ("push", ProtocolKind::Push),
+            (
+                "bsub",
+                ProtocolKind::Bsub {
+                    df: DfMode::Fixed(df),
+                },
+            ),
+            ("pull", ProtocolKind::Pull),
+        ];
+        for (label, kind) in protocols {
+            runs.push(RunSpec {
+                point: format!("{:.2}", f64::from(ppm) / f64::from(PPM)),
+                label: label.to_string(),
+                sim: experiment.sim(ttl).with_faults(faults.clone()),
+                factory: experiment.factory(kind, ttl),
+                record: RecordSpec::default(),
+            });
+        }
+    }
+    SweepSpec {
+        name: "degradation".to_string(),
+        master_seed: MASTER_SEED,
+        runs,
+    }
+}
+
+/// Runs [`degradation_spec`] and writes `degradation.csv`: delivery
+/// ratio, delay, and forwardings per delivered message vs fault
+/// intensity for the three protocols.
+///
+/// # Panics
+///
+/// Panics if B-SUB's delivery ratio ever *improves* as the fault
+/// intensity rises — the monotone-degradation sanity check this sweep
+/// exists to enforce (the nesting of the fault draws makes every
+/// higher-intensity run a superset of the faults below it).
+pub fn degradation_with(experiment: &Experiment, ttl: SimDuration) {
+    let headers = [
+        "fault_intensity",
+        "push_delivery",
+        "bsub_delivery",
+        "pull_delivery",
+        "push_delay_min",
+        "bsub_delay_min",
+        "pull_delay_min",
+        "push_fwd",
+        "bsub_fwd",
+        "pull_fwd",
+    ];
+    let spec = degradation_spec(experiment, ttl);
+    let outcome = Executor::from_env().run(&spec);
+    let mut bsub_delivery = Vec::new();
+    let rows: Vec<Vec<String>> = outcome
+        .records
+        .chunks(3)
+        .map(|point| {
+            let [push, bsub, pull] = point else {
+                unreachable!("three protocols per intensity")
+            };
+            bsub_delivery.push(bsub.report.delivery_ratio());
+            vec![
+                push.point.clone(),
+                f3(push.report.delivery_ratio()),
+                f3(bsub.report.delivery_ratio()),
+                f3(pull.report.delivery_ratio()),
+                f1(push.report.mean_delay_mins()),
+                f1(bsub.report.mean_delay_mins()),
+                f1(pull.report.mean_delay_mins()),
+                f1(push.report.forwardings_per_delivered()),
+                f1(bsub.report.forwardings_per_delivered()),
+                f1(pull.report.forwardings_per_delivered()),
+            ]
+        })
+        .collect();
+    for pair in bsub_delivery.windows(2) {
+        assert!(
+            pair[1] <= pair[0],
+            "B-SUB delivery must not improve as faults intensify: {bsub_delivery:?}"
+        );
+    }
+    print!(
+        "{}",
+        render_table(
+            "degradation — delivery / delay / forwardings vs fault intensity",
+            &headers,
+            &rows
+        )
+    );
+    write_csv("degradation", &headers, &rows);
+    record_perf(&outcome);
+}
+
+/// The degradation view of the Fig. 7 scenario: Haggle-like trace,
+/// TTL = 500 min, fault intensities 0.0 … 0.6.
+pub fn degradation() {
+    degradation_with(
+        &Experiment::haggle(MASTER_SEED),
+        SimDuration::from_mins(500),
+    );
 }
 
 /// Section VI-C / VII-A analysis artifacts: worst-case FPR, memory

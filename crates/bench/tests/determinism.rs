@@ -111,9 +111,102 @@ fn assert_identical_across_workers(build: impl Fn() -> SweepSpec) {
     }
 }
 
+/// A degradation-shaped sweep: the fault-intensity grid crossed with
+/// PUSH / B-SUB / PULL over one environment, using the real
+/// [`degradation_faults`](bsub_bench::experiments::degradation_faults)
+/// specs (contact loss + truncation + corruption + churn).
+fn fault_matrix_shaped() -> SweepSpec {
+    let experiment = tiny("flt", 61);
+    let ttl = SimDuration::from_mins(240);
+    let df = experiment.df_for_ttl(ttl);
+    let mut runs = Vec::new();
+    for ppm in [0u32, 200_000, 600_000] {
+        let faults = bsub_bench::experiments::degradation_faults(ppm);
+        let protocols = [
+            ("push", ProtocolKind::Push),
+            (
+                "bsub",
+                ProtocolKind::Bsub {
+                    df: DfMode::Fixed(df),
+                },
+            ),
+            ("pull", ProtocolKind::Pull),
+        ];
+        for (label, kind) in protocols {
+            runs.push(RunSpec {
+                point: ppm.to_string(),
+                label: label.to_string(),
+                sim: experiment.sim(ttl).with_faults(faults.clone()),
+                factory: experiment.factory(kind, ttl),
+                record: RecordSpec::default(),
+            });
+        }
+    }
+    SweepSpec {
+        name: "fault-matrix".into(),
+        master_seed: 13,
+        runs,
+    }
+}
+
 #[test]
 fn fig7_shaped_sweep_is_worker_count_invariant() {
     assert_identical_across_workers(fig7_shaped);
+}
+
+/// Faulted runs obey the same contract as fault-free ones: the whole
+/// fault matrix is bit-identical on 1, 2, and 8 workers (the fault
+/// draws live in the run's own `FaultSpec` stream, independent of
+/// scheduling).
+#[test]
+fn fault_matrix_is_worker_count_invariant() {
+    assert_identical_across_workers(fault_matrix_shaped);
+}
+
+/// `FaultSpec::none()` is *exactly* the unfaulted simulation: the zero
+/// row of the fault matrix fingerprints identically to runs built
+/// without `with_faults` at all.
+#[test]
+fn none_spec_matches_unfaulted_runs() {
+    let outcome = Executor::with_workers(2).run(&fault_matrix_shaped());
+    let faultless: Vec<_> = outcome
+        .records
+        .iter()
+        .take(3)
+        .map(|r| format!("{}|{}|{:?}", r.label, r.seed, r.report))
+        .collect();
+
+    let experiment = tiny("flt", 61);
+    let ttl = SimDuration::from_mins(240);
+    let df = experiment.df_for_ttl(ttl);
+    let runs = [
+        ("push", ProtocolKind::Push),
+        (
+            "bsub",
+            ProtocolKind::Bsub {
+                df: DfMode::Fixed(df),
+            },
+        ),
+        ("pull", ProtocolKind::Pull),
+    ]
+    .map(|(label, kind)| RunSpec {
+        point: "0".into(),
+        label: label.to_string(),
+        sim: experiment.sim(ttl),
+        factory: experiment.factory(kind, ttl),
+        record: RecordSpec::default(),
+    });
+    let plain = Executor::with_workers(2).run(&SweepSpec {
+        name: "no-faults".into(),
+        master_seed: 13,
+        runs: runs.into(),
+    });
+    let expected: Vec<_> = plain
+        .records
+        .iter()
+        .map(|r| format!("{}|{}|{:?}", r.label, r.seed, r.report))
+        .collect();
+    assert_eq!(faultless, expected);
 }
 
 #[test]

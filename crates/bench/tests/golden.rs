@@ -1,0 +1,65 @@
+//! Golden-file regression tests: regenerate the committed figure
+//! artifacts from scratch and byte-compare them against `results/`.
+//!
+//! This is the repository's strongest guard against silent behavioral
+//! drift — any change to the filter family, the simulator, the
+//! protocols, or the sweep executor that perturbs a single delivered
+//! message shows up here as a CSV diff. The fault-injection layer in
+//! particular is required to leave every fault-free figure
+//! bit-for-bit unchanged (`FaultSpec::none()` must cost nothing and
+//! change nothing).
+//!
+//! Everything runs inside ONE `#[test]` in its own integration binary:
+//! the regeneration is redirected via the `BSUB_RESULTS_DIR`
+//! environment variable, and `std::env::set_var` is only safe while no
+//! other test thread can race on it.
+
+use std::fs;
+use std::path::Path;
+
+/// The deterministic figure artifacts that are committed to the repo.
+/// (Timing files like `perf_*.csv` are gitignored and not compared.)
+const GOLDEN: [&str; 4] = ["fig7.csv", "fig8.csv", "fig9.csv", "ablation.csv"];
+
+/// First line where the two renderings diverge, for a readable diff.
+fn first_divergence(fresh: &str, golden: &str) -> String {
+    for (i, (f, g)) in fresh.lines().zip(golden.lines()).enumerate() {
+        if f != g {
+            return format!("line {}:\n  fresh : {f}\n  golden: {g}", i + 1);
+        }
+    }
+    format!(
+        "line counts differ: fresh {} vs golden {}",
+        fresh.lines().count(),
+        golden.lines().count()
+    )
+}
+
+#[test]
+fn regenerated_figures_match_committed_artifacts() {
+    let tmp = Path::new(env!("CARGO_TARGET_TMPDIR")).join("golden-results");
+    fs::create_dir_all(&tmp).expect("create scratch results dir");
+    std::env::set_var("BSUB_RESULTS_DIR", &tmp);
+
+    bsub_bench::experiments::fig7();
+    bsub_bench::experiments::fig8();
+    bsub_bench::experiments::fig9();
+    bsub_bench::experiments::ablation();
+
+    std::env::remove_var("BSUB_RESULTS_DIR");
+
+    let committed = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    for name in GOLDEN {
+        let fresh = fs::read_to_string(tmp.join(name))
+            .unwrap_or_else(|e| panic!("regenerated {name} missing: {e}"));
+        let golden = fs::read_to_string(committed.join(name))
+            .unwrap_or_else(|e| panic!("committed results/{name} missing: {e}"));
+        assert_eq!(
+            fresh,
+            golden,
+            "{name} drifted from the committed artifact; if the change is \
+             intentional, regenerate results/ and commit the new files.\n{}",
+            first_divergence(&fresh, &golden)
+        );
+    }
+}

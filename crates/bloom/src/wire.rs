@@ -16,6 +16,18 @@
 //! [`Tcbf`] or a [`BloomFilter`] depending on what was sent. Hasher
 //! seeds are *not* encoded — B-SUB assumes a network-wide hash
 //! configuration, so the decoder uses [`KeyHasher::default`].
+//!
+//! # Framing and integrity
+//!
+//! The fixed 8-byte header is `tag (1) | m: u16 LE (2) | k (1) |
+//! n: u16 LE (2) | crc: u16 LE (2)`, where `crc` is CRC-16/CCITT-FALSE
+//! over the first six header bytes and the whole body. Control filters
+//! travel over lossy radio links, so [`decode`] must *reject* any
+//! truncated or bit-flipped encoding rather than reconstruct a
+//! plausible-but-wrong filter: truncation is caught by the exact-length
+//! check (the header fully determines the payload length) and any
+//! single-bit error is caught by the checksum — both are exercised
+//! exhaustively by the property tests in `tests/properties.rs`.
 
 use crate::bitvec::BitVec;
 use crate::bloom::BloomFilter;
@@ -71,6 +83,27 @@ const TAG_FULL: u8 = 0;
 const TAG_SHARED: u8 = 1;
 const TAG_RIPPED: u8 = 2;
 
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) over the
+/// concatenation of `parts`. A degree-16 polynomial with more than one
+/// term detects every single-bit error, which is the guarantee the
+/// fault model leans on.
+fn crc16(parts: [&[u8]; 2]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for part in parts {
+        for &byte in part {
+            crc ^= u16::from(byte) << 8;
+            for _ in 0..8 {
+                crc = if crc & 0x8000 != 0 {
+                    (crc << 1) ^ 0x1021
+                } else {
+                    crc << 1
+                };
+            }
+        }
+    }
+    crc
+}
+
 /// Bits needed to address one of `m` locations: ⌈log₂ m⌉ (minimum 1).
 #[must_use]
 pub fn location_bits(m: usize) -> usize {
@@ -114,10 +147,10 @@ where
 /// - `mode` is [`CounterMode::Shared`] but the non-zero counters are
 ///   not all identical, or
 /// - the filter has more than `u16::MAX` set bits or more than
-///   `u32::MAX` locations (outside any HUNET operating range).
+///   `u16::MAX` locations (outside any HUNET operating range).
 pub fn encode(filter: &Tcbf, mode: CounterMode) -> Result<Vec<u8>, Error> {
     let m = filter.bit_len();
-    if m > u32::MAX as usize {
+    if m > u16::MAX as usize {
         return Err(Error::InvalidParams {
             reason: "bit-vector too long for wire format",
         });
@@ -153,7 +186,7 @@ pub fn encode(filter: &Tcbf, mode: CounterMode) -> Result<Vec<u8>, Error> {
         CounterMode::Shared => TAG_SHARED,
         CounterMode::Ripped => TAG_RIPPED,
     });
-    out.extend_from_slice(&(m as u32).to_le_bytes());
+    out.extend_from_slice(&(m as u16).to_le_bytes());
     out.push(
         filter
             .hash_count()
@@ -163,6 +196,7 @@ pub fn encode(filter: &Tcbf, mode: CounterMode) -> Result<Vec<u8>, Error> {
             })?,
     );
     out.extend_from_slice(&(set.len() as u16).to_le_bytes());
+    out.extend_from_slice(&[0, 0]); // checksum backfilled below
 
     // Bit-packed locations, MSB-first.
     let width = location_bits(m);
@@ -189,6 +223,8 @@ pub fn encode(filter: &Tcbf, mode: CounterMode) -> Result<Vec<u8>, Error> {
         }
         CounterMode::Ripped => {}
     }
+    let crc = crc16([&out[..6], &out[8..]]);
+    out[6..8].copy_from_slice(&crc.to_le_bytes());
     Ok(out)
 }
 
@@ -207,9 +243,10 @@ pub fn decode(bytes: &[u8]) -> Result<WirePayload, Error> {
         return Err(err("truncated header"));
     }
     let tag = bytes[0];
-    let m = u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes")) as usize;
-    let k = bytes[5] as usize;
-    let n = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes")) as usize;
+    let m = u16::from_le_bytes(bytes[1..3].try_into().expect("2 bytes")) as usize;
+    let k = bytes[3] as usize;
+    let n = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes")) as usize;
+    let crc = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
     if m == 0 {
         return Err(err("zero-length bit vector"));
     }
@@ -226,6 +263,9 @@ pub fn decode(bytes: &[u8]) -> Result<WirePayload, Error> {
     };
     if bytes.len() != 8 + loc_bytes + counters_len {
         return Err(err("payload length mismatch"));
+    }
+    if crc16([&bytes[..6], &bytes[8..]]) != crc {
+        return Err(err("checksum mismatch"));
     }
 
     // Unpack locations.
@@ -432,8 +472,36 @@ mod tests {
     fn decode_rejects_zero_params() {
         let f = sample_tcbf();
         let mut bytes = encode(&f, CounterMode::Ripped).unwrap();
-        bytes[5] = 0; // k = 0
+        bytes[3] = 0; // k = 0
         assert!(matches!(decode(&bytes), Err(Error::Decode { .. })));
+    }
+
+    #[test]
+    fn decode_rejects_every_single_bit_flip() {
+        let f = sample_tcbf();
+        for mode in [CounterMode::Full, CounterMode::Shared, CounterMode::Ripped] {
+            let bytes = encode(&f, mode).unwrap();
+            for bit in 0..bytes.len() * 8 {
+                let mut flipped = bytes.clone();
+                flipped[bit / 8] ^= 1 << (bit % 8);
+                assert!(
+                    matches!(decode(&flipped), Err(Error::Decode { .. })),
+                    "{mode:?}: flip of bit {bit} must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_reports_checksum_mismatch_for_body_damage() {
+        let f = sample_tcbf();
+        let mut bytes = encode(&f, CounterMode::Full).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        match decode(&bytes) {
+            Err(Error::Decode { reason }) => assert_eq!(reason, "checksum mismatch"),
+            other => panic!("expected checksum failure, got {other:?}"),
+        }
     }
 
     #[test]

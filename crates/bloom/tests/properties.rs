@@ -252,6 +252,77 @@ fn wire_decode_never_panics() {
     });
 }
 
+/// A random valid encoding in a random counter mode.
+fn rand_encoding(rng: &mut SplitMix64) -> Vec<u8> {
+    let keys = rand_keys(rng, 0, 50);
+    let initial = 1 + rng.below(255) as u32;
+    let f = Tcbf::from_keys(512, 4, initial, keys.iter());
+    let mode = match rng.below(3) {
+        0 => CounterMode::Full,
+        1 => CounterMode::Shared,
+        _ => CounterMode::Ripped,
+    };
+    wire::encode(&f, mode).unwrap()
+}
+
+/// Every strict prefix of a valid encoding is rejected, never decoded
+/// into a filter and never a panic (the fault model truncates filter
+/// transmissions mid-flight).
+#[test]
+fn wire_decode_rejects_every_truncated_prefix() {
+    cases(|rng| {
+        let bytes = rand_encoding(rng);
+        for cut in 0..bytes.len() {
+            assert!(
+                wire::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut}/{} bytes must be rejected",
+                bytes.len()
+            );
+        }
+    });
+}
+
+/// Every single-bit flip of a valid encoding is rejected (the CRC-16
+/// in the header detects all single-bit errors).
+#[test]
+fn wire_decode_rejects_every_single_bit_flip() {
+    cases(|rng| {
+        let bytes = rand_encoding(rng);
+        for bit in 0..bytes.len() * 8 {
+            let mut flipped = bytes.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                wire::decode(&flipped).is_err(),
+                "flip of bit {bit} must be rejected"
+            );
+        }
+    });
+}
+
+/// Encode → corrupt → decode never yields a filter: damage of the kind
+/// the fault model injects (random truncation or a random bit flip)
+/// cannot produce an `Ok` payload.
+#[test]
+fn wire_corrupted_encoding_never_validates() {
+    cases(|rng| {
+        let bytes = rand_encoding(rng);
+        for _ in 0..16 {
+            let mut damaged = bytes.clone();
+            if rng.next_bool() {
+                let keep = rng.below_usize(damaged.len());
+                damaged.truncate(keep);
+            } else {
+                let bit = rng.below_usize(damaged.len() * 8);
+                damaged[bit / 8] ^= 1 << (bit % 8);
+            }
+            assert!(
+                wire::decode(&damaged).is_err(),
+                "corrupted encoding must never decode"
+            );
+        }
+    });
+}
+
 /// The min-counter of a contained key is bounded by the largest counter
 /// in the filter.
 #[test]

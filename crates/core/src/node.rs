@@ -240,6 +240,23 @@ impl NodeState {
         self.relay = None;
     }
 
+    /// Fault injection: the node rejoined after downtime. Buffered
+    /// copies and volatile routing state are gone; what survives is
+    /// what a restarted device would still know — its role, its own
+    /// subscriptions (the genuine filter), and its election history
+    /// (social contacts it remembers). A broker restarts with an empty
+    /// relay filter and re-learns interests from scratch.
+    pub fn reset_volatile(&mut self, config: &BsubConfig, now: SimTime) {
+        self.store.clear();
+        self.published.clear();
+        self.seen.clear();
+        self.relay = if self.role == Role::Broker {
+            Some(RelayState::new(config, now))
+        } else {
+            None
+        };
+    }
+
     /// Drops expired messages from both stores; returns how many
     /// copies were dropped.
     pub fn prune(&mut self, now: SimTime) -> u64 {
@@ -363,6 +380,55 @@ mod tests {
         r.on_consumer_contact(SimTime::from_mins(5), &cfg);
         r.on_consumer_contact(SimTime::from_mins(30), &cfg);
         assert_eq!(r.contact_log.len(), 1, "old contacts outside D dropped");
+    }
+
+    #[test]
+    fn reset_volatile_drops_cargo_keeps_identity() {
+        let cfg = config();
+        let mut n = NodeState::new(&cfg, &interests(&["news"]));
+        n.promote(&cfg, SimTime::ZERO);
+        let taught = Tcbf::from_keys(cfg.bits, cfg.hashes, cfg.initial_counter, ["news"]);
+        n.relay.as_mut().unwrap().filter.a_merge(&taught).unwrap();
+        let msg = Arc::new(Message {
+            id: MessageId::new(1),
+            key: "news".into(),
+            size: 10,
+            created: SimTime::ZERO,
+            ttl: SimDuration::from_secs(100),
+            producer: NodeId::new(0),
+        });
+        n.store.push(Carried {
+            msg: msg.clone(),
+            delivered_to: HashSet::new(),
+        });
+        n.published.push(Produced {
+            msg: msg.clone(),
+            copies_left: 3,
+            delivered_to: HashSet::new(),
+        });
+        n.seen.insert(msg.id);
+
+        n.reset_volatile(&cfg, SimTime::from_secs(60));
+
+        assert!(n.store.is_empty(), "buffered copies are gone");
+        assert!(n.published.is_empty());
+        assert!(n.seen.is_empty());
+        assert!(n.is_broker(), "role survives the restart");
+        let relay = n.relay.as_ref().unwrap();
+        assert!(
+            !relay.filter.contains("news"),
+            "the relay filter restarts empty"
+        );
+        assert!(n.genuine.contains("news"), "own subscriptions survive");
+    }
+
+    #[test]
+    fn reset_volatile_on_user_has_no_relay() {
+        let cfg = config();
+        let mut n = NodeState::new(&cfg, &interests(&["news"]));
+        n.reset_volatile(&cfg, SimTime::from_secs(60));
+        assert!(n.relay.is_none());
+        assert_eq!(n.role, Role::User);
     }
 
     #[test]

@@ -54,6 +54,57 @@ use std::sync::Arc;
 /// Bytes of one identity beacon (id + role + degree).
 const IDENTITY_BYTES: u64 = 8;
 
+/// How a consumer's genuine filter reaches the serving side in
+/// [`BsubProtocol::serve_consumer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FilterChannel {
+    /// Plain consumer: the ripped filter must still be paid for (and
+    /// may be corrupted in flight).
+    Pay,
+    /// A broker already received the filter intact during interest
+    /// propagation; serving is free.
+    Arrived,
+    /// A broker was sent the filter but it was corrupted in flight:
+    /// the serving side has nothing to match against this contact.
+    Corrupted,
+}
+
+/// Fault injection: decides whether a filter transmission arriving at
+/// `receiver` is corrupted in flight. Returns `true` when the receiver
+/// must discard it (the wire bytes were damaged and failed to decode).
+///
+/// This routes the *actual* encoded bytes through the sim layer's
+/// [`WireCorruption`](bsub_sim::WireCorruption) damage and the real
+/// [`wire::decode`] rejection path, so the protocol exercises exactly
+/// the validation a deployment would: a truncated or bit-flipped TCBF
+/// never poisons receiver state, it is dropped at the codec.
+fn corrupted_in_flight(
+    ctx: &mut SimCtx<'_>,
+    receiver: NodeId,
+    filter: &bsub_bloom::Tcbf,
+    mode: CounterMode,
+    bytes: u64,
+) -> bool {
+    let Some(damage) = ctx.draw_corruption() else {
+        return false;
+    };
+    let rejected = match wire::encode(filter, mode) {
+        Ok(mut encoded) => {
+            damage.apply(&mut encoded);
+            wire::decode(&encoded).is_err()
+        }
+        Err(_) => true,
+    };
+    debug_assert!(rejected, "corrupted encodings must never decode");
+    let at = ctx.now();
+    ctx.emit(|| TraceEvent::ControlCorrupted {
+        at,
+        node: receiver,
+        bytes,
+    });
+    rejected
+}
+
 /// The B-SUB protocol (implements [`bsub_sim::Protocol`]).
 #[derive(Debug)]
 pub struct BsubProtocol {
@@ -263,19 +314,34 @@ impl BsubProtocol {
 
     /// Step 4 (consumer → broker direction): A-merge `consumer`'s
     /// genuine filter into `broker`'s relay. Charges the wire cost.
+    ///
+    /// Returns `(continue, arrived)`: whether the contact may proceed
+    /// (false only on link-budget exhaustion) and whether the filter
+    /// actually arrived intact at a broker peer (false for non-broker
+    /// peers and for transmissions corrupted in flight — the bytes were
+    /// spent either way).
     fn propagate_interests(
         &mut self,
         ctx: &mut SimCtx<'_>,
         link: &mut Link,
         consumer: NodeId,
         broker: NodeId,
-    ) -> bool {
+    ) -> (bool, bool) {
         if !self.nodes[broker.index()].is_broker() {
-            return true;
+            return (true, false);
         }
         let bytes = self.genuine_wire_bytes(consumer, true);
         if !ctx.send_control(link, bytes) {
-            return false;
+            return (false, false);
+        }
+        if corrupted_in_flight(
+            ctx,
+            broker,
+            &self.nodes[consumer.index()].genuine,
+            CounterMode::Shared,
+            bytes,
+        ) {
+            return (true, false);
         }
         let interests = ctx.subscriptions().interests_of(consumer).to_vec();
         let now = ctx.now();
@@ -294,32 +360,47 @@ impl BsubProtocol {
             kind: MergeKind::Reinforce,
             fill,
         });
-        true
+        (true, true)
     }
 
     /// Steps 5a + 5c: `src` serves `dst` as a consumer — direct
     /// deliveries from `src`'s own publications, plus handing over any
     /// relayed copies `src` carries. The consumer's genuine filter
-    /// (ripped) is what `src` matches against; its wire cost was paid
-    /// in [`Self::propagate_interests`] for brokers, and is paid here
-    /// otherwise.
+    /// (ripped) is what `src` matches against; how it reaches `src` is
+    /// the [`FilterChannel`]: paid for here for plain consumers,
+    /// already delivered during interest propagation for brokers — or
+    /// corrupted in flight, in which case `src` has nothing to match
+    /// against and this contact serves nothing (but continues).
     fn serve_consumer(
         &mut self,
         ctx: &mut SimCtx<'_>,
         link: &mut Link,
         src: NodeId,
         dst: NodeId,
-        already_paid_filter: bool,
+        channel: FilterChannel,
     ) -> bool {
         let has_content = !self.nodes[src.index()].published.is_empty()
             || !self.nodes[src.index()].store.is_empty();
         if !has_content {
             return true;
         }
-        if !already_paid_filter {
-            let bytes = self.genuine_wire_bytes(dst, false);
-            if !ctx.send_control(link, bytes) {
-                return false;
+        match channel {
+            FilterChannel::Arrived => {}
+            FilterChannel::Corrupted => return true,
+            FilterChannel::Pay => {
+                let bytes = self.genuine_wire_bytes(dst, false);
+                if !ctx.send_control(link, bytes) {
+                    return false;
+                }
+                if corrupted_in_flight(
+                    ctx,
+                    src,
+                    &self.nodes[dst.index()].genuine,
+                    CounterMode::Ripped,
+                    bytes,
+                ) {
+                    return true;
+                }
             }
         }
         let dst_bloom = self.nodes[dst.index()].genuine.to_bloom();
@@ -387,6 +468,18 @@ impl BsubProtocol {
         if !ctx.send_control(link, bytes) {
             return false;
         }
+        {
+            let relay_filter = &self.nodes[broker.index()]
+                .relay
+                .as_ref()
+                .expect("broker has relay")
+                .filter;
+            if corrupted_in_flight(ctx, producer, relay_filter, CounterMode::Ripped, bytes) {
+                // The producer can't see the broker's interests this
+                // contact; no replication, but the contact continues.
+                return true;
+            }
+        }
         let now = ctx.now();
         let (producer_state, broker_state) = two(&mut self.nodes, producer.index(), broker.index());
         let relay_bloom = broker_state
@@ -448,8 +541,9 @@ impl BsubProtocol {
                 CounterMode::Full,
             ) as u64
         };
-        let total = cost(&self.nodes[a.index()]) + cost(&self.nodes[b.index()]);
-        if !ctx.send_control(link, total) {
+        let cost_a = cost(&self.nodes[a.index()]);
+        let cost_b = cost(&self.nodes[b.index()]);
+        if !ctx.send_control(link, cost_a + cost_b) {
             return false;
         }
 
@@ -463,10 +557,21 @@ impl BsubProtocol {
         let shadow_a = relay_a.shadow.clone();
         let shadow_b = relay_b.shadow.clone();
 
+        // Each direction's filter transmission can be corrupted
+        // independently; a side that received a damaged filter neither
+        // hands off (it can't score preferences) nor merges.
+        let a_received_b = !corrupted_in_flight(ctx, a, &filter_b, CounterMode::Full, cost_b);
+        let b_received_a = !corrupted_in_flight(ctx, b, &filter_a, CounterMode::Full, cost_a);
+
         let mut ok = true;
-        for (src, dst, src_filter, dst_filter) in
-            [(a, b, &filter_a, &filter_b), (b, a, &filter_b, &filter_a)]
-        {
+        for (src, dst, src_filter, dst_filter, received) in [
+            (a, b, &filter_a, &filter_b, a_received_b),
+            (b, a, &filter_b, &filter_a, b_received_a),
+        ] {
+            // `src` needs `dst`'s filter to score the handoff.
+            if !received {
+                continue;
+            }
             if !self.handoff(ctx, link, src, dst, src_filter, dst_filter) {
                 ok = false;
                 break;
@@ -483,24 +588,28 @@ impl BsubProtocol {
         };
         let now = ctx.now();
         let (state_a, state_b) = two(&mut self.nodes, a.index(), b.index());
-        let relay_a = state_a.relay.as_mut().expect("broker");
-        relay_a.absorb_relay(&filter_b, &shadow_b, rule);
-        let fill_a = relay_a.filter.fill_ratio();
-        let relay_b = state_b.relay.as_mut().expect("broker");
-        relay_b.absorb_relay(&filter_a, &shadow_a, rule);
-        let fill_b = relay_b.filter.fill_ratio();
-        ctx.emit(|| TraceEvent::FilterMerge {
-            at: now,
-            node: a,
-            kind,
-            fill: fill_a,
-        });
-        ctx.emit(|| TraceEvent::FilterMerge {
-            at: now,
-            node: b,
-            kind,
-            fill: fill_b,
-        });
+        if a_received_b {
+            let relay_a = state_a.relay.as_mut().expect("broker");
+            relay_a.absorb_relay(&filter_b, &shadow_b, rule);
+            let fill = relay_a.filter.fill_ratio();
+            ctx.emit(|| TraceEvent::FilterMerge {
+                at: now,
+                node: a,
+                kind,
+                fill,
+            });
+        }
+        if b_received_a {
+            let relay_b = state_b.relay.as_mut().expect("broker");
+            relay_b.absorb_relay(&filter_a, &shadow_a, rule);
+            let fill = relay_b.filter.fill_ratio();
+            ctx.emit(|| TraceEvent::FilterMerge {
+                at: now,
+                node: b,
+                kind,
+                fill,
+            });
+        }
         ok
     }
 
@@ -603,6 +712,12 @@ impl Protocol for BsubProtocol {
         });
     }
 
+    fn on_node_reset(&mut self, ctx: &mut SimCtx<'_>, node: NodeId) {
+        let now = ctx.now();
+        let Self { config, nodes } = self;
+        nodes[node.index()].reset_volatile(config, now);
+    }
+
     fn on_contact(&mut self, ctx: &mut SimCtx<'_>, contact: &ContactEvent, link: &mut Link) {
         let (a, b) = (contact.a, contact.b);
         let now = ctx.now();
@@ -622,20 +737,33 @@ impl Protocol for BsubProtocol {
         // 4. Interest propagation (consumer → broker, both directions).
         let a_is_broker = self.nodes[a.index()].is_broker();
         let b_is_broker = self.nodes[b.index()].is_broker();
-        if !self.propagate_interests(ctx, link, a, b) {
+        // `propagate_interests(x, y)` sends x's filter to broker y, so
+        // its `arrived` flag tells whether *y* can later serve x.
+        let (go, b_got_a) = self.propagate_interests(ctx, link, a, b);
+        if !go {
             return;
         }
-        if !self.propagate_interests(ctx, link, b, a) {
+        let (go, a_got_b) = self.propagate_interests(ctx, link, b, a);
+        if !go {
             return;
         }
 
         // 5a + 5c: serve each side as a consumer. The genuine filter
         // already traveled (with counters) if the serving side is a
-        // broker.
-        if !self.serve_consumer(ctx, link, a, b, a_is_broker) {
+        // broker — unless it was corrupted in flight.
+        let channel = |server_is_broker: bool, arrived: bool| {
+            if !server_is_broker {
+                FilterChannel::Pay
+            } else if arrived {
+                FilterChannel::Arrived
+            } else {
+                FilterChannel::Corrupted
+            }
+        };
+        if !self.serve_consumer(ctx, link, a, b, channel(a_is_broker, a_got_b)) {
             return;
         }
-        if !self.serve_consumer(ctx, link, b, a, b_is_broker) {
+        if !self.serve_consumer(ctx, link, b, a, channel(b_is_broker, b_got_a)) {
             return;
         }
 
@@ -1200,6 +1328,102 @@ mod tests {
         assert!(
             inflated >= 50 * 20,
             "A-merge between brokers compounds: {inflated}"
+        );
+    }
+
+    #[test]
+    fn total_corruption_never_poisons_state() {
+        use bsub_sim::fault::PPM;
+        use bsub_sim::FaultSpec;
+        // Same schedule as `three_hop_relay_through_broker`, but every
+        // filter transmission is corrupted in flight. The codec rejects
+        // each damaged encoding: nothing merges, nothing is forwarded
+        // or delivered — and nothing panics or poisons receiver state.
+        let trace = ContactTrace::new(
+            "corrupt",
+            4,
+            vec![
+                contact(2, 3, 100, 300),
+                contact(0, 3, 500, 700),
+                contact(2, 3, 900, 1100),
+            ],
+        )
+        .unwrap();
+        let mut subs = SubscriptionTable::new(4);
+        subs.subscribe(NodeId::new(2), "news");
+        let sched = vec![message(10, 0, "news")];
+        let sim = Simulation::new(trace, subs.clone(), sched, SimConfig::default())
+            .with_faults(FaultSpec::none().with_corruption(PPM));
+        let mut bsub = BsubProtocol::new(config(), &subs);
+        let report = sim.run(&mut bsub);
+        assert_eq!(report.delivered, 0, "no filter ever arrives intact");
+        assert_eq!(report.forwardings, 0);
+        assert!(report.control_bytes > 0, "the wire bytes were still spent");
+        // Election ran (beacons carry no filters), so a broker exists —
+        // but its relay never absorbed a corrupted transmission.
+        assert!(bsub.broker_count() > 0);
+        let absorbed = bsub
+            .nodes
+            .iter()
+            .filter_map(|n| n.relay.as_ref())
+            .any(|r| r.filter.fill_ratio() > 0.0);
+        assert!(!absorbed, "corrupted filters must never merge");
+    }
+
+    #[test]
+    fn churn_reset_drops_brokered_cargo() {
+        use bsub_sim::FaultSpec;
+        // The three-hop relay schedule, with churn tuned (by seed
+        // search) so broker 3 goes down after receiving the copy at
+        // t=500s and is back up for the t=900s consumer contact: the
+        // rejoin reset dropped the copy, so nothing is delivered even
+        // though every contact still happens.
+        let period = SimDuration::from_secs(100);
+        let n = NodeId::new;
+        let spec = (0..10_000u64)
+            .map(|seed| {
+                FaultSpec::none()
+                    .with_seed(seed)
+                    .with_churn(300_000, period)
+            })
+            .find(|s| {
+                // Producer 0 must keep its publication (no reset before
+                // its only contact in cell 5); consumer 2 must show up
+                // at cells 1 and 9; broker 3 must be up for all three
+                // contacts and keep its learned relay until the copy
+                // arrives, then go down at least once before cell 9.
+                (0..=5).all(|c| !s.node_down(n(0), c))
+                    && !s.node_down(n(2), 1)
+                    && !s.node_down(n(2), 9)
+                    && (1..=5).all(|c| !s.node_down(n(3), c))
+                    && !s.node_down(n(3), 9)
+                    && (6..=8).any(|c| s.node_down(n(3), c))
+            })
+            .expect("some seed yields the up/down/up pattern");
+        let trace = ContactTrace::new(
+            "churn",
+            4,
+            vec![
+                contact(2, 3, 100, 300),
+                contact(0, 3, 500, 700),
+                contact(2, 3, 900, 1100),
+            ],
+        )
+        .unwrap();
+        let mut subs = SubscriptionTable::new(4);
+        subs.subscribe(NodeId::new(2), "news");
+        let sched = vec![message(10, 0, "news")];
+        let sim =
+            Simulation::new(trace, subs.clone(), sched, SimConfig::default()).with_faults(spec);
+        let mut bsub = BsubProtocol::new(config(), &subs);
+        let report = sim.run(&mut bsub);
+        assert_eq!(report.forwardings, 1, "the replication itself happened");
+        assert_eq!(report.delivered, 0, "the rejoin reset dropped the copy");
+        assert_eq!(bsub.carried_copies(), 0);
+        assert_eq!(
+            bsub.role_of(NodeId::new(3)),
+            Role::Broker,
+            "the role survives the restart"
         );
     }
 

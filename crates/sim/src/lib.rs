@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod fault;
 mod link;
 mod message;
 pub mod metrics;
@@ -58,12 +59,13 @@ pub mod record;
 mod runner;
 mod subscriptions;
 
+pub use crate::fault::{FaultSpec, WireCorruption};
 pub use crate::link::Link;
 pub use crate::message::{Message, MessageId};
 pub use crate::metrics::{DeliveryOutcome, MetricsCollector, SimReport};
 pub use crate::protocols::{NullProtocol, Protocol, ProtocolFactory, SimCtx};
 pub use crate::record::{
-    EpochRow, EventLog, MergeKind, NullRecorder, PreferenceValue, Recorder, RunRecorder,
+    EpochRow, EventLog, LossCause, MergeKind, NullRecorder, PreferenceValue, Recorder, RunRecorder,
     TimeSeriesRecorder, TraceEvent,
 };
 pub use crate::runner::{GeneratedMessage, SimConfig, Simulation};

@@ -110,6 +110,35 @@ mod tests {
     }
 
     #[test]
+    fn zero_rate_link_has_no_budget() {
+        let mut l = Link::for_contact(SimDuration::from_hours(5), 0);
+        assert_eq!(l.budget(), 0);
+        assert!(l.is_exhausted());
+        assert!(!l.try_transfer(1));
+        assert!(l.try_transfer(0));
+    }
+
+    #[test]
+    fn transfer_exactly_equal_to_remaining_fits() {
+        let mut l = Link::with_budget(100);
+        assert!(l.try_transfer(30));
+        assert!(l.try_transfer(70), "exact remainder must fit");
+        assert!(l.is_exhausted());
+        assert_eq!(l.remaining(), 0);
+        assert!(!l.try_transfer(1));
+        assert_eq!(l.used(), 100);
+    }
+
+    #[test]
+    fn huge_contact_budget_saturates_instead_of_overflowing() {
+        let l = Link::for_contact(SimDuration::from_millis(u64::MAX), u64::MAX);
+        assert_eq!(l.budget(), u64::MAX);
+        let mut l = Link::with_budget(u64::MAX);
+        assert!(l.try_transfer(u64::MAX));
+        assert!(l.is_exhausted());
+    }
+
+    #[test]
     fn sub_second_contact_gets_proportional_budget() {
         // 400 ms at 31,250 B/s = 12,500 bytes (was 0 at whole-second
         // resolution).

@@ -1,13 +1,22 @@
 //! The protocol abstraction: how forwarding schemes plug into the
 //! simulator.
 
+use crate::fault::{WireCorruption, PPM};
 use crate::link::Link;
 use crate::message::Message;
 use crate::metrics::{DeliveryOutcome, MetricsCollector};
 use crate::record::{Recorder, TraceEvent};
 use crate::subscriptions::SubscriptionTable;
+use bsub_bloom::SplitMix64;
 use bsub_traces::{ContactEvent, NodeId, SimTime};
 use std::sync::Arc;
+
+/// The per-contact corruption draw stream attached to a [`SimCtx`]
+/// when fault injection is active.
+struct CorruptionDraws {
+    rng: SplitMix64,
+    ppm: u32,
+}
 
 /// The simulation context handed to protocol hooks.
 ///
@@ -20,6 +29,7 @@ pub struct SimCtx<'a> {
     subscriptions: &'a SubscriptionTable,
     metrics: &'a mut MetricsCollector,
     recorder: &'a mut dyn Recorder,
+    corruption: Option<CorruptionDraws>,
 }
 
 impl std::fmt::Debug for SimCtx<'_> {
@@ -43,7 +53,40 @@ impl<'a> SimCtx<'a> {
             subscriptions,
             metrics,
             recorder,
+            corruption: None,
         }
+    }
+
+    /// Attaches the contact's corruption draw stream (fault injection
+    /// only; without this, [`SimCtx::draw_corruption`] never corrupts).
+    pub(crate) fn attach_corruption(&mut self, rng: SplitMix64, ppm: u32) {
+        self.corruption = Some(CorruptionDraws { rng, ppm });
+    }
+
+    /// Draws the fate of one in-flight control-plane encoding:
+    /// `Some(damage)` if fault injection corrupts this transmission.
+    ///
+    /// Each call consumes a fixed number of draws from the contact's
+    /// corruption stream regardless of the verdict, so the stream stays
+    /// aligned across corruption intensities (see the `fault` module on
+    /// monotonicity). Without an attached stream this is free and
+    /// always `None`.
+    #[must_use]
+    pub fn draw_corruption(&mut self) -> Option<WireCorruption> {
+        let draws = self.corruption.as_mut()?;
+        let verdict = draws.rng.below(u64::from(PPM)) < u64::from(draws.ppm);
+        let flip = draws.rng.next_bool();
+        let position = draws.rng.next_u64();
+        if !verdict {
+            return None;
+        }
+        Some(if flip {
+            WireCorruption::BitFlip { bit: position }
+        } else {
+            WireCorruption::Truncate {
+                keep_ppm: (position % u64::from(PPM)) as u32,
+            }
+        })
     }
 
     /// Current simulation time.
@@ -166,6 +209,12 @@ pub trait Protocol: std::any::Any + Send {
     /// Nodes `contact.a` and `contact.b` are in range for the span of
     /// `contact`; `link` is the byte budget of the encounter.
     fn on_contact(&mut self, ctx: &mut SimCtx<'_>, contact: &ContactEvent, link: &mut Link);
+
+    /// Fault injection: `node` rejoined after downtime and must drop
+    /// its buffered copies and volatile routing state (keeping only
+    /// what would survive a device restart, e.g. its own
+    /// subscriptions). The default is a no-op for stateless protocols.
+    fn on_node_reset(&mut self, _ctx: &mut SimCtx<'_>, _node: NodeId) {}
 }
 
 /// Builds fresh [`Protocol`] instances, one per run.
@@ -275,6 +324,24 @@ mod tests {
         let r = metrics.finish("t");
         assert_eq!(r.delivered, 1);
         assert_eq!(r.false_delivered, 1);
+    }
+
+    #[test]
+    fn corruption_draws_only_when_attached() {
+        let mut metrics = MetricsCollector::new();
+        let subs = SubscriptionTable::new(2);
+        let mut rec = crate::record::NullRecorder;
+        let mut ctx = SimCtx::new(SimTime::ZERO, &subs, &mut metrics, &mut rec);
+        assert_eq!(ctx.draw_corruption(), None, "no stream attached");
+
+        ctx.attach_corruption(SplitMix64::new(42), PPM);
+        for _ in 0..16 {
+            assert!(ctx.draw_corruption().is_some(), "p = 1 always corrupts");
+        }
+        ctx.attach_corruption(SplitMix64::new(42), 0);
+        for _ in 0..16 {
+            assert_eq!(ctx.draw_corruption(), None, "p = 0 never corrupts");
+        }
     }
 
     #[test]

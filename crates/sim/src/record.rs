@@ -67,6 +67,26 @@ impl MergeKind {
     }
 }
 
+/// Why a [`TraceEvent::ContactLost`] contact carried no exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossCause {
+    /// The radio exchange failed outright (fault-injected link loss).
+    Radio,
+    /// At least one endpoint was down (fault-injected node churn).
+    Churn,
+}
+
+impl LossCause {
+    /// Stable lower-case label used in JSONL output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            LossCause::Radio => "radio",
+            LossCause::Churn => "churn",
+        }
+    }
+}
+
 /// The preferential-query value that drove a forwarding decision
 /// (Section V-D), decoupled from `bsub-bloom`'s `Preference` type so
 /// the sim crate stays dependency-free.
@@ -237,6 +257,48 @@ pub enum TraceEvent {
         /// Largest counter value in any relay filter.
         max_counter: u32,
     },
+    /// A fault-injected contact fired but no exchange happened.
+    ContactLost {
+        /// Contact start time.
+        at: SimTime,
+        /// Lower-id endpoint.
+        a: NodeId,
+        /// Higher-id endpoint.
+        b: NodeId,
+        /// Why the exchange was lost.
+        cause: LossCause,
+    },
+    /// A fault-injected contact's byte budget was cut mid-exchange.
+    ContactTruncated {
+        /// Contact start time.
+        at: SimTime,
+        /// Lower-id endpoint.
+        a: NodeId,
+        /// Higher-id endpoint.
+        b: NodeId,
+        /// The truncated byte budget actually available.
+        budget: u64,
+        /// The radio budget the contact would have had.
+        original: u64,
+    },
+    /// A node rejoined after fault-injected downtime and dropped its
+    /// buffered copies and volatile routing state.
+    NodeReset {
+        /// Rejoin time (the node's first contact back up).
+        at: SimTime,
+        /// The node that lost its state.
+        node: NodeId,
+    },
+    /// A received control-plane encoding was corrupted in flight and
+    /// rejected by the receiver's wire decoder.
+    ControlCorrupted {
+        /// Receipt time.
+        at: SimTime,
+        /// The receiving node that rejected the filter.
+        node: NodeId,
+        /// Size of the transmission as paid on the link.
+        bytes: u64,
+    },
 }
 
 impl TraceEvent {
@@ -256,7 +318,11 @@ impl TraceEvent {
             | TraceEvent::FilterDecay { at, .. }
             | TraceEvent::Promoted { at, .. }
             | TraceEvent::Demoted { at, .. }
-            | TraceEvent::Snapshot { at, .. } => *at,
+            | TraceEvent::Snapshot { at, .. }
+            | TraceEvent::ContactLost { at, .. }
+            | TraceEvent::ContactTruncated { at, .. }
+            | TraceEvent::NodeReset { at, .. }
+            | TraceEvent::ControlCorrupted { at, .. } => *at,
         }
     }
 
@@ -412,6 +478,43 @@ impl TraceEvent {
                     r#"{{"ev":"snapshot","t_ms":{t},"brokers":{brokers},"buffered":{buffered},"relay_fill":{},"relay_fpr":{},"max_counter":{max_counter}}}"#,
                     json_f64(*relay_fill),
                     json_f64(*relay_fpr),
+                );
+            }
+            TraceEvent::ContactLost { a, b, cause, .. } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"contact_lost","t_ms":{t},"a":{},"b":{},"cause":"{}"}}"#,
+                    a.index(),
+                    b.index(),
+                    cause.label(),
+                );
+            }
+            TraceEvent::ContactTruncated {
+                a,
+                b,
+                budget,
+                original,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"contact_truncated","t_ms":{t},"a":{},"b":{},"budget":{budget},"original":{original}}}"#,
+                    a.index(),
+                    b.index(),
+                );
+            }
+            TraceEvent::NodeReset { node, .. } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"node_reset","t_ms":{t},"node":{}}}"#,
+                    node.index()
+                );
+            }
+            TraceEvent::ControlCorrupted { node, bytes, .. } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"control_corrupted","t_ms":{t},"node":{},"bytes":{bytes}}}"#,
+                    node.index(),
                 );
             }
         }
@@ -846,6 +949,31 @@ mod tests {
                 relay_fill: 0.5,
                 relay_fpr: 0.0625,
                 max_counter: 3,
+            },
+            TraceEvent::ContactLost {
+                at: t,
+                a: n,
+                b: NodeId::new(2),
+                cause: LossCause::Radio,
+            },
+            TraceEvent::ContactLost {
+                at: t,
+                a: n,
+                b: NodeId::new(2),
+                cause: LossCause::Churn,
+            },
+            TraceEvent::ContactTruncated {
+                at: t,
+                a: n,
+                b: NodeId::new(2),
+                budget: 12,
+                original: 120,
+            },
+            TraceEvent::NodeReset { at: t, node: n },
+            TraceEvent::ControlCorrupted {
+                at: t,
+                node: n,
+                bytes: 40,
             },
         ];
         for e in &events {

@@ -1,11 +1,12 @@
 //! The simulation runner: merges the contact trace with the message
 //! schedule and drives a [`Protocol`] through both.
 
+use crate::fault::{FaultSpec, FaultState, PPM};
 use crate::link::Link;
 use crate::message::{Message, MessageId};
 use crate::metrics::{MetricsCollector, SimReport};
 use crate::protocols::{Protocol, ProtocolFactory, SimCtx};
-use crate::record::{NullRecorder, Recorder, TraceEvent};
+use crate::record::{LossCause, NullRecorder, Recorder, TraceEvent};
 use crate::subscriptions::SubscriptionTable;
 use bsub_traces::{ContactTrace, NodeId, SimDuration, SimTime};
 use std::sync::Arc;
@@ -61,6 +62,7 @@ pub struct Simulation {
     subscriptions: Arc<SubscriptionTable>,
     schedule: Arc<[GeneratedMessage]>,
     config: SimConfig,
+    faults: FaultSpec,
 }
 
 impl Simulation {
@@ -98,7 +100,23 @@ impl Simulation {
             subscriptions,
             schedule,
             config,
+            faults: FaultSpec::none(),
         }
+    }
+
+    /// Attaches a fault model to the run. [`FaultSpec::none`] (the
+    /// default) is guaranteed to change nothing: the fault layer is a
+    /// single branch per contact and draws no randomness.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The fault model in effect.
+    #[must_use]
+    pub fn faults(&self) -> &FaultSpec {
+        &self.faults
     }
 
     /// The configuration in effect.
@@ -202,11 +220,79 @@ impl Simulation {
             }
         };
 
-        for contact in self.trace.iter() {
+        // With `FaultSpec::none()` (the default) the fault layer is a
+        // single branch per contact: no draws, no state, identical
+        // behavior to a simulator without it.
+        let faulted = !self.faults.is_none();
+        let mut fault_state = FaultState::new(self.trace.node_count() as usize);
+
+        for (index, contact) in self.trace.iter().enumerate() {
             publish_until(contact.start, true, &mut metrics, protocol, recorder);
             metrics.on_contact();
+            let index = index as u64;
+
+            if faulted {
+                // Churn: advance both endpoints through their downtime
+                // cells; a node back up after downtime resets first
+                // (rejoin precedes any exchange of this contact).
+                let a_down = fault_state.advance(&self.faults, contact.a, contact.start);
+                let b_down = fault_state.advance(&self.faults, contact.b, contact.start);
+                for (node, down) in [(contact.a, a_down), (contact.b, b_down)] {
+                    if !down && fault_state.take_reset(node) {
+                        let mut ctx =
+                            SimCtx::new(contact.start, &self.subscriptions, &mut metrics, recorder);
+                        protocol.on_node_reset(&mut ctx, node);
+                        ctx.emit(|| TraceEvent::NodeReset {
+                            at: contact.start,
+                            node,
+                        });
+                    }
+                }
+                let lost_cause = if a_down || b_down {
+                    Some(LossCause::Churn)
+                } else if self.faults.loses_contact(index) {
+                    Some(LossCause::Radio)
+                } else {
+                    None
+                };
+                if let Some(cause) = lost_cause {
+                    if recorder.is_active() {
+                        recorder.record(&TraceEvent::ContactLost {
+                            at: contact.start,
+                            a: contact.a,
+                            b: contact.b,
+                            cause,
+                        });
+                    }
+                    continue;
+                }
+            }
+
             let mut link = Link::for_contact(contact.duration(), self.config.bytes_per_sec);
+            if faulted {
+                if let Some(keep) = self.faults.truncates_contact(index) {
+                    let original = link.budget();
+                    let cut = (u128::from(original) * u128::from(keep) / u128::from(PPM)) as u64;
+                    link = Link::with_budget(cut);
+                    if recorder.is_active() {
+                        recorder.record(&TraceEvent::ContactTruncated {
+                            at: contact.start,
+                            a: contact.a,
+                            b: contact.b,
+                            budget: cut,
+                            original,
+                        });
+                    }
+                }
+            }
+
             let mut ctx = SimCtx::new(contact.start, &self.subscriptions, &mut metrics, recorder);
+            if faulted && self.faults.corruption_ppm() > 0 {
+                ctx.attach_corruption(
+                    self.faults.corruption_stream(index),
+                    self.faults.corruption_ppm(),
+                );
+            }
             ctx.emit(|| TraceEvent::ContactBegin {
                 at: contact.start,
                 a: contact.a,
@@ -513,6 +599,197 @@ mod tests {
             .join()
             .unwrap();
         assert_eq!(here, there);
+    }
+
+    /// Attaching `FaultSpec::none()` is exactly the default run.
+    #[test]
+    fn faultless_spec_changes_nothing() {
+        let mut subs = SubscriptionTable::new(3);
+        subs.subscribe(NodeId::new(1), "news");
+        let sim = Simulation::new(trace(), subs, schedule(), SimConfig::default());
+        let plain = sim.run(&mut DirectHandoff::default());
+        let faultless = sim
+            .clone()
+            .with_faults(FaultSpec::none())
+            .run(&mut DirectHandoff::default());
+        assert_eq!(plain, faultless);
+        assert!(sim.faults().is_none());
+    }
+
+    /// With every contact lost, nothing is delivered but contacts are
+    /// still counted (the encounter happened; the exchange failed).
+    #[test]
+    fn total_contact_loss_stops_all_delivery() {
+        let mut subs = SubscriptionTable::new(3);
+        subs.subscribe(NodeId::new(1), "news");
+        let sim = Simulation::new(trace(), subs, schedule(), SimConfig::default()).with_faults(
+            FaultSpec::none()
+                .with_seed(1)
+                .with_contact_loss(crate::fault::PPM),
+        );
+        let mut log = crate::record::EventLog::new();
+        let report = sim.run_recorded(&mut DirectHandoff::default(), &mut log);
+        assert_eq!(report.contacts, 2);
+        assert_eq!(report.delivered, 0);
+        assert_eq!(report.forwardings, 0);
+        let lost = log
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::ContactLost {
+                        cause: LossCause::Radio,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(lost, 2);
+    }
+
+    /// Faulted runs are deterministic: same spec, same report.
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let mut subs = SubscriptionTable::new(3);
+        subs.subscribe(NodeId::new(1), "news");
+        let spec = FaultSpec::none()
+            .with_seed(11)
+            .with_contact_loss(crate::fault::PPM / 3)
+            .with_truncation(crate::fault::PPM / 3)
+            .with_corruption(crate::fault::PPM / 3);
+        let sim =
+            Simulation::new(trace(), subs, schedule(), SimConfig::default()).with_faults(spec);
+        let a = sim.run(&mut DirectHandoff::default());
+        let b = sim.clone().run(&mut DirectHandoff::default());
+        assert_eq!(a, b);
+    }
+
+    /// A protocol hears about a node's downtime exactly once, at the
+    /// node's first contact back up, via `on_node_reset`.
+    #[test]
+    fn churn_rejoin_invokes_reset_hook() {
+        #[derive(Debug, Default)]
+        struct ResetCounter {
+            resets: Vec<NodeId>,
+        }
+        impl Protocol for ResetCounter {
+            fn name(&self) -> &str {
+                "RESETS"
+            }
+            fn on_message(&mut self, _ctx: &mut SimCtx<'_>, _msg: &Arc<Message>) {}
+            fn on_contact(
+                &mut self,
+                _ctx: &mut SimCtx<'_>,
+                _contact: &ContactEvent,
+                _link: &mut Link,
+            ) {
+            }
+            fn on_node_reset(&mut self, _ctx: &mut SimCtx<'_>, node: NodeId) {
+                self.resets.push(node);
+            }
+        }
+
+        // Two contacts between nodes 0 and 1, one churn cell apart.
+        let trace = ContactTrace::new(
+            "churny",
+            2,
+            vec![
+                ContactEvent::new(
+                    NodeId::new(0),
+                    NodeId::new(1),
+                    SimTime::from_secs(10),
+                    SimTime::from_secs(20),
+                ),
+                ContactEvent::new(
+                    NodeId::new(0),
+                    NodeId::new(1),
+                    SimTime::from_secs(2 * 3600 + 10),
+                    SimTime::from_secs(2 * 3600 + 20),
+                ),
+            ],
+        )
+        .unwrap();
+        let period = SimDuration::from_hours(1);
+        // Find a seed where both endpoints are up in cells 0 and 2 but
+        // at least one was down in cell 1 (downtime between contacts).
+        let spec = (0..256)
+            .map(|s| {
+                FaultSpec::none()
+                    .with_seed(s)
+                    .with_churn(crate::fault::PPM / 3, period)
+            })
+            .find(|spec| {
+                let up = |n: u32, c: u64| !spec.node_down(NodeId::new(n), c);
+                up(0, 0) && up(1, 0) && up(0, 2) && up(1, 2) && (!up(0, 1) || !up(1, 1))
+            })
+            .expect("some seed produces the pattern");
+        let expected: Vec<NodeId> = [NodeId::new(0), NodeId::new(1)]
+            .into_iter()
+            .filter(|&n| spec.node_down(n, 1))
+            .collect();
+
+        let sim = Simulation::new(
+            trace,
+            SubscriptionTable::new(2),
+            Vec::new(),
+            SimConfig::default(),
+        )
+        .with_faults(spec);
+        let mut protocol = ResetCounter::default();
+        let mut log = crate::record::EventLog::new();
+        let report = sim.run_recorded(&mut protocol, &mut log);
+        assert_eq!(report.contacts, 2);
+        assert_eq!(protocol.resets, expected);
+        let reset_events = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::NodeReset { .. }))
+            .count();
+        assert_eq!(reset_events, expected.len());
+    }
+
+    /// Truncation cuts the link budget handed to the protocol.
+    #[test]
+    fn truncation_shrinks_contact_budget() {
+        let mut subs = SubscriptionTable::new(3);
+        subs.subscribe(NodeId::new(1), "news");
+        let sim = Simulation::new(trace(), subs, schedule(), SimConfig::default()).with_faults(
+            FaultSpec::none()
+                .with_seed(2)
+                .with_truncation(crate::fault::PPM),
+        );
+        let mut log = crate::record::EventLog::new();
+        let _ = sim.run_recorded(&mut DirectHandoff::default(), &mut log);
+        let mut seen = 0;
+        for e in log.events() {
+            if let TraceEvent::ContactTruncated {
+                budget, original, ..
+            } = e
+            {
+                assert!(budget < original);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 2, "every contact truncated at p = 1");
+        // The following ContactBegin must carry the truncated budget.
+        let begins: Vec<u64> = log
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ContactBegin { budget, .. } => Some(*budget),
+                _ => None,
+            })
+            .collect();
+        let cuts: Vec<u64> = log
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ContactTruncated { budget, .. } => Some(*budget),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(begins, cuts);
     }
 
     /// `run_factory` hands back the finished protocol for inspection.
