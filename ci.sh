@@ -6,7 +6,9 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 echo "== cargo build --release =="
-cargo build --release
+# --workspace: a plain root build only covers the umbrella package and
+# would skip the bsub-bench binaries the smoke steps below execute.
+cargo build --release --workspace
 
 echo "== cargo test (workspace) =="
 cargo test --workspace -q
@@ -43,5 +45,18 @@ test -s "$SMOKE_DIR/degradation.csv" || {
     echo "missing smoke artifact: degradation.csv" >&2
     exit 1
 }
+
+echo "== perf --smoke --check (metrics & perf-regression gate) =="
+# Profiles the smoke sweep with the bsub-obs metrics layer attached
+# and gates on the committed BENCH_perf.json baseline: median-of-N on
+# the host-normalized CPU time and the deterministic byte counters.
+# BSUB_PERF_TOLERANCE widens the time factor on known-noisy hosts.
+BSUB_RESULTS_DIR="$SMOKE_DIR" ./target/release/perf --smoke --check
+for artifact in metrics_perf_smoke.json perf_perf_smoke.csv BENCH_perf.json; do
+    test -s "$SMOKE_DIR/$artifact" || {
+        echo "missing perf artifact: $artifact" >&2
+        exit 1
+    }
+done
 
 echo "CI OK"

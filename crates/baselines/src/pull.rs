@@ -1,5 +1,6 @@
 //! PULL: one-hop interest collection.
 
+use bsub_obs::{self as obs, Gauge};
 use bsub_sim::{Link, Message, MessageId, Protocol, SimCtx, TraceEvent};
 use bsub_traces::{ContactEvent, NodeId, SimTime};
 use std::collections::HashSet;
@@ -15,6 +16,10 @@ use std::sync::Arc;
 #[derive(Debug)]
 pub struct Pull {
     nodes: Vec<NodeState>,
+    /// Contacts seen while profiling — schedules the sampled
+    /// occupancy walk. Metrics-only state: never read by the
+    /// protocol logic, untouched when profiling is off.
+    occupancy_probe: u64,
 }
 
 #[derive(Debug, Default)]
@@ -32,6 +37,7 @@ impl Pull {
     pub fn new(nodes: u32) -> Self {
         Self {
             nodes: (0..nodes).map(|_| NodeState::default()).collect(),
+            occupancy_probe: 0,
         }
     }
 
@@ -118,7 +124,26 @@ impl Protocol for Pull {
         self.pull_from(ctx, link, contact.a, contact.b);
         self.pull_from(ctx, link, contact.b, contact.a);
         // PULL never relays: the only buffered copies are the
-        // producers' own published stores.
+        // producers' own published stores. Walked on a sampled
+        // schedule while profiling (see `OCCUPANCY_SAMPLE_PERIOD`).
+        if obs::is_active() {
+            if self
+                .occupancy_probe
+                .is_multiple_of(obs::OCCUPANCY_SAMPLE_PERIOD)
+            {
+                let mut msgs: u64 = 0;
+                let mut bytes: u64 = 0;
+                for n in &self.nodes {
+                    msgs = msgs.saturating_add(n.published.len() as u64);
+                    for m in &n.published {
+                        bytes = bytes.saturating_add(u64::from(m.size));
+                    }
+                }
+                obs::gauge_set(Gauge::BufferMsgs, msgs);
+                obs::gauge_set(Gauge::BufferBytes, bytes);
+            }
+            self.occupancy_probe = self.occupancy_probe.wrapping_add(1);
+        }
         ctx.emit(|| TraceEvent::Snapshot {
             at: now,
             brokers: 0,

@@ -1,5 +1,6 @@
 //! PUSH: epidemic flooding.
 
+use bsub_obs::{self as obs, Gauge};
 use bsub_sim::{Link, Message, Protocol, SimCtx, TraceEvent};
 use bsub_traces::{ContactEvent, NodeId};
 use std::sync::Arc;
@@ -27,6 +28,10 @@ pub struct Push {
     has: Vec<BitSet>,
     /// Globally expired messages (lazily discovered).
     expired: BitSet,
+    /// Contacts seen while profiling — schedules the sampled
+    /// occupancy walk. Metrics-only state: never read by the
+    /// protocol logic, untouched when profiling is off.
+    occupancy_probe: u64,
 }
 
 impl Push {
@@ -37,6 +42,7 @@ impl Push {
             messages: Vec::new(),
             has: (0..nodes).map(|_| BitSet::default()).collect(),
             expired: BitSet::default(),
+            occupancy_probe: 0,
         }
     }
 
@@ -48,6 +54,26 @@ impl Push {
             .iter()
             .map(|h| h.count_and_not(&self.expired))
             .sum()
+    }
+
+    /// Buffer occupancy across all nodes: (live copies, bytes those
+    /// copies occupy). PUSH counts every replica — a message buffered
+    /// on three nodes costs its size three times.
+    fn buffer_occupancy(&self) -> (u64, u64) {
+        let mut msgs: u64 = 0;
+        let mut bytes: u64 = 0;
+        for h in &self.has {
+            for (w, &word) in h.words.iter().enumerate() {
+                let mut live = word & !self.expired.word(w);
+                while live != 0 {
+                    let bit = live.trailing_zeros() as usize;
+                    live &= live - 1;
+                    msgs = msgs.saturating_add(1);
+                    bytes = bytes.saturating_add(u64::from(self.messages[w * 64 + bit].size));
+                }
+            }
+        }
+        (msgs, bytes)
     }
 
     /// Replicates from `src` to `dst` until the link budget runs out.
@@ -120,7 +146,20 @@ impl Protocol for Push {
         self.replicate(ctx, link, contact.a, contact.b);
         self.replicate(ctx, link, contact.b, contact.a);
         // PUSH has no brokers or filters; only the buffered-copy gauge
-        // is meaningful. The O(n) count runs only when recording.
+        // is meaningful. The walk is O(nodes × messages) — under
+        // flooding that dwarfs the contact itself, so it runs on a
+        // sampled schedule, and only while profiling.
+        if obs::is_active() {
+            if self
+                .occupancy_probe
+                .is_multiple_of(obs::OCCUPANCY_SAMPLE_PERIOD)
+            {
+                let (msgs, bytes) = self.buffer_occupancy();
+                obs::gauge_set(Gauge::BufferMsgs, msgs);
+                obs::gauge_set(Gauge::BufferBytes, bytes);
+            }
+            self.occupancy_probe = self.occupancy_probe.wrapping_add(1);
+        }
         let now = ctx.now();
         ctx.emit(|| TraceEvent::Snapshot {
             at: now,

@@ -19,6 +19,7 @@
 //! [`crate::output::record_perf`]).
 
 use bsub_bloom::rng::SplitMix64;
+use bsub_obs::{self as obs, MetricsReport, ProfReport};
 use bsub_sim::{
     EpochRow, EventLog, Protocol, ProtocolFactory, RunRecorder, SimReport, Simulation,
     TimeSeriesRecorder,
@@ -39,10 +40,18 @@ pub struct RecordSpec {
     /// Aggregate a per-epoch time series with this bucket width
     /// (rendered to CSV by [`crate::output::write_timeseries`]).
     pub series: Option<SimDuration>,
+    /// Profile the run with the `bsub-obs` metrics layer: hot-path
+    /// counters, buffer gauges, and timing/size histograms, attached
+    /// to the record as a [`ProfReport`]. Profiling is orthogonal to
+    /// the event/series recorders and never perturbs the simulation —
+    /// the determinism tests enforce bit-identical figure artifacts
+    /// with it on or off.
+    pub prof: bool,
 }
 
 impl RecordSpec {
-    /// Whether anything is recorded at all.
+    /// Whether the event/series recorder path is needed (profiling
+    /// alone stays on the [`bsub_sim::NullRecorder`] fast path).
     #[must_use]
     pub fn is_enabled(&self) -> bool {
         self.events || self.series.is_some()
@@ -113,6 +122,8 @@ pub struct RunRecord {
     pub protocol: Box<dyn Protocol>,
     /// Captured observability output, when the spec asked for any.
     pub recording: Option<RunRecording>,
+    /// The run's profiling report, when [`RecordSpec::prof`] was set.
+    pub prof: Option<ProfReport>,
     /// Wall-clock duration of this run (excluded from figure CSVs).
     pub wall: Duration,
 }
@@ -160,6 +171,21 @@ impl SweepOutcome {
         } else {
             self.cpu_wall().as_secs_f64() / total
         }
+    }
+
+    /// Aggregates the profiled runs into a label-grouped
+    /// [`MetricsReport`] (one group per protocol / experiment leg).
+    /// Per-run reports merge commutatively, so the deterministic
+    /// portion of the result is worker-count invariant.
+    #[must_use]
+    pub fn metrics_report(&self) -> MetricsReport {
+        let mut report = MetricsReport::new();
+        for record in &self.records {
+            if let Some(prof) = &record.prof {
+                report.add(&record.label, prof);
+            }
+        }
+        report
     }
 }
 
@@ -218,6 +244,11 @@ impl Executor {
                     let run = &spec.runs[index];
                     let seed = SplitMix64::mix(spec.master_seed, index as u64);
                     let run_started = Instant::now();
+                    // A run executes entirely on this worker thread, so
+                    // the thread-local profiler scopes exactly one run.
+                    if run.record.prof {
+                        obs::start();
+                    }
                     let (report, protocol, recording) = if run.record.is_enabled() {
                         let mut recorder = RunRecorder {
                             events: run.record.events.then(EventLog::new),
@@ -239,6 +270,7 @@ impl Executor {
                         let (report, protocol) = run.sim.run_factory(run.factory.as_ref(), seed);
                         (report, protocol, None)
                     };
+                    let prof = run.record.prof.then(obs::finish);
                     let wall = run_started.elapsed();
                     eprintln!(
                         "[{}] run {}/{} {}@{} done in {:.3}s",
@@ -256,6 +288,7 @@ impl Executor {
                         report,
                         protocol,
                         recording,
+                        prof,
                         wall,
                     });
                 });
@@ -342,6 +375,47 @@ mod tests {
         let lhs: Vec<&SimReport> = sequential.records.iter().map(|r| &r.report).collect();
         let rhs: Vec<&SimReport> = parallel.records.iter().map(|r| &r.report).collect();
         assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn profiled_runs_attach_reports() {
+        let mut spec = tiny_spec(4);
+        for run in &mut spec.runs[..2] {
+            run.record.prof = true;
+        }
+        let outcome = Executor::with_workers(2).run(&spec);
+        assert!(outcome.records[0].prof.is_some());
+        assert!(outcome.records[1].prof.is_some());
+        assert!(outcome.records[2].prof.is_none());
+        // Even a NullProtocol run drives the contact loop, which the
+        // runner instruments.
+        let metrics = outcome.metrics_report();
+        let group = metrics.group("null").expect("profiled label present");
+        assert!(group.counter(bsub_obs::Counter::Contacts) > 0);
+    }
+
+    /// The deterministic portion of the aggregated metrics is part of
+    /// the worker-count-invariance contract.
+    #[test]
+    fn metrics_report_is_worker_count_invariant() {
+        let profiled = || {
+            let mut spec = tiny_spec(6);
+            for run in &mut spec.runs {
+                run.record.prof = true;
+            }
+            spec
+        };
+        let baseline = Executor::with_workers(1).run(&profiled()).metrics_report();
+        assert!(!baseline.is_empty());
+        for workers in [2usize, 8] {
+            let metrics = Executor::with_workers(workers)
+                .run(&profiled())
+                .metrics_report();
+            assert!(
+                metrics.eq_deterministic(&baseline),
+                "metrics must be deterministic on {workers} workers"
+            );
+        }
     }
 
     #[test]

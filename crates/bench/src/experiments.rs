@@ -273,6 +273,48 @@ pub fn fig9() {
     record_perf(&outcome);
 }
 
+/// Declares the perf smoke sweep: one fig7-shaped point (PUSH, B-SUB,
+/// PULL at a single TTL) on a small synthetic trace — a couple of
+/// seconds of work that still drives every instrumented hot path
+/// (TCBF merges, wire codec, election, matching, the contact loop).
+/// The `perf` binary runs it with profiling enabled and CI gates on
+/// its trajectory, so the name is part of the committed
+/// `BENCH_perf.json` baseline.
+#[must_use]
+pub fn perf_smoke_spec() -> SweepSpec {
+    let trace =
+        bsub_traces::synthetic::SyntheticTrace::new("smoke", 16, SimDuration::from_hours(6), 900)
+            .seed(7)
+            .build();
+    let experiment = Experiment::over(trace, 7);
+    let ttl = SimDuration::from_mins(120);
+    let df = experiment.df_for_ttl(ttl);
+    let protocols = [
+        ("push", ProtocolKind::Push),
+        (
+            "bsub",
+            ProtocolKind::Bsub {
+                df: DfMode::Fixed(df),
+            },
+        ),
+        ("pull", ProtocolKind::Pull),
+    ];
+    SweepSpec {
+        name: "perf_smoke".to_string(),
+        master_seed: MASTER_SEED,
+        runs: protocols
+            .into_iter()
+            .map(|(label, kind)| RunSpec {
+                point: "120".to_string(),
+                label: label.to_string(),
+                sim: experiment.sim(ttl),
+                factory: experiment.factory(kind, ttl),
+                record: RecordSpec::default(),
+            })
+            .collect(),
+    }
+}
+
 /// Declares the dynamics sweep: two recorded B-SUB runs over the same
 /// environment and TTL.
 ///
@@ -291,6 +333,7 @@ pub fn dynamics_spec(experiment: &Experiment, ttl: SimDuration, bucket: SimDurat
     let record = RecordSpec {
         events: true,
         series: Some(bucket),
+        prof: false,
     };
     let amerge = BsubConfig::builder()
         .df(DfMode::Fixed(df))

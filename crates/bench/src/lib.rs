@@ -16,6 +16,7 @@ pub mod engine;
 pub mod experiments;
 pub mod microbench;
 pub mod output;
+pub mod perf;
 
 use bsub_baselines::{Pull, Push};
 use bsub_core::{BsubConfig, BsubProtocol, DfMode};

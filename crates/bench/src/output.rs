@@ -9,8 +9,6 @@ use crate::engine::SweepOutcome;
 use bsub_sim::{EpochRow, EventLog};
 use std::fmt::Write as _;
 use std::fs;
-use std::fs::OpenOptions;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Prints an aligned text table and returns it as a string.
@@ -127,8 +125,9 @@ pub fn write_events(name: &str, log: &EventLog) {
 
 /// Records a sweep's timing: per-run wall clocks as
 /// `results/perf_<name>.csv` (a snapshot, overwritten each run) and
-/// one summary line appended to `results/bench_perf.jsonl` (the
-/// cross-run perf trajectory).
+/// one [`crate::perf::PerfEntry`] appended to
+/// `results/BENCH_perf.json` (the cross-run perf trajectory the
+/// regression gate compares against).
 pub fn record_perf(outcome: &SweepOutcome) {
     let headers = ["index", "point", "label", "seed", "wall_ms"];
     let rows: Vec<Vec<String>> = outcome
@@ -147,23 +146,8 @@ pub fn record_perf(outcome: &SweepOutcome) {
         .collect();
     write_csv(&format!("perf_{}", outcome.name), &headers, &rows);
 
-    let line = format!(
-        "{{\"experiment\":\"{}\",\"workers\":{},\"runs\":{},\"total_ms\":{:.3},\"cpu_ms\":{:.3},\"speedup\":{:.3}}}\n",
-        outcome.name,
-        outcome.workers,
-        outcome.records.len(),
-        outcome.total_wall.as_secs_f64() * 1e3,
-        outcome.cpu_wall().as_secs_f64() * 1e3,
-        outcome.speedup(),
-    );
-    let path = results_dir().join("bench_perf.jsonl");
-    let mut file = OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
-        .expect("open perf trajectory");
-    file.write_all(line.as_bytes())
-        .expect("append perf trajectory");
+    let path = results_dir().join("BENCH_perf.json");
+    crate::perf::append(&path, &crate::perf::PerfEntry::from_outcome(outcome));
     println!("[appended {}]", path.display());
 }
 

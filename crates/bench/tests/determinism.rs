@@ -244,6 +244,7 @@ fn recorded_pair() -> SweepSpec {
                 record: RecordSpec {
                     events: true,
                     series: Some(SimDuration::from_mins(15)),
+                    prof: false,
                 },
             },
         ],
@@ -288,6 +289,91 @@ fn recorded_artifacts_are_worker_count_invariant() {
     assert!(baseline.0.lines().count() > 0);
     for workers in WORKER_COUNTS {
         assert_eq!(render(workers), baseline, "workers = {workers}");
+    }
+}
+
+/// A fig7-shaped sweep with full recording (events + series) and the
+/// profiler optionally attached to every run.
+fn fig7_shaped_recorded(prof: bool) -> SweepSpec {
+    let mut spec = fig7_shaped();
+    for run in &mut spec.runs {
+        run.record = RecordSpec {
+            events: true,
+            series: Some(SimDuration::from_mins(30)),
+            prof,
+        };
+    }
+    spec
+}
+
+/// Renders the figure CSV text exactly as `experiments::ttl_sweep`
+/// writes it, plus the concatenated event JSONL streams.
+fn figure_artifacts(workers: usize, prof: bool) -> (String, String) {
+    use bsub_bench::output::{f1, f3};
+    let outcome = Executor::with_workers(workers).run(&fig7_shaped_recorded(prof));
+    let mut csv = String::from(
+        "ttl_mins,push_delivery,bsub_delivery,pull_delivery,push_delay_min,\
+         bsub_delay_min,pull_delay_min,push_fwd,bsub_fwd,pull_fwd\n",
+    );
+    for point in outcome.records.chunks(3) {
+        let [push, bsub, pull] = point else {
+            panic!("three protocols per TTL point")
+        };
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{}\n",
+            push.point,
+            f3(push.report.delivery_ratio()),
+            f3(bsub.report.delivery_ratio()),
+            f3(pull.report.delivery_ratio()),
+            f1(push.report.mean_delay_mins()),
+            f1(bsub.report.mean_delay_mins()),
+            f1(pull.report.mean_delay_mins()),
+            f1(push.report.forwardings_per_delivered()),
+            f1(bsub.report.forwardings_per_delivered()),
+            f1(pull.report.forwardings_per_delivered()),
+        ));
+    }
+    let events: String = outcome
+        .records
+        .iter()
+        .map(|r| {
+            r.recording
+                .as_ref()
+                .expect("recording requested")
+                .events
+                .as_ref()
+                .expect("event log requested")
+                .to_jsonl()
+        })
+        .collect();
+    assert_eq!(
+        outcome.records.iter().all(|r| r.prof.is_some()),
+        prof,
+        "profiling reports attach exactly when requested"
+    );
+    (csv, events)
+}
+
+/// The profiler is a pure observer: figure CSVs and TraceEvent
+/// streams are byte-identical with metrics enabled or disabled, at 1,
+/// 2, and 8 workers.
+#[test]
+fn profiling_does_not_perturb_figure_artifacts() {
+    let (baseline_csv, baseline_events) = figure_artifacts(1, false);
+    assert!(baseline_csv.lines().count() > 1);
+    assert!(!baseline_events.is_empty());
+    for workers in WORKER_COUNTS {
+        for prof in [false, true] {
+            let (csv, events) = figure_artifacts(workers, prof);
+            assert_eq!(
+                csv, baseline_csv,
+                "figure CSV must be byte-identical (workers={workers}, prof={prof})"
+            );
+            assert_eq!(
+                events, baseline_events,
+                "event stream must be byte-identical (workers={workers}, prof={prof})"
+            );
+        }
     }
 }
 

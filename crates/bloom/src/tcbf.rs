@@ -4,6 +4,7 @@ use crate::bitvec::BitVec;
 use crate::bloom::BloomFilter;
 use crate::error::Error;
 use crate::hash::KeyHasher;
+use bsub_obs::{self as obs, Counter, TimeHist};
 
 /// The Temporal Counting Bloom Filter (TCBF), the B-SUB paper's core
 /// data structure.
@@ -133,6 +134,7 @@ impl Tcbf {
         if self.merged {
             return Err(Error::InsertAfterMerge);
         }
+        obs::count(Counter::TcbfInsert, 1);
         for pos in self
             .hasher
             .positions(key.as_ref(), self.hashes, self.counters.len())
@@ -156,6 +158,8 @@ impl Tcbf {
     /// differ; merged counters no longer correspond to any single `C`.)
     pub fn a_merge(&mut self, other: &Self) -> Result<(), Error> {
         self.check_compatible(other)?;
+        obs::count(Counter::TcbfAMerge, 1);
+        let _span = obs::span(TimeHist::MergeNs);
         for (a, b) in self.counters.iter_mut().zip(&other.counters) {
             *a = a.saturating_add(*b);
         }
@@ -175,6 +179,8 @@ impl Tcbf {
     /// differ.
     pub fn m_merge(&mut self, other: &Self) -> Result<(), Error> {
         self.check_compatible(other)?;
+        obs::count(Counter::TcbfMMerge, 1);
+        let _span = obs::span(TimeHist::MergeNs);
         for (a, b) in self.counters.iter_mut().zip(&other.counters) {
             *a = (*a).max(*b);
         }
@@ -193,6 +199,8 @@ impl Tcbf {
         if amount == 0 {
             return;
         }
+        obs::count(Counter::TcbfDecay, 1);
+        let _span = obs::span(TimeHist::DecayNs);
         for c in &mut self.counters {
             *c = c.saturating_sub(amount);
         }
@@ -214,6 +222,7 @@ impl Tcbf {
     /// compare.
     #[must_use]
     pub fn min_counter<K: AsRef<[u8]>>(&self, key: K) -> u32 {
+        obs::count(Counter::TcbfQuery, 1);
         self.hasher
             .positions(key.as_ref(), self.hashes, self.counters.len())
             .map(|pos| self.counters[pos])
@@ -237,6 +246,8 @@ impl Tcbf {
     /// differ.
     pub fn preference<K: AsRef<[u8]>>(&self, against: &Self, key: K) -> Result<Preference, Error> {
         self.check_compatible(against)?;
+        obs::count(Counter::TcbfPreference, 1);
+        let _span = obs::span(TimeHist::PreferenceNs);
         let key = key.as_ref();
         let f = i64::from(self.min_counter(key));
         let g = i64::from(against.min_counter(key));
@@ -778,5 +789,28 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_initial_counter_panics() {
         let _ = Tcbf::new(256, 4, 0);
+    }
+
+    #[test]
+    fn profiling_counts_tcbf_hot_paths() {
+        bsub_obs::start();
+        let mut a = Tcbf::from_keys(256, 4, 10, ["x", "y"]);
+        let b = Tcbf::from_keys(256, 4, 10, ["x"]);
+        a.a_merge(&b).unwrap();
+        let mut m = Tcbf::new(256, 4, 10);
+        m.m_merge(&b).unwrap();
+        a.decay(1);
+        a.decay(0); // zero decay is a no-op and must not be counted
+        let _ = a.contains("x");
+        let _ = a.preference(&b, "x").unwrap();
+        let report = bsub_obs::finish();
+        assert_eq!(report.counter(Counter::TcbfInsert), 3);
+        assert_eq!(report.counter(Counter::TcbfAMerge), 1);
+        assert_eq!(report.counter(Counter::TcbfMMerge), 1);
+        assert_eq!(report.counter(Counter::TcbfDecay), 1);
+        // contains → 1 query; preference → 2 more via min_counter.
+        assert_eq!(report.counter(Counter::TcbfQuery), 3);
+        assert_eq!(report.counter(Counter::TcbfPreference), 1);
+        assert_eq!(report.time_hist(TimeHist::MergeNs).count(), 2);
     }
 }

@@ -34,6 +34,7 @@ use crate::bloom::BloomFilter;
 use crate::error::Error;
 use crate::hash::KeyHasher;
 use crate::tcbf::Tcbf;
+use bsub_obs::{self as obs, Counter, SizeHist, TimeHist};
 
 /// How counters are represented on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -149,6 +150,7 @@ where
 /// - the filter has more than `u16::MAX` set bits or more than
 ///   `u16::MAX` locations (outside any HUNET operating range).
 pub fn encode(filter: &Tcbf, mode: CounterMode) -> Result<Vec<u8>, Error> {
+    let _span = obs::span(TimeHist::EncodeNs);
     let m = filter.bit_len();
     if m > u16::MAX as usize {
         return Err(Error::InvalidParams {
@@ -225,6 +227,9 @@ pub fn encode(filter: &Tcbf, mode: CounterMode) -> Result<Vec<u8>, Error> {
     }
     let crc = crc16([&out[..6], &out[8..]]);
     out[6..8].copy_from_slice(&crc.to_le_bytes());
+    obs::count(Counter::WireEncode, 1);
+    obs::count(Counter::WireBytes, out.len() as u64);
+    obs::observe(SizeHist::EncodedFilterBytes, out.len() as u64);
     Ok(out)
 }
 
@@ -238,6 +243,20 @@ fn saturate(c: u32) -> u8 {
 ///
 /// Returns [`Error::Decode`] on truncated or corrupt input.
 pub fn decode(bytes: &[u8]) -> Result<WirePayload, Error> {
+    let _span = obs::span(TimeHist::DecodeNs);
+    let result = decode_inner(bytes);
+    obs::count(
+        if result.is_ok() {
+            Counter::WireDecodeOk
+        } else {
+            Counter::WireDecodeReject
+        },
+        1,
+    );
+    result
+}
+
+fn decode_inner(bytes: &[u8]) -> Result<WirePayload, Error> {
     let err = |reason| Error::Decode { reason };
     if bytes.len() < 8 {
         return Err(err("truncated header"));
@@ -522,6 +541,24 @@ mod tests {
             assert!(decoded.contains(k));
         }
         assert_eq!(decoded.counters(), f.counters());
+    }
+
+    #[test]
+    fn profiling_counts_encodes_decodes_and_rejects() {
+        bsub_obs::start();
+        let f = sample_tcbf();
+        let bytes = encode(&f, CounterMode::Full).unwrap();
+        decode(&bytes).unwrap();
+        assert!(decode(&bytes[..4]).is_err());
+        let report = bsub_obs::finish();
+        assert_eq!(report.counter(Counter::WireEncode), 1);
+        assert_eq!(report.counter(Counter::WireDecodeOk), 1);
+        assert_eq!(report.counter(Counter::WireDecodeReject), 1);
+        assert_eq!(report.counter(Counter::WireBytes), bytes.len() as u64);
+        assert_eq!(
+            report.size_hist(SizeHist::EncodedFilterBytes).max(),
+            bytes.len() as u64
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ use crate::broker::ElectionAction;
 use crate::config::BsubConfig;
 use crate::node::{Carried, NodeState, Produced, Role};
 use bsub_bloom::wire::{self, CounterMode};
+use bsub_obs::{self as obs, Counter, Gauge};
 use bsub_sim::{
     Link, MergeKind, Message, PreferenceValue, Protocol, SimCtx, SubscriptionTable, TraceEvent,
 };
@@ -110,6 +111,10 @@ fn corrupted_in_flight(
 pub struct BsubProtocol {
     config: BsubConfig,
     nodes: Vec<NodeState>,
+    /// Contacts seen while profiling — schedules the sampled
+    /// occupancy walk. Metrics-only state: never read by the
+    /// protocol logic, untouched when profiling is off.
+    occupancy_probe: u64,
 }
 
 impl BsubProtocol {
@@ -130,7 +135,11 @@ impl BsubProtocol {
                 nodes[idx].promote(&config, SimTime::ZERO);
             }
         }
-        Self { config, nodes }
+        Self {
+            config,
+            nodes,
+            occupancy_probe: 0,
+        }
     }
 
     /// The configuration in effect.
@@ -216,6 +225,25 @@ impl BsubProtocol {
         }
     }
 
+    /// Current buffer occupancy across all nodes: resident messages
+    /// (relayed copies plus unretired publications) and their payload
+    /// bytes. Only walked when profiling is active.
+    fn buffer_occupancy(&self) -> (u64, u64) {
+        let mut msgs = 0u64;
+        let mut bytes = 0u64;
+        for n in &self.nodes {
+            for c in &n.store {
+                msgs = msgs.saturating_add(1);
+                bytes = bytes.saturating_add(u64::from(c.msg.size));
+            }
+            for p in &n.published {
+                msgs = msgs.saturating_add(1);
+                bytes = bytes.saturating_add(u64::from(p.msg.size));
+            }
+        }
+        (msgs, bytes)
+    }
+
     fn housekeeping(&mut self, ctx: &mut SimCtx<'_>, node: NodeId, now: SimTime) {
         let state = &mut self.nodes[node.index()];
         let dropped = state.prune(now);
@@ -269,6 +297,7 @@ impl BsubProtocol {
             };
             match action {
                 ElectionAction::Promote => {
+                    obs::count(Counter::ElectionPromote, 1);
                     self.nodes[peer.index()].promote(&self.config, now);
                     ctx.emit(|| TraceEvent::Promoted {
                         at: now,
@@ -277,6 +306,7 @@ impl BsubProtocol {
                     });
                 }
                 ElectionAction::Demote => {
+                    obs::count(Counter::ElectionDemote, 1);
                     self.nodes[peer.index()].demote();
                     ctx.emit(|| TraceEvent::Demoted {
                         at: now,
@@ -409,6 +439,7 @@ impl BsubProtocol {
         // 5a: direct producer → consumer (not counted as copies).
         let src_state = &mut self.nodes[src.index()];
         for produced in &mut src_state.published {
+            obs::count(Counter::MatchChecked, 1);
             if produced.msg.is_expired(now)
                 || produced.delivered_to.contains(&dst)
                 || produced.msg.producer == dst
@@ -419,12 +450,14 @@ impl BsubProtocol {
             if !ctx.transfer_message(link, &produced.msg) {
                 return false;
             }
+            obs::count(Counter::MatchHit, 1);
             produced.delivered_to.insert(dst);
             let _ = ctx.deliver(dst, &produced.msg);
         }
 
         // 5c: relayed copies → consumer.
         for carried in &mut src_state.store {
+            obs::count(Counter::MatchChecked, 1);
             if carried.msg.is_expired(now)
                 || carried.delivered_to.contains(&dst)
                 || carried.msg.producer == dst
@@ -435,6 +468,7 @@ impl BsubProtocol {
             if !ctx.transfer_message(link, &carried.msg) {
                 return false;
             }
+            obs::count(Counter::MatchHit, 1);
             carried.delivered_to.insert(dst);
             let _ = ctx.deliver(dst, &carried.msg);
         }
@@ -490,6 +524,7 @@ impl BsubProtocol {
             .to_bloom();
         let mut budget_hit = false;
         for produced in &mut producer_state.published {
+            obs::count(Counter::MatchChecked, 1);
             if produced.copies_left == 0
                 || produced.msg.is_expired(now)
                 || broker_state.seen.contains(&produced.msg.id)
@@ -501,6 +536,7 @@ impl BsubProtocol {
                 budget_hit = true;
                 break;
             }
+            obs::count(Counter::MatchHit, 1);
             // Ground truth: was this acceptance a pure Bloom FP?
             let fp = !broker_state
                 .relay
@@ -714,7 +750,7 @@ impl Protocol for BsubProtocol {
 
     fn on_node_reset(&mut self, ctx: &mut SimCtx<'_>, node: NodeId) {
         let now = ctx.now();
-        let Self { config, nodes } = self;
+        let Self { config, nodes, .. } = self;
         nodes[node.index()].reset_volatile(config, now);
     }
 
@@ -725,6 +761,24 @@ impl Protocol for BsubProtocol {
         // 1. Housekeeping.
         self.housekeeping(ctx, a, now);
         self.housekeeping(ctx, b, now);
+
+        // Profiling: refresh the buffer-occupancy gauges on a sampled
+        // schedule (first contact, then every
+        // `OCCUPANCY_SAMPLE_PERIOD`-th) — the walk is
+        // O(nodes × buffered messages), too heavy for every contact.
+        // Guarded like the snapshot emission below, so unprofiled runs
+        // never pay for it.
+        if obs::is_active() {
+            if self
+                .occupancy_probe
+                .is_multiple_of(obs::OCCUPANCY_SAMPLE_PERIOD)
+            {
+                let (msgs, bytes) = self.buffer_occupancy();
+                obs::gauge_set(Gauge::BufferMsgs, msgs);
+                obs::gauge_set(Gauge::BufferBytes, bytes);
+            }
+            self.occupancy_probe = self.occupancy_probe.wrapping_add(1);
+        }
 
         // 2. Identity beacons.
         if !ctx.send_control(link, 2 * IDENTITY_BYTES) {

@@ -1,0 +1,70 @@
+//! Tiny hand-rolled JSON emission helpers.
+//!
+//! The workspace is dependency-free, so every crate that emits JSON
+//! (event logs, perf trajectories, metrics reports) needs the same two
+//! primitives: string escaping and locale-independent float
+//! formatting. They live here, at the bottom of the crate graph, so
+//! the logic exists exactly once.
+
+/// Escapes `s` as a JSON string literal, including the surrounding
+/// quotes.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/∞; those become
+/// `null`). Uses Rust's shortest round-trip float formatting, which is
+/// deterministic across platforms; integral values keep a `.0` suffix
+/// so they always read back as floats.
+#[must_use]
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = v.to_string();
+        if !s.contains('.') && !s.contains('e') {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_string("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn formats_floats() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(0.0), "0.0");
+        assert_eq!(json_f64(2.0), "2.0");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+}

@@ -7,6 +7,7 @@
 //! out mid-contact simply stops sending (wireless errors are not
 //! modeled, as in the paper).
 
+use bsub_obs::{self as obs, Counter};
 use bsub_traces::SimDuration;
 
 /// The byte budget of one contact.
@@ -42,6 +43,7 @@ impl Link {
             self.used += bytes;
             true
         } else {
+            obs::count(Counter::LinkExhausted, 1);
             false
         }
     }

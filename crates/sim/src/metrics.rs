@@ -69,25 +69,29 @@ impl MetricsCollector {
 
     /// Records a generated message with `targets` subscribed consumers
     /// (excluding the producer itself).
+    ///
+    /// All tallies saturate rather than wrap: a million-user synthetic
+    /// trace can push byte and pair counts far enough that a silent
+    /// `u64` wraparound would corrupt every derived ratio.
     pub fn on_generated(&mut self, targets: u64) {
-        self.generated += 1;
-        self.target_pairs += targets;
+        self.generated = self.generated.saturating_add(1);
+        self.target_pairs = self.target_pairs.saturating_add(targets);
     }
 
     /// Records one message transmission of `bytes` payload bytes.
     pub fn on_forwarding(&mut self, bytes: u64) {
-        self.forwardings += 1;
-        self.data_bytes += bytes;
+        self.forwardings = self.forwardings.saturating_add(1);
+        self.data_bytes = self.data_bytes.saturating_add(bytes);
     }
 
     /// Records `bytes` of control traffic (filters, beacons).
     pub fn on_control(&mut self, bytes: u64) {
-        self.control_bytes += bytes;
+        self.control_bytes = self.control_bytes.saturating_add(bytes);
     }
 
     /// Records a processed contact.
     pub fn on_contact(&mut self) {
-        self.contacts += 1;
+        self.contacts = self.contacts.saturating_add(1);
     }
 
     /// Records a message *injection*: a copy accepted into the relay
@@ -97,9 +101,9 @@ impl MetricsCollector {
     /// protocols detect this with ground-truth shadow state the real
     /// system would not have.
     pub fn on_injection(&mut self, false_positive: bool) {
-        self.injections += 1;
+        self.injections = self.injections.saturating_add(1);
         if false_positive {
-            self.false_injections += 1;
+            self.false_injections = self.false_injections.saturating_add(1);
         }
     }
 
@@ -242,10 +246,10 @@ impl SimReport {
         }
     }
 
-    /// Total bytes moved (control + data).
+    /// Total bytes moved (control + data), saturating at `u64::MAX`.
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
-        self.control_bytes + self.data_bytes
+        self.control_bytes.saturating_add(self.data_bytes)
     }
 }
 
@@ -422,6 +426,64 @@ mod tests {
     #[test]
     fn injection_fpr_zero_when_no_injections() {
         assert_eq!(MetricsCollector::new().finish("t").injection_fpr(), 0.0);
+    }
+
+    // Saturation tests: one per tally site, proving a wrap-capable
+    // counter pegs at the ceiling instead of wrapping on overflow.
+
+    #[test]
+    fn generated_and_target_pairs_saturate() {
+        let mut m = MetricsCollector::new();
+        m.on_generated(u64::MAX);
+        m.on_generated(u64::MAX);
+        let r = m.finish("t");
+        assert_eq!(r.generated, 2);
+        assert_eq!(r.target_pairs, u64::MAX);
+    }
+
+    #[test]
+    fn forwardings_and_data_bytes_saturate() {
+        let mut m = MetricsCollector::new();
+        m.on_forwarding(u64::MAX);
+        m.on_forwarding(u64::MAX);
+        let r = m.finish("t");
+        assert_eq!(r.forwardings, 2);
+        assert_eq!(r.data_bytes, u64::MAX);
+    }
+
+    #[test]
+    fn control_bytes_saturate() {
+        let mut m = MetricsCollector::new();
+        m.on_control(u64::MAX);
+        m.on_control(1);
+        assert_eq!(m.finish("t").control_bytes, u64::MAX);
+    }
+
+    #[test]
+    fn injections_saturate() {
+        let mut m = MetricsCollector::new();
+        m.injections = u64::MAX;
+        m.false_injections = u64::MAX;
+        m.on_injection(true);
+        let r = m.finish("t");
+        assert_eq!(r.injections, u64::MAX);
+        assert_eq!(r.false_injections, u64::MAX);
+    }
+
+    #[test]
+    fn contacts_saturate() {
+        let mut m = MetricsCollector::new();
+        m.contacts = u64::MAX;
+        m.on_contact();
+        assert_eq!(m.finish("t").contacts, u64::MAX);
+    }
+
+    #[test]
+    fn total_bytes_saturates() {
+        let mut m = MetricsCollector::new();
+        m.on_control(u64::MAX - 10);
+        m.on_forwarding(100);
+        assert_eq!(m.finish("t").total_bytes(), u64::MAX);
     }
 
     #[test]

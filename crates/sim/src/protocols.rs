@@ -8,6 +8,7 @@ use crate::metrics::{DeliveryOutcome, MetricsCollector};
 use crate::record::{Recorder, TraceEvent};
 use crate::subscriptions::SubscriptionTable;
 use bsub_bloom::SplitMix64;
+use bsub_obs::{self as obs, Counter};
 use bsub_traces::{ContactEvent, NodeId, SimTime};
 use std::sync::Arc;
 
@@ -74,6 +75,7 @@ impl<'a> SimCtx<'a> {
     #[must_use]
     pub fn draw_corruption(&mut self) -> Option<WireCorruption> {
         let draws = self.corruption.as_mut()?;
+        obs::count(Counter::FaultCorruptionDraw, 1);
         let verdict = draws.rng.below(u64::from(PPM)) < u64::from(draws.ppm);
         let flip = draws.rng.next_bool();
         let position = draws.rng.next_u64();
@@ -124,6 +126,7 @@ impl<'a> SimCtx<'a> {
     pub fn send_control(&mut self, link: &mut Link, bytes: u64) -> bool {
         if link.try_transfer(bytes) {
             self.metrics.on_control(bytes);
+            obs::count(Counter::ControlBytes, bytes);
             true
         } else {
             false
@@ -136,6 +139,7 @@ impl<'a> SimCtx<'a> {
     pub fn transfer_message(&mut self, link: &mut Link, msg: &Message) -> bool {
         if link.try_transfer(u64::from(msg.size)) {
             self.metrics.on_forwarding(u64::from(msg.size));
+            obs::count(Counter::DataBytes, u64::from(msg.size));
             let (at, id, bytes) = (self.now, msg.id, u64::from(msg.size));
             self.emit(|| TraceEvent::Forwarded { at, msg: id, bytes });
             true

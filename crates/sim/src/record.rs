@@ -522,41 +522,10 @@ impl TraceEvent {
     }
 }
 
-/// Escapes `text` as a JSON string literal (with quotes).
-fn json_string(text: &str) -> String {
-    let mut out = String::with_capacity(text.len() + 2);
-    out.push('"');
-    for c in text.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Formats an `f64` as a JSON number (JSON has no NaN/∞; those become
-/// `null`). Uses Rust's shortest round-trip float formatting, which is
-/// deterministic across platforms.
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        let mut s = v.to_string();
-        if !s.contains('.') && !s.contains('e') {
-            s.push_str(".0");
-        }
-        s
-    } else {
-        "null".to_owned()
-    }
-}
+// JSON emission primitives live in `bsub_obs::json` so the whole
+// workspace shares one implementation (event logs, metrics reports,
+// and the perf trajectory must all format floats identically).
+use bsub_obs::json::{json_f64, json_string};
 
 /// Receives the event stream of one run.
 ///
@@ -762,18 +731,20 @@ impl Recorder for TimeSeriesRecorder {
 
     fn record(&mut self, event: &TraceEvent) {
         self.seal_until(self.bucket_of(event.at()));
+        // Cumulative tallies saturate: a long dense event stream must
+        // peg at the ceiling rather than wrap (see the overflow tests).
         match event {
-            TraceEvent::Published { .. } => self.published += 1,
-            TraceEvent::Forwarded { .. } => self.forwarded += 1,
+            TraceEvent::Published { .. } => self.published = self.published.saturating_add(1),
+            TraceEvent::Forwarded { .. } => self.forwarded = self.forwarded.saturating_add(1),
             TraceEvent::Delivered { genuine, .. } => {
                 if *genuine {
-                    self.delivered += 1;
+                    self.delivered = self.delivered.saturating_add(1);
                 } else {
-                    self.false_delivered += 1;
+                    self.false_delivered = self.false_delivered.saturating_add(1);
                 }
             }
-            TraceEvent::Injected { .. } => self.injected += 1,
-            TraceEvent::Expired { count, .. } => self.expired += *count,
+            TraceEvent::Injected { .. } => self.injected = self.injected.saturating_add(1),
+            TraceEvent::Expired { count, .. } => self.expired = self.expired.saturating_add(*count),
             TraceEvent::Snapshot {
                 brokers,
                 buffered,
@@ -1033,6 +1004,23 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_bucket_rejected() {
         let _ = TimeSeriesRecorder::new(SimDuration::ZERO);
+    }
+
+    /// Overflow discipline: epoch tallies saturate instead of wrapping.
+    /// `Expired` carries an arbitrary count, so it is the cheapest way
+    /// to drive a tally to the ceiling.
+    #[test]
+    fn time_series_tallies_saturate() {
+        let mut ts = TimeSeriesRecorder::new(SimDuration::from_mins(1));
+        let expired = |count| TraceEvent::Expired {
+            at: SimTime::from_secs(1),
+            node: NodeId::new(0),
+            count,
+        };
+        ts.record(&expired(u64::MAX));
+        ts.record(&expired(u64::MAX));
+        let rows = ts.into_rows(SimTime::from_secs(1));
+        assert_eq!(rows[0].expired, u64::MAX);
     }
 
     #[test]

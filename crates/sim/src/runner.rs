@@ -8,6 +8,7 @@ use crate::metrics::{MetricsCollector, SimReport};
 use crate::protocols::{Protocol, ProtocolFactory, SimCtx};
 use crate::record::{LossCause, NullRecorder, Recorder, TraceEvent};
 use crate::subscriptions::SubscriptionTable;
+use bsub_obs::{self as obs, Counter, SizeHist, TimeHist};
 use bsub_traces::{ContactTrace, NodeId, SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -229,6 +230,7 @@ impl Simulation {
         for (index, contact) in self.trace.iter().enumerate() {
             publish_until(contact.start, true, &mut metrics, protocol, recorder);
             metrics.on_contact();
+            obs::count(Counter::Contacts, 1);
             let index = index as u64;
 
             if faulted {
@@ -239,6 +241,7 @@ impl Simulation {
                 let b_down = fault_state.advance(&self.faults, contact.b, contact.start);
                 for (node, down) in [(contact.a, a_down), (contact.b, b_down)] {
                     if !down && fault_state.take_reset(node) {
+                        obs::count(Counter::NodeReset, 1);
                         let mut ctx =
                             SimCtx::new(contact.start, &self.subscriptions, &mut metrics, recorder);
                         protocol.on_node_reset(&mut ctx, node);
@@ -256,6 +259,7 @@ impl Simulation {
                     None
                 };
                 if let Some(cause) = lost_cause {
+                    obs::count(Counter::FaultContactLost, 1);
                     if recorder.is_active() {
                         recorder.record(&TraceEvent::ContactLost {
                             at: contact.start,
@@ -271,6 +275,7 @@ impl Simulation {
             let mut link = Link::for_contact(contact.duration(), self.config.bytes_per_sec);
             if faulted {
                 if let Some(keep) = self.faults.truncates_contact(index) {
+                    obs::count(Counter::FaultTruncated, 1);
                     let original = link.budget();
                     let cut = (u128::from(original) * u128::from(keep) / u128::from(PPM)) as u64;
                     link = Link::with_budget(cut);
@@ -299,7 +304,11 @@ impl Simulation {
                 b: contact.b,
                 budget: link.budget(),
             });
-            protocol.on_contact(&mut ctx, contact, &mut link);
+            {
+                let _span = obs::span(TimeHist::ContactNs);
+                protocol.on_contact(&mut ctx, contact, &mut link);
+            }
+            obs::observe(SizeHist::ContactBytes, link.used());
             ctx.emit(|| TraceEvent::ContactEnd {
                 at: contact.start,
                 a: contact.a,

@@ -326,4 +326,16 @@ mod tests {
         let sum = t + SimDuration::from_secs(100);
         assert_eq!(sum.as_millis(), u64::MAX);
     }
+
+    /// Accumulating durations (e.g. a run's `delay_total`) must peg at
+    /// the ceiling, not wrap: a wrapped total would silently report a
+    /// tiny mean delay.
+    #[test]
+    fn duration_accumulation_saturates() {
+        let mut total = SimDuration::from_millis(u64::MAX - 5);
+        total += SimDuration::from_secs(1);
+        assert_eq!(total.as_millis(), u64::MAX);
+        let sum = SimDuration::from_millis(u64::MAX) + SimDuration::from_millis(u64::MAX);
+        assert_eq!(sum.as_millis(), u64::MAX);
+    }
 }
