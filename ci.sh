@@ -1,33 +1,95 @@
 #!/usr/bin/env bash
-# Local CI gate: build, tests, formatting, lints, docs, and a smoke
-# run of the recording pipeline. Everything runs offline — the
-# workspace has no external dependencies.
+# Local CI gate: build, tests, formatting, lints, docs, and smoke runs
+# of the recording, fault-injection, perf-gate, and scale pipelines.
+# Everything runs offline — the workspace has no external dependencies.
+#
+# Usage:
+#   ./ci.sh           full gate (every stage below)
+#   ./ci.sh --quick   build + test only (the tier-1 inner loop)
+#
+# Smoke artifacts go to BSUB_SMOKE_DIR when set (hosted CI sets it to
+# upload them), otherwise to a scratch directory removed on exit.
+# BSUB_PERF_TOLERANCE widens the perf gate's time factor on known-noisy
+# hosts.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== cargo build --release =="
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+    --quick) QUICK=1 ;;
+    *)
+        echo "unknown flag: $arg (supported: --quick)" >&2
+        exit 2
+        ;;
+    esac
+done
+
+STAGE_NAMES=()
+STAGE_SECS=()
+CURRENT_STAGE=""
+STAGE_START=0
+
+stage() {
+    stage_end
+    CURRENT_STAGE="$1"
+    STAGE_START=$SECONDS
+    echo "== $CURRENT_STAGE =="
+}
+
+stage_end() {
+    if [ -n "$CURRENT_STAGE" ]; then
+        STAGE_NAMES+=("$CURRENT_STAGE")
+        STAGE_SECS+=($((SECONDS - STAGE_START)))
+        CURRENT_STAGE=""
+    fi
+}
+
+timing_summary() {
+    stage_end
+    echo
+    echo "== stage timings =="
+    for i in "${!STAGE_NAMES[@]}"; do
+        printf '%4ss  %s\n' "${STAGE_SECS[$i]}" "${STAGE_NAMES[$i]}"
+    done
+    printf '%4ss  total\n' "$SECONDS"
+}
+
+stage "build (cargo build --release --workspace)"
 # --workspace: a plain root build only covers the umbrella package and
-# would skip the bsub-bench binaries the smoke steps below execute.
+# would skip the bsub-bench binaries the smoke stages below execute.
 cargo build --release --workspace
 
-echo "== cargo test (workspace) =="
+stage "test (cargo test --workspace)"
 cargo test --workspace -q
 
-echo "== cargo fmt --check =="
+if [ "$QUICK" = 1 ]; then
+    timing_summary
+    echo "CI OK (quick)"
+    exit 0
+fi
+
+stage "fmt (cargo fmt --check)"
 cargo fmt --check
 
-echo "== cargo clippy -D warnings =="
+stage "clippy (-D warnings)"
 cargo clippy --all-targets -- -D warnings
 
-echo "== cargo doc -D warnings =="
+stage "doc (-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
-echo "== dynamics --smoke (recording pipeline) =="
+if [ -n "${BSUB_SMOKE_DIR:-}" ]; then
+    SMOKE_DIR="$BSUB_SMOKE_DIR"
+    mkdir -p "$SMOKE_DIR"
+else
+    SMOKE_DIR="$(mktemp -d)"
+    trap 'rm -rf "$SMOKE_DIR"' EXIT
+fi
+
+stage "dynamics --smoke (recording pipeline)"
 # A tiny synthetic trace exercises the event/time-series recorders end
-# to end; artifacts go to a scratch directory so the committed figure
+# to end; artifacts go to the smoke directory so the committed figure
 # CSVs are untouched.
-SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR"' EXIT
 BSUB_RESULTS_DIR="$SMOKE_DIR" ./target/release/dynamics --smoke
 for artifact in timeseries_fig7.csv events_fig7.jsonl; do
     test -s "$SMOKE_DIR/$artifact" || {
@@ -36,7 +98,7 @@ for artifact in timeseries_fig7.csv events_fig7.jsonl; do
     }
 done
 
-echo "== degradation --smoke (fault-injection pipeline) =="
+stage "degradation --smoke (fault-injection pipeline)"
 # The same trace under the fault-intensity grid: exercises contact
 # loss, truncation, churn, and control-plane corruption end to end,
 # including the monotone-degradation assertion inside the sweep.
@@ -46,11 +108,10 @@ test -s "$SMOKE_DIR/degradation.csv" || {
     exit 1
 }
 
-echo "== perf --smoke --check (metrics & perf-regression gate) =="
+stage "perf --smoke --check (metrics & perf-regression gate)"
 # Profiles the smoke sweep with the bsub-obs metrics layer attached
 # and gates on the committed BENCH_perf.json baseline: median-of-N on
 # the host-normalized CPU time and the deterministic byte counters.
-# BSUB_PERF_TOLERANCE widens the time factor on known-noisy hosts.
 BSUB_RESULTS_DIR="$SMOKE_DIR" ./target/release/perf --smoke --check
 for artifact in metrics_perf_smoke.json perf_perf_smoke.csv BENCH_perf.json; do
     test -s "$SMOKE_DIR/$artifact" || {
@@ -59,4 +120,14 @@ for artifact in metrics_perf_smoke.json perf_perf_smoke.csv BENCH_perf.json; do
     }
 done
 
+stage "scale --smoke --check (packed-kernel scale harness)"
+# Streams the 25k–100k-node synthetic contact schedules through the
+# word-packed TCBF kernels and gates throughput on the same baseline.
+BSUB_RESULTS_DIR="$SMOKE_DIR" ./target/release/scale --smoke --check
+test -s "$SMOKE_DIR/scale_smoke.csv" || {
+    echo "missing smoke artifact: scale_smoke.csv" >&2
+    exit 1
+}
+
+timing_summary
 echo "CI OK"

@@ -1,0 +1,304 @@
+//! The million-node scale harness: streams a synthetic contact
+//! schedule through the packed TCBF kernels and reports sustained
+//! event throughput and resident filter memory.
+//!
+//! Unlike the figure sweeps, which replay Table-I-sized traces through
+//! the full protocol, this harness isolates the *filter plane*: every
+//! contact event drives one word-parallel A-merge of the consumer's
+//! interest filter into the meeting broker's relay
+//! ([`bsub_bloom::PackedTcbf::a_merge_words`]), relays decay lazily on
+//! a fixed event cadence (O(1) per filter via the epoch offset), and a
+//! sampled subset of events runs existential plus preferential queries
+//! against the merged state. The contact schedule itself is a
+//! [`bsub_traces::synthetic::ContactStream`] — events are derived from
+//! their index on demand, so a million-node sweep holds no event
+//! vector and memory stays constant in the schedule length.
+//!
+//! Flags (combinable):
+//!
+//! - `--smoke` — the CI-sized sweep (25k–100k nodes, `scale_smoke.csv`)
+//!   instead of the full 250k–1M sweep (`scale.csv`, see
+//!   EXPERIMENTS.md);
+//! - `--check` — after measuring, gate the host-normalized CPU time
+//!   against the committed `BENCH_perf.json` baseline, exactly like
+//!   `perf --check`.
+//!
+//! Deterministic work counters (events, merges, merged bytes, query
+//! hits) go into the CSV; wall-clock throughput and the perf-gate
+//! entry go into `BENCH_perf.json`, keeping the CSV byte-stable
+//! across hosts like every other results artifact.
+
+use bsub_bench::output::{render_table, results_dir, write_csv};
+use bsub_bench::perf::{self, PerfEntry, Tolerance};
+use bsub_bloom::rng::SplitMix64;
+use bsub_bloom::PackedTcbf;
+use bsub_traces::synthetic::ContactStream;
+use bsub_traces::SimDuration;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Relay / interest filter width in bits (multiple of 64 so every
+/// word is fully used).
+const FILTER_BITS: usize = 8192;
+/// Hash functions per key.
+const HASHES: usize = 4;
+/// Initial counter value `C` — well under the nibble cap so a few
+/// A-merges accumulate before saturating at 15.
+const INITIAL: u8 = 8;
+/// Brokers per deployment; nodes map to brokers by id residue.
+const BROKERS: usize = 256;
+/// Distinct interest profiles in the arena; nodes map by id residue.
+/// Bounds memory regardless of node count.
+const PROFILES: usize = 512;
+/// Contact events per node in the schedule.
+const EVENTS_PER_NODE: u64 = 4;
+/// Every relay decays by 1 after this many events.
+const DECAY_EVERY: u64 = 4096;
+/// One in this many events also runs the query pair.
+const QUERY_EVERY: u64 = 64;
+/// Seed for the schedule and the interest arena.
+const SCALE_SEED: u64 = 0x000b_50b5_ca1e;
+
+/// One (nodes × interest-cardinality) cell of the sweep.
+struct Cell {
+    nodes: u64,
+    interests: usize,
+}
+
+/// Deterministic work sums plus the measured wall clock for one cell.
+struct CellOutcome {
+    nodes: u64,
+    interests: usize,
+    events: u64,
+    merges: u64,
+    decays: u64,
+    queries: u64,
+    hits: u64,
+    merged_bytes: u64,
+    resident_bytes: u64,
+    wall_ms: f64,
+}
+
+fn smoke_cells() -> Vec<Cell> {
+    vec![
+        Cell {
+            nodes: 25_000,
+            interests: 4,
+        },
+        Cell {
+            nodes: 50_000,
+            interests: 8,
+        },
+        Cell {
+            nodes: 100_000,
+            interests: 16,
+        },
+    ]
+}
+
+fn full_cells() -> Vec<Cell> {
+    vec![
+        Cell {
+            nodes: 250_000,
+            interests: 4,
+        },
+        Cell {
+            nodes: 500_000,
+            interests: 8,
+        },
+        Cell {
+            nodes: 1_000_000,
+            interests: 16,
+        },
+    ]
+}
+
+/// Builds the interest-profile arena: `PROFILES` packed filters, each
+/// holding `interests` keys, stored as raw words for the merge loop.
+fn build_arena(interests: usize) -> Vec<Vec<u64>> {
+    (0..PROFILES)
+        .map(|p| {
+            let mut filter = PackedTcbf::new(FILTER_BITS, HASHES, INITIAL);
+            for j in 0..interests {
+                filter
+                    .insert(profile_key(p, j))
+                    .expect("fresh filter accepts inserts");
+            }
+            filter.materialized_words()
+        })
+        .collect()
+}
+
+fn profile_key(profile: usize, j: usize) -> String {
+    format!("topic-{profile}-{j}")
+}
+
+fn run_cell(cell: &Cell) -> CellOutcome {
+    let duration = SimDuration::from_hours(24);
+    let total = cell.nodes * EVENTS_PER_NODE;
+    let stream = ContactStream::new(cell.nodes, duration, total, SCALE_SEED);
+    let arena = build_arena(cell.interests);
+    let mut relays: Vec<PackedTcbf> = (0..BROKERS)
+        .map(|_| PackedTcbf::new(FILTER_BITS, HASHES, INITIAL))
+        .collect();
+    let word_bytes = relays[0].word_bytes();
+    let resident_bytes = (relays.len() * word_bytes + arena.len() * arena[0].len() * 8) as u64;
+
+    let mut merges: u64 = 0;
+    let mut decays: u64 = 0;
+    let mut queries: u64 = 0;
+    let mut hits: u64 = 0;
+    let mut rng = SplitMix64::new(SplitMix64::mix(SCALE_SEED, cell.nodes));
+
+    let start = Instant::now();
+    for (index, event) in stream.iter().enumerate() {
+        let index = index as u64;
+        // The higher-id endpoint plays broker, the lower-id endpoint
+        // consumer: fold the consumer's interests into the broker's
+        // relay with one word-parallel pass.
+        let consumer = event.a.index();
+        let broker = event.b.index() % BROKERS;
+        relays[broker].a_merge_words(&arena[consumer % PROFILES]);
+        merges += 1;
+
+        if index % DECAY_EVERY == DECAY_EVERY - 1 {
+            for relay in &mut relays {
+                relay.decay(1);
+            }
+            decays += relays.len() as u64;
+        }
+
+        if index % QUERY_EVERY == QUERY_EVERY - 1 {
+            let profile = consumer % PROFILES;
+            let key = profile_key(profile, rng.below_usize(cell.interests));
+            if relays[broker].contains(&key) {
+                hits += 1;
+            }
+            let other = event.a.index() % BROKERS;
+            if other != broker {
+                let pref = relays[broker]
+                    .preference(&relays[other], &key)
+                    .expect("same geometry");
+                if pref.is_positive() {
+                    hits += 1;
+                }
+            }
+            queries += 1;
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    CellOutcome {
+        nodes: cell.nodes,
+        interests: cell.interests,
+        events: total,
+        merges,
+        decays,
+        queries,
+        hits,
+        merged_bytes: merges * word_bytes as u64,
+        resident_bytes,
+        wall_ms,
+    }
+}
+
+fn baseline_path() -> PathBuf {
+    match std::env::var("BSUB_PERF_BASELINE") {
+        Ok(custom) => PathBuf::from(custom),
+        Err(_) => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_perf.json"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+
+    let (name, cells) = if smoke {
+        ("scale-smoke", smoke_cells())
+    } else {
+        ("scale", full_cells())
+    };
+
+    let sweep_start = Instant::now();
+    let outcomes: Vec<CellOutcome> = cells.iter().map(run_cell).collect();
+    let total_ms = sweep_start.elapsed().as_secs_f64() * 1e3;
+
+    let headers = [
+        "nodes",
+        "interests",
+        "events",
+        "merges",
+        "decays",
+        "queries",
+        "hits",
+        "merged_bytes",
+        "resident_bytes",
+    ];
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.nodes.to_string(),
+                o.interests.to_string(),
+                o.events.to_string(),
+                o.merges.to_string(),
+                o.decays.to_string(),
+                o.queries.to_string(),
+                o.hits.to_string(),
+                o.merged_bytes.to_string(),
+                o.resident_bytes.to_string(),
+            ]
+        })
+        .collect();
+    write_csv(&name.replace('-', "_"), &headers, &rows);
+
+    let table_rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.nodes.to_string(),
+                o.interests.to_string(),
+                format!("{:.1}", o.wall_ms),
+                format!("{:.2}", o.events as f64 / o.wall_ms * 1e3 / 1e6),
+                format!("{:.1}", o.resident_bytes as f64 / 1024.0 / 1024.0),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &format!("{name} — packed-kernel throughput"),
+            &["nodes", "interests", "wall_ms", "Mevents/s", "MiB"],
+            &table_rows,
+        )
+    );
+
+    let cpu_ms: f64 = outcomes.iter().map(|o| o.wall_ms).sum();
+    let entry = PerfEntry {
+        experiment: name.to_string(),
+        workers: 1,
+        runs: outcomes.len() as u64,
+        total_ms,
+        cpu_ms,
+        speedup: cpu_ms / total_ms.max(f64::MIN_POSITIVE),
+        calib_ns: bsub_obs::calibrate_ns(),
+        bytes: outcomes.iter().map(|o| o.merged_bytes).sum(),
+        forwardings: outcomes.iter().map(|o| o.merges).sum(),
+        delivered: outcomes.iter().map(|o| o.hits).sum(),
+    };
+    let trajectory = results_dir().join("BENCH_perf.json");
+    perf::append(&trajectory, &entry);
+    println!("[appended {}]", trajectory.display());
+
+    if check {
+        let baseline = perf::load(&baseline_path());
+        match perf::check(&baseline, &entry, Tolerance::from_env()) {
+            Ok(note) => println!("[perf check] {note}"),
+            Err(err) => {
+                eprintln!("[perf check FAILED] {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

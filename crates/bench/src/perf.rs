@@ -211,6 +211,17 @@ impl Tolerance {
     }
 }
 
+/// Renders each value at `decimals` places, comma-separated — the
+/// per-entry breakdown behind a failed median so the diagnostic alone
+/// shows whether one outlier or the whole baseline moved.
+fn join_f64(values: &[f64], decimals: usize) -> String {
+    values
+        .iter()
+        .map(|v| format!("{v:.decimals$}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 fn median(mut values: Vec<f64>) -> f64 {
     values.sort_by(|a, b| a.partial_cmp(b).expect("finite perf values"));
     values[values.len() / 2]
@@ -240,26 +251,34 @@ pub fn check(
             current.experiment
         ));
     }
-    let time_median = median(history.iter().map(|e| e.normalized_cpu()).collect());
+    let time_entries: Vec<f64> = history.iter().map(|e| e.normalized_cpu()).collect();
+    let time_median = median(time_entries.clone());
     let time_now = current.normalized_cpu();
     if time_now > time_median * tolerance.time {
         return Err(format!(
             "{}: normalized CPU regressed {:.2}x over the baseline median \
-             ({time_now:.1} vs {time_median:.1} cpu-ms/calib-ms, tolerance {:.2}x)",
+             ({time_now:.1} vs {time_median:.1} cpu-ms/calib-ms, tolerance {:.2}x; \
+             host calib_ns {}, baseline entries [{}])",
             current.experiment,
             time_now / time_median,
             tolerance.time,
+            current.calib_ns,
+            join_f64(&time_entries, 1),
         ));
     }
-    let bytes_median = median(history.iter().map(|e| e.bytes as f64).collect());
+    let byte_entries: Vec<f64> = history.iter().map(|e| e.bytes as f64).collect();
+    let bytes_median = median(byte_entries.clone());
     let bytes_now = current.bytes as f64;
     if bytes_median > 0.0 && bytes_now > bytes_median * tolerance.bytes {
         return Err(format!(
             "{}: deterministic bytes regressed {:.2}x over the baseline median \
-             ({bytes_now:.0} vs {bytes_median:.0} bytes, tolerance {:.2}x)",
+             ({bytes_now:.0} vs {bytes_median:.0} bytes, tolerance {:.2}x; \
+             host calib_ns {}, baseline entries [{}])",
             current.experiment,
             bytes_now / bytes_median,
             tolerance.bytes,
+            current.calib_ns,
+            join_f64(&byte_entries, 0),
         ));
     }
     Ok(format!(
@@ -347,6 +366,38 @@ mod tests {
         let slow = entry("smoke", 200.0, 1_000_000, 1000);
         let err = check(&baseline, &slow, Tolerance::default()).expect_err("2x must fail");
         assert!(err.contains("normalized CPU regressed"), "{err}");
+    }
+
+    /// A timing failure names the host calibration and every baseline
+    /// entry behind the median, so a flaky-host report is actionable
+    /// without re-running the gate.
+    #[test]
+    fn time_failure_lists_calibration_and_baseline_entries() {
+        let baseline = vec![
+            entry("smoke", 100.0, 1_000_000, 1000),
+            entry("smoke", 104.0, 1_000_000, 1000),
+            entry("smoke", 98.0, 1_000_000, 1000),
+        ];
+        let slow = entry("smoke", 500.0, 2_500_000, 1000);
+        let err = check(&baseline, &slow, Tolerance::default()).expect_err("fails");
+        assert!(err.contains("host calib_ns 2500000"), "{err}");
+        assert!(
+            err.contains("baseline entries [100.0, 104.0, 98.0]"),
+            "{err}"
+        );
+    }
+
+    /// A byte failure carries the same per-entry breakdown.
+    #[test]
+    fn byte_failure_lists_baseline_entries() {
+        let baseline = vec![
+            entry("smoke", 100.0, 1_000_000, 1000),
+            entry("smoke", 100.0, 1_000_000, 1200),
+        ];
+        let bloated = entry("smoke", 100.0, 1_000_000, 4000);
+        let err = check(&baseline, &bloated, Tolerance::default()).expect_err("fails");
+        assert!(err.contains("host calib_ns 1000000"), "{err}");
+        assert!(err.contains("baseline entries [1000, 1200]"), "{err}");
     }
 
     /// A slower machine is not a regression: the calibration doubles

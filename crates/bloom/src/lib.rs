@@ -13,6 +13,11 @@
 //!   (maximum), and *decayed* over time so that stale entries expire.
 //!   It supports *existential* queries (classic membership) and
 //!   *preferential* queries (ranking two filters as carriers of a key).
+//!   Decay is recorded lazily as a per-filter epoch offset and
+//!   materialized on read/merge, so it costs O(1) per call.
+//! - [`PackedTcbf`] — the scale-tier TCBF: sixteen 4-bit counters per
+//!   `u64` word with SWAR merge kernels (see [`packed`]), for
+//!   million-node deployments where `C ≤ 15` bounds every counter.
 //! - [`math`] — closed-form analysis from Sections III and VI of the
 //!   paper: false-positive rate, fill ratio, the expected minimum of
 //!   binomially distributed counter increments (Eq. 4), the decaying
@@ -53,6 +58,7 @@ mod counting;
 mod error;
 pub mod hash;
 pub mod math;
+pub mod packed;
 pub mod rng;
 mod tcbf;
 pub mod wire;
@@ -63,5 +69,6 @@ pub use crate::bloom::BloomFilter;
 pub use crate::counting::CountingBloomFilter;
 pub use crate::error::Error;
 pub use crate::hash::KeyHasher;
+pub use crate::packed::PackedTcbf;
 pub use crate::rng::SplitMix64;
-pub use crate::tcbf::{Decayer, Preference, Tcbf};
+pub use crate::tcbf::{Decayer, Preference, SparseTcbf, Tcbf};

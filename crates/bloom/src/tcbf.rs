@@ -40,6 +40,21 @@ use bsub_obs::{self as obs, Counter, TimeHist};
 /// (the paper's rule); to add keys to a merged filter, insert them into
 /// a fresh TCBF and merge the two.
 ///
+/// # Lazy epoch decay
+///
+/// [`Tcbf::decay`] does **not** walk the counter array. It adds the
+/// amount to a per-filter *epoch* offset, and every observable value is
+/// materialized on read as `stored.saturating_sub(epoch)`. Because
+/// saturating subtractions of accumulated amounts compose exactly
+/// (`(c ∸ d₁) ∸ d₂ = c ∸ (d₁ + d₂)`), the materialized counters are
+/// bit-identical to what an eager per-counter walk would produce — the
+/// equivalence the property tests in `tests/properties.rs` pin down.
+/// A-merges fold both filters' pending epochs into the stored counters
+/// in the same single pass that combines them; M-merges only *equalize*
+/// the two epochs (max commutes with a shared saturating offset, so the
+/// common `min(e_self, e_other)` part stays lazy). Either way a broker
+/// that meets rarely pays O(1) per decay instead of O(m) per contact.
+///
 /// # Examples
 ///
 /// Reinforcement and expiry, the mechanism behind B-SUB forwarding:
@@ -65,14 +80,35 @@ use bsub_obs::{self as obs, Counter, TimeHist};
 /// assert!(!relay.contains("NewMoon"));
 /// # Ok::<(), bsub_bloom::Error>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Tcbf {
+    /// Stored counters, *before* the pending epoch is subtracted.
     counters: Vec<u32>,
+    /// Pending lazy decay: every observable counter value is
+    /// `stored.saturating_sub(epoch)`. Saturating here is exact —
+    /// stored values never exceed `u32::MAX`, so an epoch saturated at
+    /// `u32::MAX` already wipes every counter.
+    epoch: u32,
     hashes: usize,
     initial: u32,
     hasher: KeyHasher,
     merged: bool,
 }
+
+/// Equality is on *materialized* counters: a filter decayed lazily and
+/// one decayed eagerly by the same amounts are the same filter.
+impl PartialEq for Tcbf {
+    fn eq(&self, other: &Self) -> bool {
+        self.hashes == other.hashes
+            && self.initial == other.initial
+            && self.hasher == other.hasher
+            && self.merged == other.merged
+            && self.counters.len() == other.counters.len()
+            && self.iter_counters().eq(other.iter_counters())
+    }
+}
+
+impl Eq for Tcbf {}
 
 impl Tcbf {
     /// Creates an empty TCBF of `bits` counters, `hashes` hash
@@ -99,6 +135,7 @@ impl Tcbf {
         assert!(initial > 0, "initial counter value must be positive");
         Self {
             counters: vec![0; bits],
+            epoch: 0,
             hashes,
             initial,
             hasher,
@@ -135,6 +172,11 @@ impl Tcbf {
             return Err(Error::InsertAfterMerge);
         }
         obs::count(Counter::TcbfInsert, 1);
+        // Fold any pending decay into the stored counters first, so
+        // "already set" is judged on materialized values and the new
+        // counters are stored exactly at `C`. Fresh filters (the only
+        // insertion target in practice) have epoch 0 and skip this.
+        self.flush_epoch();
         for pos in self
             .hasher
             .positions(key.as_ref(), self.hashes, self.counters.len())
@@ -160,10 +202,7 @@ impl Tcbf {
         self.check_compatible(other)?;
         obs::count(Counter::TcbfAMerge, 1);
         let _span = obs::span(TimeHist::MergeNs);
-        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
-            *a = a.saturating_add(*b);
-        }
-        self.merged = true;
+        self.merge_with(other, u32::saturating_add);
         Ok(())
     }
 
@@ -181,11 +220,190 @@ impl Tcbf {
         self.check_compatible(other)?;
         obs::count(Counter::TcbfMMerge, 1);
         let _span = obs::span(TimeHist::MergeNs);
-        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
-            *a = (*a).max(*b);
+        // Max commutes with a shared saturating offset:
+        // `max(a ∸ e, b ∸ f) = max(a ∸ (e−m), b ∸ (f−m)) ∸ m` for
+        // `m = min(e, f)`. So the merge only equalizes the two
+        // epochs — at most ONE per-element subtraction, on the side
+        // with the larger epoch — and the common part `m` stays lazy,
+        // to be folded (or decayed further) later. Exact for all
+        // values: only saturating subtractions are involved, and
+        // those compose.
+        let (se, oe) = (self.epoch, other.epoch);
+        let m = se.min(oe);
+        if se == oe {
+            for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+                *a = (*a).max(*b);
+            }
+        } else if se == m {
+            let db = oe - m;
+            for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+                *a = (*a).max(b.saturating_sub(db));
+            }
+        } else {
+            let da = se - m;
+            for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+                *a = a.saturating_sub(da).max(*b);
+            }
+        }
+        self.epoch = m;
+        self.merged = true;
+        Ok(())
+    }
+
+    /// Additive merge against a pre-extracted sparse view: identical
+    /// observable result to [`Tcbf::a_merge`] with the view's source
+    /// filter, in O(set bits) instead of O(m).
+    ///
+    /// This is the consumer → broker fast path: a genuine filter holds
+    /// a handful of interests (tens of non-zero counters out of
+    /// thousands), and it never changes after construction, so the
+    /// sparse view is extracted once and reused for every meeting.
+    /// Zero counters are additive identities — skipping them is exact,
+    /// not approximate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ParamMismatch`] if the view's source filter
+    /// had a different length, hash count, or hasher.
+    pub fn a_merge_sparse(&mut self, other: &SparseTcbf) -> Result<(), Error> {
+        if self.counters.len() != other.bits
+            || self.hashes != other.hashes
+            || self.hasher != other.hasher
+        {
+            return Err(Error::ParamMismatch {
+                ours: (self.counters.len(), self.hashes),
+                theirs: (other.bits, other.hashes),
+            });
+        }
+        obs::count(Counter::TcbfAMerge, 1);
+        let _span = obs::span(TimeHist::MergeNs);
+        // The sparse entries are already materialized. A pending epoch
+        // on the receiver does NOT force an O(m) flush: storing
+        // `max(a, e) + v` under unchanged epoch `e` materializes to
+        // `(max(a, e) + v) ∸ e = (a ∸ e) + v` — exactly the dense
+        // A-merge result — as long as the add itself cannot overflow.
+        // If an entry would (counter within `v` of `u32::MAX`, unseen
+        // in any committed workload), flush mid-way — entries already
+        // stored as `max(a, e) + v` materialize correctly through the
+        // flush — and finish with plain saturating adds, so saturation
+        // lands on materialized values.
+        let e = self.epoch;
+        for (n, &(i, v)) in other.entries.iter().enumerate() {
+            let c = &mut self.counters[i as usize];
+            let s = u64::from((*c).max(e)) + u64::from(v);
+            if s > u64::from(u32::MAX) {
+                self.flush_epoch();
+                for &(i, v) in &other.entries[n..] {
+                    let c = &mut self.counters[i as usize];
+                    *c = c.saturating_add(v);
+                }
+                self.merged = true;
+                return Ok(());
+            }
+            *c = s as u32;
         }
         self.merged = true;
         Ok(())
+    }
+
+    /// Adopts an already-computed A-merge result by copy — see
+    /// [`Tcbf::m_merge_adopt`]; addition is commutative too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ParamMismatch`] if the filters' parameters
+    /// differ.
+    pub fn a_merge_adopt(&mut self, merged: &Self) -> Result<(), Error> {
+        self.check_compatible(merged)?;
+        obs::count(Counter::TcbfAMerge, 1);
+        let _span = obs::span(TimeHist::MergeNs);
+        self.adopt(merged);
+        Ok(())
+    }
+
+    /// Adopts an already-computed M-merge result by copy.
+    ///
+    /// Merging is commutative: when two brokers exchange relay filters
+    /// and each merges the other's pre-contact snapshot, both sides
+    /// converge on the *same* counter array, so the second side can
+    /// copy the first side's merged state instead of re-running the
+    /// O(m) combining pass. The caller guarantees `merged` is exactly
+    /// `self_snapshot ∨ peer` for the peer snapshot `self` would have
+    /// merged — i.e. neither filter changed between snapshot and
+    /// merge. Counted as an M-merge in the profile: it *is* one,
+    /// computed by copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ParamMismatch`] if the filters' parameters
+    /// differ.
+    pub fn m_merge_adopt(&mut self, merged: &Self) -> Result<(), Error> {
+        self.check_compatible(merged)?;
+        obs::count(Counter::TcbfMMerge, 1);
+        let _span = obs::span(TimeHist::MergeNs);
+        self.adopt(merged);
+        Ok(())
+    }
+
+    /// Becomes a copy of `merged` (counters, pending epoch, merged
+    /// flag), reusing this filter's storage.
+    fn adopt(&mut self, merged: &Self) {
+        self.counters.copy_from_slice(&merged.counters);
+        self.epoch = merged.epoch;
+        self.merged = true;
+    }
+
+    /// Extracts a reusable sparse view: the materialized non-zero
+    /// counters as `(bit index, value)` pairs, plus the merge-compat
+    /// parameters. The view is a snapshot — it does not track later
+    /// mutations of this filter — so it suits filters that are
+    /// immutable after construction, like a consumer's genuine filter.
+    #[must_use]
+    pub fn to_sparse(&self) -> SparseTcbf {
+        SparseTcbf {
+            bits: self.counters.len(),
+            hashes: self.hashes,
+            hasher: self.hasher,
+            entries: self
+                .iter_counters()
+                .enumerate()
+                .filter(|&(_, c)| c > 0)
+                .map(|(i, c)| (i as u32, c))
+                .collect(),
+        }
+    }
+
+    /// Shared merge loop, monomorphized per combiner so `op` inlines
+    /// into a branchless, autovectorizable pass. When either side has
+    /// a pending decay epoch, the fold happens *inside* the same pass
+    /// (`(a ∸ e_a) op (b ∸ e_b)`) — the lazy decays cost one extra
+    /// vector subtract here instead of their own O(m) walks.
+    fn merge_with<F: Fn(u32, u32) -> u32>(&mut self, other: &Self, op: F) {
+        let (se, oe) = (self.epoch, other.epoch);
+        match (se, oe) {
+            (0, 0) => {
+                for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+                    *a = op(*a, *b);
+                }
+            }
+            (0, _) => {
+                for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+                    *a = op(*a, b.saturating_sub(oe));
+                }
+            }
+            (_, 0) => {
+                for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+                    *a = op(a.saturating_sub(se), *b);
+                }
+            }
+            _ => {
+                for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+                    *a = op(a.saturating_sub(se), b.saturating_sub(oe));
+                }
+            }
+        }
+        self.epoch = 0;
+        self.merged = true;
     }
 
     /// Decays the filter: every non-zero counter is decremented by
@@ -195,15 +413,39 @@ impl Tcbf {
     /// deletion"). Callers translate wall-clock time into an integer
     /// `amount` via the decaying factor; [`Decayer`] handles fractional
     /// DFs.
+    ///
+    /// Decay is *lazy*: this is an O(1) epoch bump, not a counter walk.
+    /// Reads materialize `stored ∸ epoch` on the fly and merges fold
+    /// the epoch into their combining pass — see the type-level docs.
     pub fn decay(&mut self, amount: u32) {
         if amount == 0 {
             return;
         }
         obs::count(Counter::TcbfDecay, 1);
         let _span = obs::span(TimeHist::DecayNs);
-        for c in &mut self.counters {
-            *c = c.saturating_sub(amount);
+        self.epoch = self.epoch.saturating_add(amount);
+    }
+
+    /// Folds the pending epoch into the stored counters (making the
+    /// lazy representation eager again). O(m), called only where a
+    /// stored-value invariant matters (insertion).
+    fn flush_epoch(&mut self) {
+        if self.epoch == 0 {
+            return;
         }
+        let e = self.epoch;
+        for c in &mut self.counters {
+            *c = c.saturating_sub(e);
+        }
+        self.epoch = 0;
+    }
+
+    /// Materialized (epoch-adjusted) counter values, in bit order — the
+    /// observable state of the filter. Allocation-free iterator; use
+    /// [`Tcbf::counter_values`] for a `Vec`.
+    pub fn iter_counters(&self) -> impl Iterator<Item = u32> + '_ {
+        let e = self.epoch;
+        self.counters.iter().map(move |c| c.saturating_sub(e))
     }
 
     /// Existential query: `true` iff all hashed bits of the key have
@@ -225,7 +467,7 @@ impl Tcbf {
         obs::count(Counter::TcbfQuery, 1);
         self.hasher
             .positions(key.as_ref(), self.hashes, self.counters.len())
-            .map(|pos| self.counters[pos])
+            .map(|pos| self.counters[pos].saturating_sub(self.epoch))
             .min()
             .unwrap_or(0)
     }
@@ -265,7 +507,7 @@ impl Tcbf {
     pub fn to_bloom(&self) -> BloomFilter {
         let mut bits = BitVec::new(self.counters.len());
         for (i, &c) in self.counters.iter().enumerate() {
-            if c > 0 {
+            if c > self.epoch {
                 bits.set(i);
             }
         }
@@ -293,7 +535,8 @@ impl Tcbf {
     /// Number of non-zero counters (set bits).
     #[must_use]
     pub fn set_bits(&self) -> usize {
-        self.counters.iter().filter(|&&c| c > 0).count()
+        let e = self.epoch;
+        self.counters.iter().filter(|&&c| c > e).count()
     }
 
     /// Fill ratio: non-zero counters over total (Eq. 3).
@@ -305,7 +548,7 @@ impl Tcbf {
     /// Whether no counter is set.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.counters.iter().all(|&c| c == 0)
+        self.counters.iter().all(|&c| c <= self.epoch)
     }
 
     /// Whether this filter has ever been the receiver of a merge (and
@@ -318,13 +561,14 @@ impl Tcbf {
     /// Resets the filter to empty and never-merged.
     pub fn reset(&mut self) {
         self.counters.fill(0);
+        self.epoch = 0;
         self.merged = false;
     }
 
     /// Largest counter value in the filter; zero if empty.
     #[must_use]
     pub fn max_counter_value(&self) -> u32 {
-        self.counters.iter().copied().max().unwrap_or(0)
+        self.iter_counters().max().unwrap_or(0)
     }
 
     /// The hasher used by this filter.
@@ -333,10 +577,12 @@ impl Tcbf {
         self.hasher
     }
 
-    /// Read-only view of the raw counters, indexed by bit position.
+    /// Materialized counter values, indexed by bit position.
+    ///
+    /// Allocates; prefer [`Tcbf::iter_counters`] in hot paths.
     #[must_use]
-    pub fn counters(&self) -> &[u32] {
-        &self.counters
+    pub fn counter_values(&self) -> Vec<u32> {
+        self.iter_counters().collect()
     }
 
     pub(crate) fn from_parts(
@@ -348,6 +594,7 @@ impl Tcbf {
     ) -> Self {
         Self {
             counters,
+            epoch: 0,
             hashes,
             initial,
             hasher,
@@ -366,6 +613,32 @@ impl Tcbf {
             });
         }
         Ok(())
+    }
+}
+
+/// A pre-extracted sparse view of a [`Tcbf`]: its materialized
+/// non-zero counters and the parameters another filter must share to
+/// merge with it. Built with [`Tcbf::to_sparse`], consumed by
+/// [`Tcbf::a_merge_sparse`].
+///
+/// The point is asymptotic: a consumer's genuine filter sets
+/// `interests × k` counters out of `m`, so reinforcing a broker's
+/// relay through the sparse view costs O(set bits) per meeting rather
+/// than a full O(m) counter pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseTcbf {
+    bits: usize,
+    hashes: usize,
+    hasher: KeyHasher,
+    /// Materialized `(bit index, counter)` pairs, ascending by index.
+    entries: Vec<(u32, u32)>,
+}
+
+impl SparseTcbf {
+    /// Number of non-zero counters in the view.
+    #[must_use]
+    pub fn set_bits(&self) -> usize {
+        self.entries.len()
     }
 }
 
@@ -528,7 +801,7 @@ mod tests {
         for k in ["a", "b", "c", "d"] {
             f.insert(k).unwrap();
         }
-        for &c in f.counters() {
+        for c in f.counter_values() {
             assert!(c == 0 || c == 10);
         }
     }
@@ -566,7 +839,7 @@ mod tests {
         m.a_merge(&f1).unwrap();
         assert!(m.contains("k0") && m.contains("k1"));
         // Each counter is 10 (unshared bit) or 20 (shared bit).
-        for &c in m.counters() {
+        for c in m.counter_values() {
             assert!(c == 0 || c == 10 || c == 20, "counter {c}");
         }
     }
@@ -789,6 +1062,250 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_initial_counter_panics() {
         let _ = Tcbf::new(256, 4, 0);
+    }
+
+    #[test]
+    fn decay_is_lazy_but_observably_eager() {
+        // The epoch offset must be invisible: every read path reports
+        // the same values an eager per-counter walk would.
+        let mut lazy = Tcbf::from_keys(256, 4, 10, ["a", "b", "c"]);
+        lazy.a_merge(&Tcbf::from_keys(256, 4, 10, ["a"])).unwrap();
+        let mut eager = lazy.clone();
+        lazy.decay(4);
+        lazy.decay(3);
+        eager.flush_epoch(); // no-op, epoch 0
+        for c in &mut eager.counters {
+            *c = c.saturating_sub(4);
+        }
+        for c in &mut eager.counters {
+            *c = c.saturating_sub(3);
+        }
+        assert!(lazy.epoch > 0, "decay must not have walked the array");
+        assert_eq!(lazy, eager);
+        assert_eq!(lazy.counter_values(), eager.counter_values());
+        assert_eq!(lazy.set_bits(), eager.set_bits());
+        assert_eq!(lazy.max_counter_value(), eager.max_counter_value());
+        assert_eq!(lazy.min_counter("a"), eager.min_counter("a"));
+        assert_eq!(lazy.to_bloom(), eager.to_bloom());
+    }
+
+    #[test]
+    fn merge_folds_pending_epochs() {
+        // Decayed filters on both sides of a merge must combine their
+        // *materialized* values (the fused pass folds both pending
+        // epochs); only observable values are asserted.
+        let mut a = Tcbf::new(256, 4, 10);
+        a.a_merge(&Tcbf::from_keys(256, 4, 10, ["k"])).unwrap();
+        a.decay(3); // k at 7
+        let mut b = Tcbf::new(256, 4, 10);
+        b.a_merge(&Tcbf::from_keys(256, 4, 10, ["k"])).unwrap();
+        b.decay(8); // k at 2
+        let mut sum = a.clone();
+        sum.a_merge(&b).unwrap();
+        assert_eq!(sum.min_counter("k"), 9);
+        let mut max = a.clone();
+        max.m_merge(&b).unwrap();
+        assert_eq!(max.min_counter("k"), 7);
+        // Post-merge decay still applies on top.
+        sum.decay(2);
+        assert_eq!(sum.min_counter("k"), 7);
+    }
+
+    #[test]
+    fn merge_near_u32_max_with_pending_epoch_stays_exact() {
+        // Saturation at the top of the counter range must commute
+        // with the lazy epoch: the fused merge materializes both
+        // sides before combining, so a sum clamped at `u32::MAX`
+        // stores exactly `u32::MAX`. Drive a filter there with a huge
+        // initial counter and check against the eager expectation.
+        let big = u32::MAX - 2;
+        let mut f = Tcbf::new(64, 2, big);
+        f.insert("k").unwrap();
+        f.decay(5);
+        // Materialized value: MAX - 7. A-merging another `big` filter
+        // saturates the sum at MAX, which cannot be stored as
+        // `MAX + 5`.
+        f.a_merge(&Tcbf::from_keys(64, 2, big, ["k"])).unwrap();
+        assert_eq!(f.min_counter("k"), u32::MAX);
+        // Later decays still subtract exactly.
+        f.decay(7);
+        assert_eq!(f.min_counter("k"), u32::MAX - 7);
+    }
+
+    #[test]
+    fn insert_after_decay_uses_materialized_state() {
+        // A decayed-to-zero counter counts as unset again, and the new
+        // insertion lands exactly at C — the epoch must not eat it.
+        let mut f = tcbf();
+        f.insert("gone").unwrap();
+        f.decay(10);
+        assert!(!f.contains("gone"));
+        f.insert("gone").unwrap();
+        assert_eq!(f.min_counter("gone"), 10);
+    }
+
+    #[test]
+    fn m_merge_keeps_common_epoch_lazy() {
+        // Max commutes with a shared saturating offset, so an M-merge
+        // only equalizes the two epochs: min(e, f) must survive the
+        // merge as pending decay, with materialized values identical
+        // to the eager computation.
+        let mut a = Tcbf::new(256, 4, 10);
+        a.a_merge(&Tcbf::from_keys(256, 4, 10, ["ka", "shared"]))
+            .unwrap();
+        a.decay(4);
+        let mut b = Tcbf::new(256, 4, 10);
+        b.a_merge(&Tcbf::from_keys(256, 4, 10, ["kb", "shared"]))
+            .unwrap();
+        b.a_merge(&Tcbf::from_keys(256, 4, 10, ["shared"])).unwrap();
+        b.decay(7);
+
+        // Eager expectation on materialized values.
+        let eager: Vec<u32> = a
+            .iter_counters()
+            .zip(b.iter_counters())
+            .map(|(x, y)| x.max(y))
+            .collect();
+        let mut m = a.clone();
+        m.m_merge(&b).unwrap();
+        assert_eq!(m.epoch, 4, "common epoch part must stay pending");
+        assert_eq!(m.counter_values(), eager);
+        // And the mirror direction, with the larger epoch on self.
+        let mut m2 = b.clone();
+        m2.m_merge(&a).unwrap();
+        assert_eq!(m2.epoch, 4);
+        assert_eq!(m2.counter_values(), eager);
+    }
+
+    #[test]
+    fn sparse_a_merge_with_pending_epoch_avoids_flush() {
+        // The sparse add stores `max(a, e) + v` under the unchanged
+        // epoch instead of flushing — observably identical to the
+        // dense merge, with the decay still pending afterwards.
+        let genuine = Tcbf::from_keys(256, 4, 10, ["g"]);
+        let mut relay = Tcbf::new(256, 4, 10);
+        relay
+            .a_merge(&Tcbf::from_keys(256, 4, 10, ["g", "other"]))
+            .unwrap();
+        relay.decay(6);
+        let mut dense = relay.clone();
+        relay.a_merge_sparse(&genuine.to_sparse()).unwrap();
+        dense.a_merge(&genuine).unwrap();
+        assert_eq!(relay.epoch, 6, "epoch must survive the sparse add");
+        assert_eq!(relay, dense);
+        assert_eq!(relay.counter_values(), dense.counter_values());
+        // Later decay applies on top of the preserved epoch.
+        relay.decay(5);
+        dense.decay(5);
+        assert_eq!(relay.counter_values(), dense.counter_values());
+    }
+
+    #[test]
+    fn sparse_a_merge_near_saturation_falls_back_exactly() {
+        // When `max(a, e) + v` would overflow u32, the sparse path
+        // must flush and saturate on materialized values, exactly
+        // like the dense merge.
+        let big = u32::MAX - 2;
+        let genuine = Tcbf::from_keys(64, 2, big, ["k"]);
+        let mut relay = Tcbf::new(64, 2, big);
+        relay.a_merge(&genuine).unwrap();
+        relay.decay(5); // materialized MAX - 7, epoch pending
+        let mut dense = relay.clone();
+        relay.a_merge_sparse(&genuine.to_sparse()).unwrap();
+        dense.a_merge(&genuine).unwrap();
+        assert_eq!(relay.min_counter("k"), u32::MAX);
+        assert_eq!(relay.counter_values(), dense.counter_values());
+        relay.decay(9);
+        dense.decay(9);
+        assert_eq!(relay.counter_values(), dense.counter_values());
+    }
+
+    #[test]
+    fn sparse_a_merge_matches_dense() {
+        // The sparse fast path must be observably identical to the
+        // dense A-merge, including with pending epochs on the
+        // receiver and a decayed source.
+        let genuine = Tcbf::from_keys(256, 4, 10, ["a", "b", "c"]);
+        let sparse = genuine.to_sparse();
+        assert_eq!(sparse.set_bits(), genuine.set_bits());
+        let mut relay = Tcbf::new(256, 4, 10);
+        relay.a_merge(&Tcbf::from_keys(256, 4, 10, ["a"])).unwrap();
+        relay.decay(3); // pending epoch on the receiver
+        let mut dense = relay.clone();
+        relay.a_merge_sparse(&sparse).unwrap();
+        dense.a_merge(&genuine).unwrap();
+        assert_eq!(relay, dense);
+        assert_eq!(relay.counter_values(), dense.counter_values());
+    }
+
+    #[test]
+    fn sparse_view_of_decayed_filter_is_materialized() {
+        let mut f = Tcbf::from_keys(256, 4, 10, ["x", "y"]);
+        f.decay(4);
+        let sparse = f.to_sparse();
+        let mut via_sparse = Tcbf::new(256, 4, 10);
+        via_sparse.a_merge_sparse(&sparse).unwrap();
+        let mut via_dense = Tcbf::new(256, 4, 10);
+        via_dense.a_merge(&f).unwrap();
+        assert_eq!(via_sparse, via_dense);
+        assert_eq!(via_sparse.min_counter("x"), 6);
+    }
+
+    #[test]
+    fn sparse_merge_param_mismatch() {
+        let genuine = Tcbf::from_keys(128, 4, 10, ["a"]);
+        let mut relay = Tcbf::new(256, 4, 10);
+        assert!(matches!(
+            relay.a_merge_sparse(&genuine.to_sparse()),
+            Err(Error::ParamMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_adopt_matches_second_direction_merge() {
+        // The broker-exchange shortcut: after a merges b's snapshot,
+        // b adopting a's result must equal b merging a's snapshot —
+        // for both rules, and with pending epochs on both sides.
+        for additive in [false, true] {
+            let mut a = Tcbf::new(256, 4, 10);
+            a.a_merge(&Tcbf::from_keys(256, 4, 10, ["a1", "shared"]))
+                .unwrap();
+            a.decay(2);
+            let mut b = Tcbf::new(256, 4, 10);
+            b.a_merge(&Tcbf::from_keys(256, 4, 10, ["b1", "shared"]))
+                .unwrap();
+            b.a_merge(&Tcbf::from_keys(256, 4, 10, ["shared"])).unwrap();
+            b.decay(5);
+
+            let (snap_a, snap_b) = (a.clone(), b.clone());
+            let mut b_expected = b.clone();
+            if additive {
+                a.a_merge(&snap_b).unwrap();
+                b_expected.a_merge(&snap_a).unwrap();
+                b.a_merge_adopt(&a).unwrap();
+            } else {
+                a.m_merge(&snap_b).unwrap();
+                b_expected.m_merge(&snap_a).unwrap();
+                b.m_merge_adopt(&a).unwrap();
+            }
+            assert_eq!(b, b_expected, "additive={additive}");
+            assert_eq!(b.counter_values(), b_expected.counter_values());
+        }
+    }
+
+    #[test]
+    fn merge_adopt_counts_as_merge() {
+        bsub_obs::start();
+        let mut a = Tcbf::new(256, 4, 10);
+        a.m_merge(&Tcbf::from_keys(256, 4, 10, ["k"])).unwrap();
+        let mut b = Tcbf::new(256, 4, 10);
+        b.m_merge_adopt(&a).unwrap();
+        let genuine = Tcbf::from_keys(256, 4, 10, ["g"]);
+        b.a_merge_sparse(&genuine.to_sparse()).unwrap();
+        let report = bsub_obs::finish();
+        assert_eq!(report.counter(Counter::TcbfMMerge), 2);
+        assert_eq!(report.counter(Counter::TcbfAMerge), 1);
+        assert_eq!(report.time_hist(TimeHist::MergeNs).count(), 3);
     }
 
     #[test]

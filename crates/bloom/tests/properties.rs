@@ -31,7 +31,7 @@ fn rand_keys(rng: &mut SplitMix64, lo: usize, hi: usize) -> Vec<String> {
 /// Runs `body` over `CASES` independent seeded cases.
 fn cases(mut body: impl FnMut(&mut SplitMix64)) {
     for case in 0..CASES {
-        let mut rng = SplitMix64::new(SplitMix64::mix(0xb5_0b_0000, case));
+        let mut rng = SplitMix64::new(SplitMix64::mix(0xb50b_0000, case));
         body(&mut rng);
     }
 }
@@ -111,7 +111,7 @@ fn tcbf_fresh_counters_uniform() {
         let keys = rand_keys(rng, 0, 40);
         let initial = 1 + rng.below(199) as u32;
         let f = Tcbf::from_keys(512, 4, initial, keys.iter());
-        for &c in f.counters() {
+        for c in f.counter_values() {
             assert!(c == 0 || c == initial);
         }
     });
@@ -126,7 +126,7 @@ fn tcbf_m_merge_idempotent() {
         let f = Tcbf::from_keys(512, 4, 10, keys.iter());
         let mut m = f.clone();
         m.m_merge(&f).unwrap();
-        assert_eq!(m.counters(), f.counters());
+        assert_eq!(m.counter_values(), f.counter_values());
     });
 }
 
@@ -142,9 +142,9 @@ fn tcbf_m_merge_commutes() {
         ab.m_merge(&b).unwrap();
         let mut ba = b.clone();
         ba.m_merge(&a).unwrap();
-        assert_eq!(ab.counters(), ba.counters());
-        for (i, &c) in ab.counters().iter().enumerate() {
-            assert_eq!(c, a.counters()[i].max(b.counters()[i]));
+        assert_eq!(ab.counter_values(), ba.counter_values());
+        for (i, &c) in ab.counter_values().iter().enumerate() {
+            assert_eq!(c, a.counter_values()[i].max(b.counter_values()[i]));
         }
     });
 }
@@ -159,8 +159,8 @@ fn tcbf_a_merge_adds() {
         let b = Tcbf::from_keys(512, 4, 20, right.iter());
         let mut ab = a.clone();
         ab.a_merge(&b).unwrap();
-        for (i, &c) in ab.counters().iter().enumerate() {
-            assert_eq!(c, a.counters()[i] + b.counters()[i]);
+        for (i, &c) in ab.counter_values().iter().enumerate() {
+            assert_eq!(c, a.counter_values()[i] + b.counter_values()[i]);
         }
     });
 }
@@ -179,7 +179,7 @@ fn tcbf_decay_additive() {
         split.decay(d2);
         let mut whole = base.clone();
         whole.decay(d1 + d2);
-        assert_eq!(split.counters(), whole.counters());
+        assert_eq!(split.counter_values(), whole.counter_values());
         // Monotone: everything absent in base stays absent.
         for k in &keys {
             if !base.contains(k) {
@@ -210,7 +210,10 @@ fn tcbf_decay_commutes_with_m_merge() {
         let mut decay_then_merge = da;
         decay_then_merge.m_merge(&db).unwrap();
 
-        assert_eq!(merge_then_decay.counters(), decay_then_merge.counters());
+        assert_eq!(
+            merge_then_decay.counter_values(),
+            decay_then_merge.counter_values()
+        );
     });
 }
 
@@ -223,7 +226,7 @@ fn wire_full_roundtrip() {
         let f = Tcbf::from_keys(512, 4, initial, keys.iter());
         let bytes = wire::encode(&f, CounterMode::Full).unwrap();
         let decoded = wire::decode(&bytes).unwrap().into_tcbf().unwrap();
-        assert_eq!(decoded.counters(), f.counters());
+        assert_eq!(decoded.counter_values(), f.counter_values());
     });
 }
 

@@ -248,12 +248,9 @@ impl BsubProtocol {
         let state = &mut self.nodes[node.index()];
         let dropped = state.prune(now);
         state.election.prune(now, self.config.window);
-        let mut decayed = None;
+        let mut decayed = 0;
         if let Some(relay) = &mut state.relay {
-            let amount = relay.decay_to(now);
-            if amount > 0 {
-                decayed = Some((amount, relay.filter.fill_ratio()));
-            }
+            decayed = relay.decay_to(now);
         }
         if dropped > 0 {
             ctx.emit(|| TraceEvent::Expired {
@@ -262,12 +259,17 @@ impl BsubProtocol {
                 count: dropped,
             });
         }
-        if let Some((amount, fill)) = decayed {
+        if decayed > 0 {
+            // The fill ratio is an O(m) filter walk; with lazy epoch
+            // decay it would be the only per-decay walk left, so it is
+            // computed inside the closure — recording runs pay it,
+            // plain runs decay in O(1).
+            let relay = self.nodes[node.index()].relay.as_ref().expect("decayed");
             ctx.emit(|| TraceEvent::FilterDecay {
                 at: now,
                 node,
-                amount,
-                fill,
+                amount: decayed,
+                fill: relay.filter.fill_ratio(),
             });
         }
     }
@@ -378,17 +380,20 @@ impl BsubProtocol {
         let (consumer_state, broker_state) = two(&mut self.nodes, consumer.index(), broker.index());
         let relay = broker_state.relay.as_mut().expect("broker has relay");
         relay.absorb_genuine(
-            &consumer_state.genuine,
+            &consumer_state.genuine_sparse,
             &interests,
             self.config.initial_counter,
         );
         relay.on_consumer_contact(now, &self.config);
-        let fill = relay.filter.fill_ratio();
+        // The fill ratio is an O(m) walk per merge; compute it inside
+        // the closure so only recording runs pay it (same pattern as
+        // FilterDecay in `housekeeping`).
+        let relay = &*relay;
         ctx.emit(|| TraceEvent::FilterMerge {
             at: now,
             node: broker,
             kind: MergeKind::Reinforce,
-            fill,
+            fill: relay.filter.fill_ratio(),
         });
         (true, true)
     }
@@ -627,23 +632,42 @@ impl BsubProtocol {
         if a_received_b {
             let relay_a = state_a.relay.as_mut().expect("broker");
             relay_a.absorb_relay(&filter_b, &shadow_b, rule);
-            let fill = relay_a.filter.fill_ratio();
+        }
+        if b_received_a {
+            let relay_b = state_b.relay.as_mut().expect("broker");
+            if a_received_b {
+                // Both directions succeeded: each side merges the
+                // other's pre-contact snapshot, and the merge rules
+                // are commutative, so side a (which merged first)
+                // already holds exactly the array side b would
+                // compute. Adopt it by copy instead of re-running the
+                // O(m) combining pass. Nothing mutates either relay
+                // filter between the snapshots and this point — the
+                // handoff only moves messages.
+                let relay_a = state_a.relay.as_ref().expect("broker");
+                relay_b.absorb_relay_adopted(&relay_a.filter, &shadow_a, rule);
+            } else {
+                relay_b.absorb_relay(&filter_a, &shadow_a, rule);
+            }
+        }
+        // Fill ratios are O(m) walks; compute them inside the closures
+        // so only recording runs pay them.
+        if a_received_b {
+            let relay_a = state_a.relay.as_ref().expect("broker");
             ctx.emit(|| TraceEvent::FilterMerge {
                 at: now,
                 node: a,
                 kind,
-                fill,
+                fill: relay_a.filter.fill_ratio(),
             });
         }
         if b_received_a {
-            let relay_b = state_b.relay.as_mut().expect("broker");
-            relay_b.absorb_relay(&filter_a, &shadow_a, rule);
-            let fill = relay_b.filter.fill_ratio();
+            let relay_b = state_b.relay.as_ref().expect("broker");
             ctx.emit(|| TraceEvent::FilterMerge {
                 at: now,
                 node: b,
                 kind,
-                fill,
+                fill: relay_b.filter.fill_ratio(),
             });
         }
         ok

@@ -18,7 +18,7 @@ const CASES: u64 = 128;
 /// Runs `body` over `CASES` independent seeded cases.
 fn cases(mut body: impl FnMut(&mut SplitMix64)) {
     for case in 0..CASES {
-        let mut rng = SplitMix64::new(SplitMix64::mix(0x51_e5_0000, case));
+        let mut rng = SplitMix64::new(SplitMix64::mix(0x51e5_0000, case));
         body(&mut rng);
     }
 }
@@ -70,7 +70,11 @@ impl Protocol for ChaoticProtocol {
                         let idx = (self.next() as usize) % self.inbox.len();
                         let msg = Arc::clone(&self.inbox[idx]);
                         if ctx.transfer_message(link, &msg) {
-                            let to = if roll % 2 == 0 { contact.a } else { contact.b };
+                            let to = if roll.is_multiple_of(2) {
+                                contact.a
+                            } else {
+                                contact.b
+                            };
                             let _ = ctx.deliver(to, &msg);
                         }
                     }
@@ -79,7 +83,7 @@ impl Protocol for ChaoticProtocol {
                     if !self.inbox.is_empty() {
                         let idx = (self.next() as usize) % self.inbox.len();
                         let msg = Arc::clone(&self.inbox[idx]);
-                        ctx.record_injection(contact.a, &msg, roll % 7 == 0);
+                        ctx.record_injection(contact.a, &msg, roll.is_multiple_of(7));
                     }
                 }
             }

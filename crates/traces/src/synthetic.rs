@@ -226,6 +226,165 @@ impl SyntheticTrace {
     }
 }
 
+/// A constant-memory stream of synthetic contacts for node counts far
+/// beyond what [`SyntheticTrace`] can materialize.
+///
+/// [`SyntheticTrace::build`] computes an explicit per-pair rate table —
+/// O(n²) memory — which is the right trade for the paper's 79/97-node
+/// traces but impossible at a million nodes. `ContactStream` instead
+/// derives each event independently from `(seed, index)` via
+/// [`SplitMix64::mix`], in O(1) memory and O(1) time per event:
+///
+/// - **event times** are evenly spaced over the horizon (index order ⇒
+///   time order, no sort needed);
+/// - **participants** keep the Zipf-like sociability of the builder via
+///   inverse-CDF sampling: for weight exponent α < 1, node
+///   `⌊n · u^(1/(1−α))⌋` reproduces the `rank^−α` weight profile;
+/// - **community structure** is by residue (`community(i) = i mod k`),
+///   so a same-community partner can be drawn directly without any
+///   per-node table; `intra_probability` controls how often that
+///   happens.
+///
+/// The stream is deterministic per seed and restartable from any index
+/// — two properties the million-node scale harness leans on.
+///
+/// # Examples
+///
+/// ```
+/// use bsub_traces::synthetic::ContactStream;
+/// use bsub_traces::SimDuration;
+///
+/// let stream = ContactStream::new(1_000_000, SimDuration::from_days(1), 10_000, 42);
+/// let first: Vec<_> = stream.iter().take(3).collect();
+/// assert_eq!(first.len(), 3);
+/// assert!(first.windows(2).all(|w| w[0].start <= w[1].start));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContactStream {
+    nodes: u64,
+    horizon_secs: u64,
+    total: u64,
+    communities: u64,
+    intra_probability: f64,
+    sociability_alpha: f64,
+    mean_contact_secs: f64,
+    seed: u64,
+}
+
+impl ContactStream {
+    /// A stream of `total` contacts among `nodes` nodes over
+    /// `duration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2`, `duration` is zero, or `total == 0`.
+    #[must_use]
+    pub fn new(nodes: u64, duration: SimDuration, total: u64, seed: u64) -> Self {
+        assert!(nodes >= 2, "need at least two nodes to have contacts");
+        assert!(nodes <= u64::from(u32::MAX), "node ids are u32");
+        assert!(!duration.is_zero(), "stream duration must be positive");
+        assert!(total > 0, "stream must produce at least one contact");
+        Self {
+            nodes,
+            horizon_secs: duration.as_secs(),
+            total,
+            communities: 64.min(nodes / 2).max(1),
+            intra_probability: 0.7,
+            sociability_alpha: 0.7,
+            mean_contact_secs: 180.0,
+            seed,
+        }
+    }
+
+    /// Number of communities (default `min(64, nodes/2)`, at least 1).
+    #[must_use]
+    pub fn communities(mut self, communities: u64) -> Self {
+        assert!(communities >= 1, "at least one community");
+        self.communities = communities.min(self.nodes);
+        self
+    }
+
+    /// Probability that a contact stays within one community
+    /// (default 0.7).
+    #[must_use]
+    pub fn intra_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability in [0, 1]");
+        self.intra_probability = p;
+        self
+    }
+
+    /// Zipf exponent of the sociability profile, `< 1` (default 0.7;
+    /// 0 = homogeneous).
+    #[must_use]
+    pub fn sociability_alpha(mut self, alpha: f64) -> Self {
+        assert!((0.0..1.0).contains(&alpha), "alpha in [0, 1)");
+        self.sociability_alpha = alpha;
+        self
+    }
+
+    /// Total number of contacts the stream will produce.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the stream is empty (never true — `total > 0`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> u64 {
+        self.nodes
+    }
+
+    /// The event at `index` (`0..len()`), derived independently of all
+    /// others — O(1), no state.
+    #[must_use]
+    pub fn event_at(&self, index: u64) -> ContactEvent {
+        let mut rng = SplitMix64::new(SplitMix64::mix(self.seed, index));
+        // Evenly spaced start times keep the stream sorted for free.
+        let start =
+            ((u128::from(self.horizon_secs) * u128::from(index)) / u128::from(self.total)) as u64;
+        let a = self.zipf_node(rng.next_f64());
+        let b = loop {
+            let candidate = if rng.next_f64() < self.intra_probability {
+                // Same community as `a`: communities are residue
+                // classes, so draw a same-residue node directly.
+                let class_size = (self.nodes - (a % self.communities)).div_ceil(self.communities);
+                (a % self.communities) + rng.below(class_size) * self.communities
+            } else {
+                self.zipf_node(rng.next_f64())
+            };
+            if candidate != a {
+                break candidate;
+            }
+        };
+        let dur = sample_exponential(&mut rng, self.mean_contact_secs).clamp(10.0, 7200.0) as u64;
+        ContactEvent::new(
+            NodeId::new(a as u32),
+            NodeId::new(b as u32),
+            SimTime::from_secs(start),
+            SimTime::from_secs((start + dur).min(self.horizon_secs)),
+        )
+    }
+
+    /// Iterates the whole stream in time order, O(1) memory.
+    pub fn iter(&self) -> impl Iterator<Item = ContactEvent> + '_ {
+        (0..self.total).map(|i| self.event_at(i))
+    }
+
+    /// Inverse-CDF Zipf-like node draw: maps uniform `u ∈ [0, 1)` to a
+    /// node whose visit frequency falls off as `rank^−α`.
+    fn zipf_node(&self, u: f64) -> u64 {
+        let exponent = 1.0 / (1.0 - self.sociability_alpha);
+        let scaled = u.powf(exponent) * self.nodes as f64;
+        (scaled as u64).min(self.nodes - 1)
+    }
+}
+
 /// Mean contacts per pair session; sessions beyond this spawn new
 /// anchors.
 const CONTACTS_PER_SESSION: u64 = 4;
@@ -494,5 +653,71 @@ mod tests {
     #[should_panic(expected = "at least two nodes")]
     fn single_node_rejected() {
         let _ = SyntheticTrace::new("x", 1, SimDuration::from_hours(1), 10);
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_restartable() {
+        let s = ContactStream::new(100_000, SimDuration::from_days(1), 5_000, 9);
+        let all: Vec<_> = s.iter().collect();
+        let again: Vec<_> = s.iter().collect();
+        assert_eq!(all, again);
+        // Random access agrees with iteration (restartability).
+        for &i in &[0u64, 1, 777, 4_999] {
+            assert_eq!(s.event_at(i), all[i as usize]);
+        }
+    }
+
+    #[test]
+    fn stream_is_time_ordered_and_in_range() {
+        let s = ContactStream::new(1_000_000, SimDuration::from_days(2), 20_000, 3);
+        let horizon = SimTime::from_days(2);
+        let mut last = SimTime::ZERO;
+        for e in s.iter() {
+            assert!(e.start >= last, "stream must be sorted");
+            assert!(e.end <= horizon);
+            assert!(e.end >= e.start);
+            assert_ne!(e.a, e.b);
+            assert!(e.a.index() < 1_000_000);
+            assert!(e.b.index() < 1_000_000);
+            last = e.start;
+        }
+    }
+
+    #[test]
+    fn stream_sociability_is_heterogeneous() {
+        // Zipf-like inverse-CDF sampling: low-id nodes must appear far
+        // more often than the tail.
+        let s = ContactStream::new(10_000, SimDuration::from_days(1), 30_000, 5);
+        let mut counts = vec![0u64; 10_000];
+        for e in s.iter() {
+            counts[e.a.index()] += 1;
+            counts[e.b.index()] += 1;
+        }
+        let head: u64 = counts[..100].iter().sum();
+        let tail: u64 = counts[9_900..].iter().sum();
+        assert!(
+            head > tail * 10,
+            "head 100 nodes ({head}) should dominate tail 100 ({tail})"
+        );
+    }
+
+    #[test]
+    fn stream_respects_community_structure() {
+        let s = ContactStream::new(1_000, SimDuration::from_days(1), 20_000, 6)
+            .communities(10)
+            .intra_probability(0.9);
+        let intra = s
+            .iter()
+            .filter(|e| e.a.index() % 10 == e.b.index() % 10)
+            .count();
+        let ratio = intra as f64 / 20_000.0;
+        // 0.9 direct intra draws plus chance collisions of the rest.
+        assert!(ratio > 0.85, "intra-community share {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn stream_single_node_rejected() {
+        let _ = ContactStream::new(1, SimDuration::from_hours(1), 10, 0);
     }
 }

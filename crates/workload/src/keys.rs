@@ -209,7 +209,7 @@ mod tests {
             let uncovered: Vec<usize> = bits
                 .iter()
                 .copied()
-                .filter(|&b| base.counters()[b] == 0)
+                .filter(|&b| base.counter_values()[b] == 0)
                 .collect();
             assert_eq!(
                 uncovered.len(),
