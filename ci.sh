@@ -129,5 +129,22 @@ test -s "$SMOKE_DIR/scale_smoke.csv" || {
     exit 1
 }
 
+stage "scale --smoke --shards 4 (sharded engine, shard-invariance)"
+# The same sweep on the 4-shard barrier engine. Beyond exercising the
+# parallel path end to end, this asserts the shard-invariance
+# contract: every deterministic CSV column (all but the shards column
+# itself) must be byte-identical to the serial run above.
+mkdir -p "$SMOKE_DIR/sharded"
+BSUB_RESULTS_DIR="$SMOKE_DIR/sharded" ./target/release/scale --smoke --shards 4 --check
+test -s "$SMOKE_DIR/sharded/scale_smoke.csv" || {
+    echo "missing smoke artifact: sharded/scale_smoke.csv" >&2
+    exit 1
+}
+if ! diff <(cut -d, -f1,2,4- "$SMOKE_DIR/scale_smoke.csv") \
+    <(cut -d, -f1,2,4- "$SMOKE_DIR/sharded/scale_smoke.csv"); then
+    echo "sharded scale run diverged from the serial run" >&2
+    exit 1
+fi
+
 timing_summary
 echo "CI OK"

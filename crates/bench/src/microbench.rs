@@ -71,9 +71,14 @@ impl Harness {
             .collect();
         batches.sort();
         let median = batches[BATCHES / 2];
+        // `Duration` has nanosecond resolution, so integer division
+        // floors a sub-ns workload to zero once the iteration cap is
+        // hit; clamp to 1 ns — the harness's stated resolution.
+        let per_iter = Duration::from_secs_f64(median.as_secs_f64() / iters as f64)
+            .max(Duration::from_nanos(1));
         let measurement = Measurement {
             id: format!("{group}/{name}"),
-            per_iter: median / u32::try_from(iters).unwrap_or(u32::MAX),
+            per_iter,
             iters_per_batch: iters,
         };
         eprintln!(

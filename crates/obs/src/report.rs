@@ -96,6 +96,24 @@ impl ProfReport {
         }
     }
 
+    /// Merges this report into a live [`Profiler`] with the same
+    /// semantics as [`ProfReport::merge`] — the thread-local side of
+    /// [`crate::absorb`].
+    pub(crate) fn merge_into(&self, p: &mut Profiler) {
+        for (a, b) in p.counters.iter_mut().zip(&self.counters) {
+            *a = a.saturating_add(*b);
+        }
+        for (a, b) in p.gauge_hwm.iter_mut().zip(&self.gauges) {
+            *a = (*a).max(*b);
+        }
+        for (a, b) in p.time_hists.iter_mut().zip(&self.time_hists) {
+            a.merge(b);
+        }
+        for (a, b) in p.size_hists.iter_mut().zip(&self.size_hists) {
+            a.merge(b);
+        }
+    }
+
     /// Equality over the deterministic portion only: counters, gauges,
     /// and size histograms. Wall-clock timing histograms differ from
     /// run to run on any real machine and are excluded.

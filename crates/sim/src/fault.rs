@@ -258,44 +258,114 @@ impl WireCorruption {
     }
 }
 
-/// Per-run churn bookkeeping: which churn cell each node has been
-/// checked through, and whether a node still owes a state reset from a
-/// downtime it has not rejoined from yet.
-#[derive(Debug)]
-pub(crate) struct FaultState {
-    checked: Vec<u64>,
-    pending_reset: Vec<bool>,
+/// One node's churn bookkeeping: the churn cell it has been checked
+/// through, and whether it still owes a state reset from a downtime it
+/// has not rejoined from yet. `Copy`, so a cell checks out to a shard
+/// worker and back by value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct FaultCell {
+    checked: u64,
+    pending_reset: bool,
 }
 
-impl FaultState {
-    pub(crate) fn new(nodes: usize) -> Self {
-        Self {
-            checked: vec![0; nodes],
-            pending_reset: vec![false; nodes],
-        }
-    }
-
-    /// Advances `node`'s churn bookkeeping to the cell containing `at`.
-    /// Any down cell seen on the way (including the current one) marks
-    /// a pending reset; returns whether the node is down *now*.
-    pub(crate) fn advance(&mut self, spec: &FaultSpec, node: NodeId, at: SimTime) -> bool {
+impl FaultCell {
+    /// Advances this cell to the churn cell containing `at`. Any down
+    /// cell seen on the way (including the current one) marks a pending
+    /// reset; returns whether the node is down *now*.
+    fn advance(&mut self, spec: &FaultSpec, node: NodeId, at: SimTime) -> bool {
         let cell = spec.churn_cell(at);
-        let i = node.index();
-        for c in self.checked[i]..=cell {
+        for c in self.checked..=cell {
             if spec.node_down(node, c) {
-                self.pending_reset[i] = true;
+                self.pending_reset = true;
             }
         }
         // The current cell is re-examined on the node's next contact,
         // which is harmless: a down cell marks the same pending reset
         // again, and the reset only fires once the node is back up.
-        self.checked[i] = cell;
+        self.checked = cell;
         spec.node_down(node, cell)
     }
+}
 
+/// Mutable access to per-node fault cells — implemented by the serial
+/// runner's dense [`FaultState`] and the sharded runner's checked-out
+/// [`FaultCells`], so the per-contact step function is agnostic to
+/// which execution context it runs on.
+pub(crate) trait FaultAccess {
+    /// See [`FaultCell::advance`].
+    fn advance(&mut self, spec: &FaultSpec, node: NodeId, at: SimTime) -> bool;
     /// Takes (and clears) the pending reset flag for `node`.
-    pub(crate) fn take_reset(&mut self, node: NodeId) -> bool {
-        std::mem::take(&mut self.pending_reset[node.index()])
+    fn take_reset(&mut self, node: NodeId) -> bool;
+}
+
+/// Per-run churn bookkeeping for every node, dense by node index.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    cells: Vec<FaultCell>,
+}
+
+impl FaultState {
+    pub(crate) fn new(nodes: usize) -> Self {
+        Self {
+            cells: vec![FaultCell::default(); nodes],
+        }
+    }
+
+    /// Copies the cells of `nodes` out for a shard worker. The caller
+    /// must hand the cells back via [`FaultState::import_cells`] —
+    /// until then the primary copies are stale (nobody reads them: the
+    /// owning component runs entirely on the worker).
+    pub(crate) fn export_cells<I>(&self, nodes: I) -> FaultCells
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        FaultCells {
+            cells: nodes
+                .into_iter()
+                .map(|n| (n, self.cells[n.index()]))
+                .collect(),
+        }
+    }
+
+    /// Writes checked-out cells back after a shard epoch.
+    pub(crate) fn import_cells(&mut self, cells: FaultCells) {
+        for (node, cell) in cells.cells {
+            self.cells[node.index()] = cell;
+        }
+    }
+}
+
+impl FaultAccess for FaultState {
+    fn advance(&mut self, spec: &FaultSpec, node: NodeId, at: SimTime) -> bool {
+        self.cells[node.index()].advance(spec, node, at)
+    }
+
+    fn take_reset(&mut self, node: NodeId) -> bool {
+        std::mem::take(&mut self.cells[node.index()].pending_reset)
+    }
+}
+
+/// A shard worker's checked-out fault cells: exactly the nodes of the
+/// components assigned to the worker for one epoch.
+#[derive(Debug, Default)]
+pub(crate) struct FaultCells {
+    cells: std::collections::HashMap<NodeId, FaultCell>,
+}
+
+impl FaultAccess for FaultCells {
+    fn advance(&mut self, spec: &FaultSpec, node: NodeId, at: SimTime) -> bool {
+        self.cells
+            .get_mut(&node)
+            .expect("every node of a component is checked out with it")
+            .advance(spec, node, at)
+    }
+
+    fn take_reset(&mut self, node: NodeId) -> bool {
+        let cell = self
+            .cells
+            .get_mut(&node)
+            .expect("every node of a component is checked out with it");
+        std::mem::take(&mut cell.pending_reset)
     }
 }
 
@@ -439,6 +509,42 @@ mod tests {
         assert!(!skip.advance(&spec, node, SimTime::from_secs(10)));
         assert!(!skip.advance(&spec, node, SimTime::from_secs(2 * 3600 + 10)));
         assert!(skip.take_reset(node), "cell 1 downtime seen in the scan");
+    }
+
+    /// Advancing a node through a checked-out [`FaultCells`] view and
+    /// importing it back is indistinguishable from advancing the dense
+    /// [`FaultState`] directly.
+    #[test]
+    fn cell_checkout_matches_dense_state() {
+        let period = SimDuration::from_hours(1);
+        let spec = FaultSpec::none().with_seed(5).with_churn(PPM / 2, period);
+        let times: Vec<SimTime> = (0..6).map(|h| SimTime::from_secs(h * 3600 + 10)).collect();
+        let nodes = [NodeId::new(0), NodeId::new(1)];
+
+        let mut dense = FaultState::new(2);
+        let mut dense_log = Vec::new();
+        for &at in &times {
+            for node in nodes {
+                let down = dense.advance(&spec, node, at);
+                let reset = !down && dense.take_reset(node);
+                dense_log.push((down, reset));
+            }
+        }
+
+        let mut primary = FaultState::new(2);
+        let mut split_log = Vec::new();
+        for &at in &times {
+            // One "epoch" per time step: check both nodes out, advance
+            // on the worker view, import back.
+            let mut cells = primary.export_cells(nodes);
+            for node in nodes {
+                let down = cells.advance(&spec, node, at);
+                let reset = !down && cells.take_reset(node);
+                split_log.push((down, reset));
+            }
+            primary.import_cells(cells);
+        }
+        assert_eq!(dense_log, split_log);
     }
 
     #[test]

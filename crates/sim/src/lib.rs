@@ -57,6 +57,7 @@ pub mod metrics;
 pub mod protocols;
 pub mod record;
 mod runner;
+mod shard;
 mod subscriptions;
 
 pub use crate::fault::{FaultSpec, WireCorruption};
@@ -69,4 +70,5 @@ pub use crate::record::{
     TimeSeriesRecorder, TraceEvent,
 };
 pub use crate::runner::{GeneratedMessage, SimConfig, Simulation};
+pub use crate::shard::shard_seed;
 pub use crate::subscriptions::SubscriptionTable;

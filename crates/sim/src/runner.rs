@@ -1,7 +1,7 @@
 //! The simulation runner: merges the contact trace with the message
 //! schedule and drives a [`Protocol`] through both.
 
-use crate::fault::{FaultSpec, FaultState, PPM};
+use crate::fault::{FaultAccess, FaultSpec, FaultState, PPM};
 use crate::link::Link;
 use crate::message::{Message, MessageId};
 use crate::metrics::{MetricsCollector, SimReport};
@@ -9,7 +9,7 @@ use crate::protocols::{Protocol, ProtocolFactory, SimCtx};
 use crate::record::{LossCause, NullRecorder, Recorder, TraceEvent};
 use crate::subscriptions::SubscriptionTable;
 use bsub_obs::{self as obs, Counter, SizeHist, TimeHist};
-use bsub_traces::{ContactTrace, NodeId, SimDuration, SimTime};
+use bsub_traces::{ContactEvent, ContactTrace, NodeId, SimDuration, SimTime};
 use std::sync::Arc;
 
 /// Global simulation parameters.
@@ -64,6 +64,7 @@ pub struct Simulation {
     schedule: Arc<[GeneratedMessage]>,
     config: SimConfig,
     faults: FaultSpec,
+    shards: usize,
 }
 
 impl Simulation {
@@ -102,7 +103,26 @@ impl Simulation {
             schedule,
             config,
             faults: FaultSpec::none(),
+            shards: 1,
         }
+    }
+
+    /// Sets the intra-run shard count. The default (and any value
+    /// ≤ 1) is the serial path. With `shards > 1` and a protocol that
+    /// implements [`Protocol::shard_fork`], unrecorded and unprofiled
+    /// runs execute on the sharded core (`shard` module); the report
+    /// is identical to the serial run's by the partitioned-ownership
+    /// contract, so this is purely a performance knob.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// The configured intra-run shard count (≥ 1).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Attaches a fault model to the run. [`FaultSpec::none`] (the
@@ -172,6 +192,17 @@ impl Simulation {
         protocol: &mut dyn Protocol,
         recorder: &mut dyn Recorder,
     ) -> SimReport {
+        // The sharded core only runs unobserved: recorders and the
+        // profiler see events in execution order, which shard workers
+        // deliberately don't reproduce. The serial fallback keeps
+        // observed runs (and protocols without `shard_fork`)
+        // bit-identical to a shard count of 1.
+        if self.shards > 1 && !recorder.is_active() && !obs::is_active() {
+            if let Some(report) = crate::shard::try_run_sharded(self, protocol, self.shards) {
+                return report;
+            }
+        }
+
         let mut metrics = MetricsCollector::new();
         let mut next_id = 0u64;
         let mut schedule = self.schedule.iter().peekable();
@@ -191,33 +222,8 @@ impl Simulation {
                     break;
                 }
                 let spec = schedule.next().expect("peeked");
-                // One allocation per publication; every protocol
-                // store afterwards shares this payload.
-                let msg = Arc::new(Message {
-                    id: MessageId::new(next_id),
-                    key: Arc::clone(&spec.key),
-                    size: spec.size,
-                    created: spec.at,
-                    ttl: self.config.ttl,
-                    producer: spec.producer,
-                });
+                step_publish(self, spec, next_id, metrics, protocol, recorder);
                 next_id += 1;
-                let targets = self
-                    .subscriptions
-                    .subscribers_of(&msg.key)
-                    .filter(|&n| n != msg.producer)
-                    .count() as u64;
-                metrics.on_generated(targets);
-                let mut ctx = SimCtx::new(spec.at, &self.subscriptions, metrics, recorder);
-                ctx.emit(|| TraceEvent::Published {
-                    at: spec.at,
-                    msg: msg.id,
-                    producer: msg.producer,
-                    key: Arc::clone(&msg.key),
-                    size: msg.size,
-                    targets,
-                });
-                protocol.on_message(&mut ctx, &msg);
             }
         };
 
@@ -229,92 +235,16 @@ impl Simulation {
 
         for (index, contact) in self.trace.iter().enumerate() {
             publish_until(contact.start, true, &mut metrics, protocol, recorder);
-            metrics.on_contact();
-            obs::count(Counter::Contacts, 1);
-            let index = index as u64;
-
-            if faulted {
-                // Churn: advance both endpoints through their downtime
-                // cells; a node back up after downtime resets first
-                // (rejoin precedes any exchange of this contact).
-                let a_down = fault_state.advance(&self.faults, contact.a, contact.start);
-                let b_down = fault_state.advance(&self.faults, contact.b, contact.start);
-                for (node, down) in [(contact.a, a_down), (contact.b, b_down)] {
-                    if !down && fault_state.take_reset(node) {
-                        obs::count(Counter::NodeReset, 1);
-                        let mut ctx =
-                            SimCtx::new(contact.start, &self.subscriptions, &mut metrics, recorder);
-                        protocol.on_node_reset(&mut ctx, node);
-                        ctx.emit(|| TraceEvent::NodeReset {
-                            at: contact.start,
-                            node,
-                        });
-                    }
-                }
-                let lost_cause = if a_down || b_down {
-                    Some(LossCause::Churn)
-                } else if self.faults.loses_contact(index) {
-                    Some(LossCause::Radio)
-                } else {
-                    None
-                };
-                if let Some(cause) = lost_cause {
-                    obs::count(Counter::FaultContactLost, 1);
-                    if recorder.is_active() {
-                        recorder.record(&TraceEvent::ContactLost {
-                            at: contact.start,
-                            a: contact.a,
-                            b: contact.b,
-                            cause,
-                        });
-                    }
-                    continue;
-                }
-            }
-
-            let mut link = Link::for_contact(contact.duration(), self.config.bytes_per_sec);
-            if faulted {
-                if let Some(keep) = self.faults.truncates_contact(index) {
-                    obs::count(Counter::FaultTruncated, 1);
-                    let original = link.budget();
-                    let cut = (u128::from(original) * u128::from(keep) / u128::from(PPM)) as u64;
-                    link = Link::with_budget(cut);
-                    if recorder.is_active() {
-                        recorder.record(&TraceEvent::ContactTruncated {
-                            at: contact.start,
-                            a: contact.a,
-                            b: contact.b,
-                            budget: cut,
-                            original,
-                        });
-                    }
-                }
-            }
-
-            let mut ctx = SimCtx::new(contact.start, &self.subscriptions, &mut metrics, recorder);
-            if faulted && self.faults.corruption_ppm() > 0 {
-                ctx.attach_corruption(
-                    self.faults.corruption_stream(index),
-                    self.faults.corruption_ppm(),
-                );
-            }
-            ctx.emit(|| TraceEvent::ContactBegin {
-                at: contact.start,
-                a: contact.a,
-                b: contact.b,
-                budget: link.budget(),
-            });
-            {
-                let _span = obs::span(TimeHist::ContactNs);
-                protocol.on_contact(&mut ctx, contact, &mut link);
-            }
-            obs::observe(SizeHist::ContactBytes, link.used());
-            ctx.emit(|| TraceEvent::ContactEnd {
-                at: contact.start,
-                a: contact.a,
-                b: contact.b,
-                used: link.used(),
-            });
+            step_contact(
+                self,
+                index as u64,
+                contact,
+                faulted,
+                &mut fault_state,
+                &mut metrics,
+                protocol,
+                recorder,
+            );
         }
         // Messages published after the last contact still count as
         // generated (they can never be delivered).
@@ -357,6 +287,148 @@ impl Simulation {
         let report = self.run_recorded(&mut *protocol, recorder);
         (report, protocol)
     }
+}
+
+/// One publication step of the driver sequence: builds the message
+/// (`id` is the serial publication counter — in schedule order it is
+/// simply the schedule index), accounts it as generated, and hands it
+/// to the protocol. Shared verbatim by the serial loop and the shard
+/// workers so the two paths cannot drift.
+pub(crate) fn step_publish(
+    sim: &Simulation,
+    spec: &GeneratedMessage,
+    id: u64,
+    metrics: &mut MetricsCollector,
+    protocol: &mut dyn Protocol,
+    recorder: &mut dyn Recorder,
+) {
+    // One allocation per publication; every protocol store afterwards
+    // shares this payload.
+    let msg = Arc::new(Message {
+        id: MessageId::new(id),
+        key: Arc::clone(&spec.key),
+        size: spec.size,
+        created: spec.at,
+        ttl: sim.config.ttl,
+        producer: spec.producer,
+    });
+    let targets = sim
+        .subscriptions
+        .subscribers_of(&msg.key)
+        .filter(|&n| n != msg.producer)
+        .count() as u64;
+    metrics.on_generated(targets);
+    let mut ctx = SimCtx::new(spec.at, &sim.subscriptions, metrics, recorder);
+    ctx.emit(|| TraceEvent::Published {
+        at: spec.at,
+        msg: msg.id,
+        producer: msg.producer,
+        key: Arc::clone(&msg.key),
+        size: msg.size,
+        targets,
+    });
+    protocol.on_message(&mut ctx, &msg);
+}
+
+/// One contact step of the driver sequence: fault gating, link budget,
+/// and the protocol's `on_contact`. `fault` abstracts over the serial
+/// runner's dense [`FaultState`] and a shard worker's checked-out
+/// cells; everything else is identical on both paths.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn step_contact(
+    sim: &Simulation,
+    index: u64,
+    contact: &ContactEvent,
+    faulted: bool,
+    fault: &mut dyn FaultAccess,
+    metrics: &mut MetricsCollector,
+    protocol: &mut dyn Protocol,
+    recorder: &mut dyn Recorder,
+) {
+    metrics.on_contact();
+    obs::count(Counter::Contacts, 1);
+
+    if faulted {
+        // Churn: advance both endpoints through their downtime
+        // cells; a node back up after downtime resets first
+        // (rejoin precedes any exchange of this contact).
+        let a_down = fault.advance(&sim.faults, contact.a, contact.start);
+        let b_down = fault.advance(&sim.faults, contact.b, contact.start);
+        for (node, down) in [(contact.a, a_down), (contact.b, b_down)] {
+            if !down && fault.take_reset(node) {
+                obs::count(Counter::NodeReset, 1);
+                let mut ctx = SimCtx::new(contact.start, &sim.subscriptions, metrics, recorder);
+                protocol.on_node_reset(&mut ctx, node);
+                ctx.emit(|| TraceEvent::NodeReset {
+                    at: contact.start,
+                    node,
+                });
+            }
+        }
+        let lost_cause = if a_down || b_down {
+            Some(LossCause::Churn)
+        } else if sim.faults.loses_contact(index) {
+            Some(LossCause::Radio)
+        } else {
+            None
+        };
+        if let Some(cause) = lost_cause {
+            obs::count(Counter::FaultContactLost, 1);
+            if recorder.is_active() {
+                recorder.record(&TraceEvent::ContactLost {
+                    at: contact.start,
+                    a: contact.a,
+                    b: contact.b,
+                    cause,
+                });
+            }
+            return;
+        }
+    }
+
+    let mut link = Link::for_contact(contact.duration(), sim.config.bytes_per_sec);
+    if faulted {
+        if let Some(keep) = sim.faults.truncates_contact(index) {
+            obs::count(Counter::FaultTruncated, 1);
+            let original = link.budget();
+            let cut = (u128::from(original) * u128::from(keep) / u128::from(PPM)) as u64;
+            link = Link::with_budget(cut);
+            if recorder.is_active() {
+                recorder.record(&TraceEvent::ContactTruncated {
+                    at: contact.start,
+                    a: contact.a,
+                    b: contact.b,
+                    budget: cut,
+                    original,
+                });
+            }
+        }
+    }
+
+    let mut ctx = SimCtx::new(contact.start, &sim.subscriptions, metrics, recorder);
+    if faulted && sim.faults.corruption_ppm() > 0 {
+        ctx.attach_corruption(
+            sim.faults.corruption_stream(index),
+            sim.faults.corruption_ppm(),
+        );
+    }
+    ctx.emit(|| TraceEvent::ContactBegin {
+        at: contact.start,
+        a: contact.a,
+        b: contact.b,
+        budget: link.budget(),
+    });
+    {
+        let _span = obs::span(TimeHist::ContactNs);
+        protocol.on_contact(&mut ctx, contact, &mut link);
+    }
+    obs::observe(SizeHist::ContactBytes, link.used());
+    ctx.emit(|| TraceEvent::ContactEnd {
+        at: contact.start,
+        a: contact.a,
+        b: contact.b,
+        used: link.used(),
+    });
 }
 
 #[cfg(test)]

@@ -1,0 +1,503 @@
+//! Sharded intra-run execution: partitions a run's nodes over `S`
+//! shards and advances the contact schedule in fixed epochs, processing
+//! independent node-components of each epoch on parallel shard workers.
+//!
+//! # Model
+//!
+//! The serial runner interleaves publications and contacts in one
+//! chronological driver sequence. The sharded runner materializes that
+//! exact sequence as [`Item`]s (so message ids match the serial run by
+//! construction), chops it into fixed-size epochs, and inside each
+//! epoch unions items into *components* connected by shared nodes:
+//!
+//! - a component whose nodes all hash to the same shard runs on that
+//!   shard's worker thread, against a forked protocol instance holding
+//!   exactly the checked-out node states ([`Protocol::take_node`] /
+//!   [`Protocol::put_node`]);
+//! - a component spanning shards is a *barrier component*: it runs on
+//!   the primary instance, after the epoch's workers have joined and
+//!   their state has been reabsorbed in fixed shard order.
+//!
+//! Components of one epoch touch disjoint node sets, metrics are
+//! per-node exact sets plus order-free sums, and every fault draw is a
+//! pure function of `(spec, node, cell)` or `(spec, contact index)` —
+//! so any placement of components onto shards produces the same final
+//! [`SimReport`]. The runner only takes this path when no recorder and
+//! no profiler is attached (both are order-sensitive observers); see
+//! [`Simulation::run_recorded`] for the gate.
+//!
+//! # Seed mixing
+//!
+//! Shard-aware randomness derives from [`shard_seed`], which extends
+//! the engine's per-run [`SplitMix64::mix`] rule to a
+//! `(master, shard, epoch)` triple. The runner itself uses it only for
+//! the node→shard assignment salt; harnesses (e.g. the `scale` binary)
+//! use the same rule for per-shard streams.
+
+use crate::fault::{FaultAccess, FaultState};
+use crate::metrics::{MetricsCollector, SimReport};
+use crate::protocols::Protocol;
+use crate::record::NullRecorder;
+use crate::runner::{step_contact, step_publish, Simulation};
+use bsub_bloom::SplitMix64;
+use bsub_traces::NodeId;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Domain separator so shard streams never collide with the sweep
+/// executor's per-run streams (which mix plain small indices).
+const SHARD_STREAM: u64 = 0x5aa5_d00d_b10c_57e1;
+
+/// Contacts per epoch. Fixed — epoch boundaries must not depend on the
+/// shard count, or component formation (and thus nothing observable,
+/// but also the barrier schedule) would differ between shard counts.
+const EPOCH_CONTACTS: usize = 64;
+
+/// Derives the deterministic seed for `(master, shard, epoch)` —
+/// the sharded extension of the engine's per-run
+/// [`SplitMix64::mix`] rule. Distinct triples land in distinct
+/// streams, so a shard's randomness is identical no matter which
+/// thread runs it or how many shards exist.
+#[must_use]
+pub const fn shard_seed(master: u64, shard: u64, epoch: u64) -> u64 {
+    SplitMix64::mix(
+        SplitMix64::mix(SplitMix64::mix(master, SHARD_STREAM), shard),
+        epoch,
+    )
+}
+
+/// The deterministic node→shard assignment.
+fn shard_of(salt: u64, node: u32, shards: usize) -> usize {
+    (SplitMix64::mix(salt, u64::from(node)) % shards as u64) as usize
+}
+
+/// One step of the serial driver sequence: a publication (by schedule
+/// index, which *is* its message id) or a contact (by trace index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Item {
+    Publish(u32),
+    Contact(u32),
+}
+
+/// Materializes the serial driver order: before each contact, every
+/// publication with `at <= contact.start` (matching the serial
+/// runner's inclusive `publish_until`), then the trailing
+/// publications. Message ids are schedule positions, which reproduces
+/// the serial runner's `next_id` counter exactly.
+fn materialize_items(sim: &Simulation) -> Vec<Item> {
+    let schedule = sim.schedule();
+    let events = sim.trace().events();
+    let mut items = Vec::with_capacity(schedule.len() + events.len());
+    let mut p = 0usize;
+    for (ci, contact) in events.iter().enumerate() {
+        while p < schedule.len() && schedule[p].at <= contact.start {
+            items.push(Item::Publish(p as u32));
+            p += 1;
+        }
+        items.push(Item::Contact(ci as u32));
+    }
+    while p < schedule.len() {
+        items.push(Item::Publish(p as u32));
+        p += 1;
+    }
+    items
+}
+
+/// Epoch boundary: the end of the slice starting at `start` containing
+/// [`EPOCH_CONTACTS`] contacts (publications ride along for free).
+fn epoch_end(items: &[Item], start: usize) -> usize {
+    let mut contacts = 0usize;
+    for (i, item) in items.iter().enumerate().skip(start) {
+        if matches!(item, Item::Contact(_)) {
+            contacts += 1;
+            if contacts == EPOCH_CONTACTS {
+                return i + 1;
+            }
+        }
+    }
+    items.len()
+}
+
+/// Union-find over the nodes appearing in one epoch, keyed by a dense
+/// local index assigned in first-appearance (driver) order.
+#[derive(Default)]
+struct Dsu {
+    local: HashMap<u32, u32>,
+    /// Node ids in discovery order — `order[local]` is the node.
+    order: Vec<u32>,
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn register(&mut self, node: u32) -> u32 {
+        if let Some(&l) = self.local.get(&node) {
+            return l;
+        }
+        let l = self.order.len() as u32;
+        self.local.insert(node, l);
+        self.order.push(node);
+        self.parent.push(l);
+        l
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller local index (earlier discovery)
+            // wins the root.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi as usize] = lo;
+        }
+    }
+}
+
+/// The execution plan for one epoch.
+struct EpochPlan {
+    /// Per shard, the items of its single-shard components, in driver
+    /// order. Index 0 runs on the primary instance (main thread).
+    shard_items: Vec<Vec<Item>>,
+    /// Per shard (`1..S`), the nodes to check out to the worker, in
+    /// first-appearance order.
+    shard_nodes: Vec<Vec<NodeId>>,
+    /// Items of components spanning shards, in driver order — run on
+    /// the primary after the epoch's workers join.
+    barrier_items: Vec<Item>,
+}
+
+fn plan_epoch(sim: &Simulation, epoch: &[Item], salt: u64, shards: usize) -> EpochPlan {
+    let schedule = sim.schedule();
+    let events = sim.trace().events();
+
+    let mut dsu = Dsu::default();
+    for &item in epoch {
+        match item {
+            Item::Publish(p) => {
+                dsu.register(schedule[p as usize].producer.index() as u32);
+            }
+            Item::Contact(c) => {
+                let contact = &events[c as usize];
+                let a = dsu.register(contact.a.index() as u32);
+                let b = dsu.register(contact.b.index() as u32);
+                dsu.union(a, b);
+            }
+        }
+    }
+
+    // Component root -> (shard of first-seen node, spans-shards flag).
+    let locals = dsu.order.len() as u32;
+    let mut root_shard: HashMap<u32, (usize, bool)> = HashMap::new();
+    for l in 0..locals {
+        let root = dsu.find(l);
+        let shard = shard_of(salt, dsu.order[l as usize], shards);
+        match root_shard.entry(root) {
+            Entry::Vacant(v) => {
+                v.insert((shard, false));
+            }
+            Entry::Occupied(mut o) => {
+                if o.get().0 != shard {
+                    o.get_mut().1 = true;
+                }
+            }
+        }
+    }
+
+    let mut shard_items = vec![Vec::new(); shards];
+    let mut barrier_items = Vec::new();
+    for &item in epoch {
+        let representative = match item {
+            Item::Publish(p) => schedule[p as usize].producer.index() as u32,
+            Item::Contact(c) => events[c as usize].a.index() as u32,
+        };
+        let l = dsu.local[&representative];
+        let root = dsu.find(l);
+        let (shard, spans) = root_shard[&root];
+        if spans {
+            barrier_items.push(item);
+        } else {
+            shard_items[shard].push(item);
+        }
+    }
+
+    let mut shard_nodes = vec![Vec::new(); shards];
+    for l in 0..locals {
+        let root = dsu.find(l);
+        let (shard, spans) = root_shard[&root];
+        if !spans && shard > 0 {
+            shard_nodes[shard].push(NodeId::new(dsu.order[l as usize]));
+        }
+    }
+
+    EpochPlan {
+        shard_items,
+        shard_nodes,
+        barrier_items,
+    }
+}
+
+/// Runs one driver item against an execution context.
+fn run_item(
+    sim: &Simulation,
+    item: Item,
+    faulted: bool,
+    protocol: &mut dyn Protocol,
+    fault: &mut dyn FaultAccess,
+    metrics: &mut MetricsCollector,
+) {
+    let mut recorder = NullRecorder;
+    match item {
+        Item::Publish(p) => {
+            let spec = &sim.schedule()[p as usize];
+            step_publish(sim, spec, u64::from(p), metrics, protocol, &mut recorder);
+        }
+        Item::Contact(c) => {
+            let contact = &sim.trace().events()[c as usize];
+            step_contact(
+                sim,
+                u64::from(c),
+                contact,
+                faulted,
+                fault,
+                metrics,
+                protocol,
+                &mut recorder,
+            );
+        }
+    }
+}
+
+/// The sharded run loop. Returns `None` when `protocol` does not opt
+/// into the partitioned-ownership contract ([`Protocol::shard_fork`]),
+/// in which case the caller falls back to the serial path.
+pub(crate) fn try_run_sharded(
+    sim: &Simulation,
+    protocol: &mut dyn Protocol,
+    shards: usize,
+) -> Option<SimReport> {
+    debug_assert!(shards > 1);
+    let mut forks: Vec<Option<Box<dyn Protocol>>> = Vec::with_capacity(shards - 1);
+    for _ in 1..shards {
+        forks.push(Some(protocol.shard_fork()?));
+    }
+
+    let faulted = !sim.faults().is_none();
+    let mut fault_state = FaultState::new(sim.trace().node_count() as usize);
+    let mut metrics = MetricsCollector::new();
+    let items = materialize_items(sim);
+    let salt = shard_seed(u64::from(sim.trace().node_count()), shards as u64, 0);
+
+    let mut start = 0usize;
+    while start < items.len() {
+        let end = epoch_end(&items, start);
+        let mut plan = plan_epoch(sim, &items[start..end], salt, shards);
+        start = end;
+
+        let mut joined: Vec<(usize, Box<dyn Protocol>)> = Vec::with_capacity(shards - 1);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(shards - 1);
+            for s in 1..shards {
+                let nodes = &plan.shard_nodes[s];
+                if nodes.is_empty() {
+                    continue;
+                }
+                let mut fork = forks[s - 1].take().expect("fork is home between epochs");
+                for &node in nodes {
+                    let state = protocol
+                        .take_node(node)
+                        .expect("sharding protocol surrenders node state");
+                    fork.put_node(node, state);
+                }
+                let cells = fault_state.export_cells(nodes.iter().copied());
+                let split = metrics.split_off_nodes(nodes.iter().copied());
+                let work = std::mem::take(&mut plan.shard_items[s]);
+                handles.push((
+                    s,
+                    scope.spawn(move || {
+                        let mut fork = fork;
+                        let mut cells = cells;
+                        let mut split = split;
+                        for &item in &work {
+                            run_item(sim, item, faulted, &mut *fork, &mut cells, &mut split);
+                        }
+                        (fork, cells, split)
+                    }),
+                ));
+            }
+
+            // Shard 0 runs on the primary instance, concurrently with
+            // the workers — its components touch none of their nodes.
+            for &item in &plan.shard_items[0] {
+                run_item(sim, item, faulted, protocol, &mut fault_state, &mut metrics);
+            }
+
+            // Reabsorb in ascending shard order (fixed, so merge order
+            // never depends on thread scheduling).
+            for (s, handle) in handles {
+                let (fork, cells, split) = handle.join().expect("shard worker panicked");
+                fault_state.import_cells(cells);
+                metrics.absorb(split);
+                joined.push((s, fork));
+            }
+        });
+        for (s, mut fork) in joined {
+            for &node in &plan.shard_nodes[s] {
+                let state = fork
+                    .take_node(node)
+                    .expect("worker instance holds the checked-out node");
+                protocol.put_node(node, state);
+            }
+            forks[s - 1] = Some(fork);
+        }
+
+        // Cross-shard components run on the fully reassembled primary,
+        // in driver order.
+        for &item in &plan.barrier_items {
+            run_item(sim, item, faulted, protocol, &mut fault_state, &mut metrics);
+        }
+    }
+
+    Some(metrics.finish(protocol.name()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{GeneratedMessage, SimConfig};
+    use crate::subscriptions::SubscriptionTable;
+    use bsub_traces::{ContactEvent, ContactTrace, SimTime};
+
+    fn sim_with(events: Vec<ContactEvent>, schedule: Vec<GeneratedMessage>) -> Simulation {
+        let nodes = 8;
+        let trace = ContactTrace::new("plan", nodes, events).unwrap();
+        Simulation::new(
+            trace,
+            SubscriptionTable::new(nodes),
+            schedule,
+            SimConfig::default(),
+        )
+    }
+
+    fn contact(a: u32, b: u32, at: u64) -> ContactEvent {
+        ContactEvent::new(
+            NodeId::new(a),
+            NodeId::new(b),
+            SimTime::from_secs(at),
+            SimTime::from_secs(at + 10),
+        )
+    }
+
+    #[test]
+    fn seed_mixing_separates_shards_and_epochs() {
+        assert_ne!(shard_seed(1, 0, 0), shard_seed(1, 1, 0));
+        assert_ne!(shard_seed(1, 0, 0), shard_seed(1, 0, 1));
+        assert_ne!(shard_seed(1, 0, 0), SplitMix64::mix(1, 0));
+        assert_eq!(shard_seed(7, 3, 9), shard_seed(7, 3, 9));
+    }
+
+    #[test]
+    fn items_reproduce_serial_interleaving() {
+        let schedule = vec![
+            GeneratedMessage {
+                at: SimTime::from_secs(0),
+                producer: NodeId::new(0),
+                key: "a".into(),
+                size: 1,
+            },
+            GeneratedMessage {
+                at: SimTime::from_secs(100),
+                producer: NodeId::new(1),
+                key: "b".into(),
+                size: 1,
+            },
+            GeneratedMessage {
+                at: SimTime::from_secs(999),
+                producer: NodeId::new(2),
+                key: "c".into(),
+                size: 1,
+            },
+        ];
+        let sim = sim_with(vec![contact(0, 1, 50), contact(2, 3, 100)], schedule);
+        let items = materialize_items(&sim);
+        // Publication at t=100 is *inclusive* against the contact
+        // starting at t=100, and the t=999 one trails.
+        assert_eq!(
+            items,
+            vec![
+                Item::Publish(0),
+                Item::Contact(0),
+                Item::Publish(1),
+                Item::Contact(1),
+                Item::Publish(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn plan_partitions_items_and_nodes_exactly_once() {
+        let schedule = vec![GeneratedMessage {
+            at: SimTime::from_secs(0),
+            producer: NodeId::new(7),
+            key: "k".into(),
+            size: 1,
+        }];
+        let sim = sim_with(
+            vec![
+                contact(0, 1, 10),
+                contact(2, 3, 20),
+                contact(4, 5, 30),
+                contact(1, 2, 40), // chains {0,1} and {2,3} into one component
+            ],
+            schedule,
+        );
+        let items = materialize_items(&sim);
+        for shards in [2usize, 3, 7] {
+            let salt = shard_seed(8, shards as u64, 0);
+            let plan = plan_epoch(&sim, &items, salt, shards);
+            let placed: usize =
+                plan.shard_items.iter().map(Vec::len).sum::<usize>() + plan.barrier_items.len();
+            assert_eq!(placed, items.len(), "every item placed exactly once");
+            // A component's nodes are checked out to at most one shard.
+            let mut seen = std::collections::HashSet::new();
+            for nodes in &plan.shard_nodes {
+                for &n in nodes {
+                    assert!(seen.insert(n), "node {n:?} checked out twice");
+                }
+            }
+            // The chained component {0,1,2,3} must be all-in-one-place:
+            // either one shard's items or the barrier list.
+            let chain_shards: Vec<usize> = [0u32, 1, 2, 3]
+                .iter()
+                .map(|&n| shard_of(salt, n, shards))
+                .collect();
+            let uniform = chain_shards.iter().all(|&s| s == chain_shards[0]);
+            if uniform {
+                assert!(plan.barrier_items.is_empty() || shards == 1);
+            } else {
+                assert!(plan
+                    .barrier_items
+                    .iter()
+                    .any(|i| matches!(i, Item::Contact(3))));
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_boundaries_count_contacts_not_items() {
+        let events: Vec<ContactEvent> = (0..EPOCH_CONTACTS as u64 + 5)
+            .map(|i| contact(0, 1, 10 * i))
+            .collect();
+        let sim = sim_with(events, Vec::new());
+        let items = materialize_items(&sim);
+        let first = epoch_end(&items, 0);
+        assert_eq!(first, EPOCH_CONTACTS);
+        assert_eq!(epoch_end(&items, first), items.len());
+    }
+}

@@ -345,9 +345,35 @@ impl ContactStream {
     #[must_use]
     pub fn event_at(&self, index: u64) -> ContactEvent {
         let mut rng = SplitMix64::new(SplitMix64::mix(self.seed, index));
+        let (a, b) = self.draw_pair(&mut rng);
         // Evenly spaced start times keep the stream sorted for free.
         let start =
             ((u128::from(self.horizon_secs) * u128::from(index)) / u128::from(self.total)) as u64;
+        let dur = sample_exponential(&mut rng, self.mean_contact_secs).clamp(10.0, 7200.0) as u64;
+        ContactEvent::new(
+            NodeId::new(a as u32),
+            NodeId::new(b as u32),
+            SimTime::from_secs(start),
+            SimTime::from_secs((start + dur).min(self.horizon_secs)),
+        )
+    }
+
+    /// Just the two endpoints of the event at `index` (normalized
+    /// `a ≤ b`, like [`ContactEvent`]), identical to
+    /// [`ContactStream::event_at`]'s but skipping the duration draw —
+    /// the duration is the last value drawn, so routing-only consumers
+    /// (the sharded scale harness partitions events by endpoint) save
+    /// an exponential sample per event.
+    #[must_use]
+    pub fn endpoints_at(&self, index: u64) -> (u32, u32) {
+        let mut rng = SplitMix64::new(SplitMix64::mix(self.seed, index));
+        let (a, b) = self.draw_pair(&mut rng);
+        (a.min(b) as u32, a.max(b) as u32)
+    }
+
+    /// Draws the event's endpoint pair; the prefix of the per-event
+    /// draw sequence shared by `event_at` and `endpoints_at`.
+    fn draw_pair(&self, rng: &mut SplitMix64) -> (u64, u64) {
         let a = self.zipf_node(rng.next_f64());
         let b = loop {
             let candidate = if rng.next_f64() < self.intra_probability {
@@ -362,13 +388,7 @@ impl ContactStream {
                 break candidate;
             }
         };
-        let dur = sample_exponential(&mut rng, self.mean_contact_secs).clamp(10.0, 7200.0) as u64;
-        ContactEvent::new(
-            NodeId::new(a as u32),
-            NodeId::new(b as u32),
-            SimTime::from_secs(start),
-            SimTime::from_secs((start + dur).min(self.horizon_secs)),
-        )
+        (a, b)
     }
 
     /// Iterates the whole stream in time order, O(1) memory.
@@ -699,6 +719,16 @@ mod tests {
             head > tail * 10,
             "head 100 nodes ({head}) should dominate tail 100 ({tail})"
         );
+    }
+
+    #[test]
+    fn stream_endpoints_match_full_events() {
+        let s = ContactStream::new(50_000, SimDuration::from_days(1), 10_000, 17);
+        for i in (0..10_000).step_by(193) {
+            let e = s.event_at(i);
+            let (a, b) = s.endpoints_at(i);
+            assert_eq!((a, b), (e.a.index() as u32, e.b.index() as u32));
+        }
     }
 
     #[test]
