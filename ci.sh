@@ -146,5 +146,22 @@ if ! diff <(cut -d, -f1,2,4- "$SMOKE_DIR/scale_smoke.csv") \
     exit 1
 fi
 
+stage "net-cluster --smoke --check (networked loopback cluster)"
+# Spins up a 3-process loopback cluster (coordinator + 2 workers over
+# Unix-domain sockets) running the smoke workload through the real
+# networked runtime, then diffs every deterministic report column
+# against the serial simulator's — byte for byte.
+BSUB_RESULTS_DIR="$SMOKE_DIR" ./target/release/net-cluster --smoke --check
+for artifact in net_smoke.csv net_smoke_sim.csv net_latency.csv; do
+    test -s "$SMOKE_DIR/$artifact" || {
+        echo "missing smoke artifact: $artifact" >&2
+        exit 1
+    }
+done
+if ! diff "$SMOKE_DIR/net_smoke.csv" "$SMOKE_DIR/net_smoke_sim.csv"; then
+    echo "networked cluster run diverged from the serial simulator" >&2
+    exit 1
+fi
+
 timing_summary
 echo "CI OK"

@@ -275,6 +275,40 @@ pub fn fig9() {
     record_perf(&outcome);
 }
 
+/// The shared smoke environment: a fig7-shaped small world (16
+/// nodes, 6 simulated hours, TTL 120 min) built from fixed seeds.
+/// Both the `perf` smoke sweep and the `net-cluster` loopback harness
+/// run exactly this workload, so the networked runtime is diffed
+/// against the environment the perf gate already tracks.
+#[must_use]
+pub fn smoke_environment() -> (Experiment, SimDuration) {
+    let trace =
+        bsub_traces::synthetic::SyntheticTrace::new("smoke", 16, SimDuration::from_hours(6), 900)
+            .seed(7)
+            .build();
+    (Experiment::over(trace, 7), SimDuration::from_mins(120))
+}
+
+/// The smoke protocol roster in report order: PUSH, B-SUB (fixed DF
+/// from Eq. 5 for this TTL), PULL.
+#[must_use]
+pub fn smoke_protocols(
+    experiment: &Experiment,
+    ttl: SimDuration,
+) -> Vec<(&'static str, ProtocolKind)> {
+    let df = experiment.df_for_ttl(ttl);
+    vec![
+        ("push", ProtocolKind::Push),
+        (
+            "bsub",
+            ProtocolKind::Bsub {
+                df: DfMode::Fixed(df),
+            },
+        ),
+        ("pull", ProtocolKind::Pull),
+    ]
+}
+
 /// Declares the perf smoke sweep: one fig7-shaped point (PUSH, B-SUB,
 /// PULL at a single TTL) on a small synthetic trace — a couple of
 /// seconds of work that still drives every instrumented hot path
@@ -284,23 +318,8 @@ pub fn fig9() {
 /// `BENCH_perf.json` baseline.
 #[must_use]
 pub fn perf_smoke_spec() -> SweepSpec {
-    let trace =
-        bsub_traces::synthetic::SyntheticTrace::new("smoke", 16, SimDuration::from_hours(6), 900)
-            .seed(7)
-            .build();
-    let experiment = Experiment::over(trace, 7);
-    let ttl = SimDuration::from_mins(120);
-    let df = experiment.df_for_ttl(ttl);
-    let protocols = [
-        ("push", ProtocolKind::Push),
-        (
-            "bsub",
-            ProtocolKind::Bsub {
-                df: DfMode::Fixed(df),
-            },
-        ),
-        ("pull", ProtocolKind::Pull),
-    ];
+    let (experiment, ttl) = smoke_environment();
+    let protocols = smoke_protocols(&experiment, ttl);
     SweepSpec {
         name: "perf_smoke".to_string(),
         master_seed: MASTER_SEED,

@@ -585,7 +585,17 @@ impl Tcbf {
         self.iter_counters().collect()
     }
 
-    pub(crate) fn from_parts(
+    /// Rebuilds a filter from raw materialized counters.
+    ///
+    /// This is the deserialization seam: `bsub_bloom::wire::decode`
+    /// and the node-state snapshot codec in `bsub-core` use it to
+    /// reconstruct a filter whose counters, insertion value `C`, and
+    /// merged flag were recorded elsewhere. The counters are taken as
+    /// already materialized (epoch zero); behavior is identical to a
+    /// filter that reached the same counter values through
+    /// insert/merge/decay operations.
+    #[must_use]
+    pub fn from_parts(
         counters: Vec<u32>,
         hashes: usize,
         initial: u32,
@@ -754,6 +764,36 @@ impl Decayer {
             "decaying factor must be a finite non-negative rate"
         );
         self.rate_per_min = rate_per_min;
+    }
+
+    /// The accumulated fractional decay not yet released by
+    /// [`Decayer::advance`], in `[0, 1)` counter units.
+    ///
+    /// Exposed so a decayer can be serialized exactly: reconstructing
+    /// via [`Decayer::restore`] with this value reproduces the same
+    /// future release schedule bit-for-bit.
+    #[must_use]
+    pub fn residual(&self) -> f64 {
+        self.residual
+    }
+
+    /// Rebuilds a decayer from a rate and a previously observed
+    /// [`Decayer::residual`] — the deserialization counterpart of the
+    /// accessor pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_min` is negative or not finite, or if
+    /// `residual` is not in `[0, 1)`.
+    #[must_use]
+    pub fn restore(rate_per_min: f64, residual: f64) -> Self {
+        let mut d = Self::new(rate_per_min);
+        assert!(
+            (0.0..1.0).contains(&residual),
+            "residual must be a fraction in [0, 1)"
+        );
+        d.residual = residual;
+        d
     }
 
     /// Advances time by `minutes` and returns the integer decay amount

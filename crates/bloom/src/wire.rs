@@ -12,6 +12,11 @@
 //!   producer, counters are not needed at all and are omitted,
 //!   yielding a plain Bloom filter on the other side.
 //!
+//! A fourth, non-paper mode ([`CounterMode::Wide`]) stores each
+//! counter as a full `u32` — lossless where `Full` saturates at 255.
+//! The networked runtime uses it to ship relay-filter state between
+//! processes, where exactness matters more than radio bytes.
+//!
 //! The encoding is self-describing: [`decode`] returns either a
 //! [`Tcbf`] or a [`BloomFilter`] depending on what was sent. Hasher
 //! seeds are *not* encoded — B-SUB assumes a network-wide hash
@@ -46,6 +51,11 @@ pub enum CounterMode {
     Shared,
     /// No counters: the receiver reconstructs a plain [`BloomFilter`].
     Ripped,
+    /// Four bytes (`u32` LE) per set bit — lossless at any counter
+    /// magnitude, unlike [`CounterMode::Full`]'s 255 saturation. Used
+    /// for state snapshots (the networked runtime ships relay filters
+    /// between processes), never for the paper's radio cost model.
+    Wide,
 }
 
 /// A decoded wire payload.
@@ -83,12 +93,18 @@ impl WirePayload {
 const TAG_FULL: u8 = 0;
 const TAG_SHARED: u8 = 1;
 const TAG_RIPPED: u8 = 2;
+const TAG_WIDE: u8 = 3;
 
 /// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) over the
 /// concatenation of `parts`. A degree-16 polynomial with more than one
 /// term detects every single-bit error, which is the guarantee the
 /// fault model leans on.
-fn crc16(parts: [&[u8]; 2]) -> u16 {
+///
+/// Public because the networked runtime (`bsub-net`) frames every
+/// socket message with the same checksum — see DESIGN.md §12 for the
+/// normative frame layout.
+#[must_use]
+pub fn crc16(parts: [&[u8]; 2]) -> u16 {
     let mut crc: u16 = 0xFFFF;
     for part in parts {
         for &byte in part {
@@ -123,6 +139,7 @@ pub fn encoded_len(n_set: usize, m: usize, mode: CounterMode) -> usize {
         CounterMode::Full => n_set,
         CounterMode::Shared => 1,
         CounterMode::Ripped => 0,
+        CounterMode::Wide => 4 * n_set,
     };
     header + locations + counters
 }
@@ -188,6 +205,7 @@ pub fn encode(filter: &Tcbf, mode: CounterMode) -> Result<Vec<u8>, Error> {
         CounterMode::Full => TAG_FULL,
         CounterMode::Shared => TAG_SHARED,
         CounterMode::Ripped => TAG_RIPPED,
+        CounterMode::Wide => TAG_WIDE,
     });
     out.extend_from_slice(&(m as u16).to_le_bytes());
     out.push(
@@ -225,6 +243,11 @@ pub fn encode(filter: &Tcbf, mode: CounterMode) -> Result<Vec<u8>, Error> {
             out.push(saturate(shared_value.unwrap_or(0)));
         }
         CounterMode::Ripped => {}
+        CounterMode::Wide => {
+            for &(_, c) in &set {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
     }
     let crc = crc16([&out[..6], &out[8..]]);
     out[6..8].copy_from_slice(&crc.to_le_bytes());
@@ -279,6 +302,7 @@ fn decode_inner(bytes: &[u8]) -> Result<WirePayload, Error> {
         TAG_FULL => n,
         TAG_SHARED => 1,
         TAG_RIPPED => 0,
+        TAG_WIDE => 4 * n,
         _ => return Err(err("unknown format tag")),
     };
     if bytes.len() != 8 + loc_bytes + counters_len {
@@ -317,19 +341,19 @@ fn decode_inner(bytes: &[u8]) -> Result<WirePayload, Error> {
             }
             Ok(WirePayload::Bloom(BloomFilter::from_parts(bits, k, hasher)))
         }
-        TAG_FULL | TAG_SHARED => {
+        TAG_FULL | TAG_SHARED | TAG_WIDE => {
             let mut counters = vec![0u32; m];
             let payload = &bytes[8 + loc_bytes..];
             for (i, &loc) in locations.iter().enumerate() {
-                let c = if tag == TAG_FULL {
-                    payload[i]
-                } else {
-                    payload[0]
+                let c = match tag {
+                    TAG_FULL => u32::from(payload[i]),
+                    TAG_SHARED => u32::from(payload[0]),
+                    _ => u32::from_le_bytes(payload[4 * i..4 * i + 4].try_into().expect("4 bytes")),
                 };
                 if c == 0 {
                     return Err(err("zero counter for a set bit"));
                 }
-                counters[loc] = u32::from(c);
+                counters[loc] = c;
             }
             // Decoded filters are merge sources; mark them merged so
             // they reject direct insertion (initial value 1 is a
@@ -410,10 +434,30 @@ mod tests {
     fn sizes_match_encoded_len() {
         let f = sample_tcbf();
         let n = f.set_bits();
-        for mode in [CounterMode::Full, CounterMode::Shared, CounterMode::Ripped] {
+        for mode in [
+            CounterMode::Full,
+            CounterMode::Shared,
+            CounterMode::Ripped,
+            CounterMode::Wide,
+        ] {
             let bytes = encode(&f, mode).unwrap();
             assert_eq!(bytes.len(), encoded_len(n, 256, mode), "{mode:?}");
         }
+    }
+
+    #[test]
+    fn wide_roundtrip_is_lossless_above_255() {
+        // Where Full saturates (see counters_saturate_at_255_on_wire),
+        // Wide must reproduce the exact counters — it is the snapshot
+        // format for relay filters whose A-merged counters exceed 255.
+        let mut f = Tcbf::new(256, 4, 300);
+        let src = Tcbf::from_keys(256, 4, 300, ["big"]);
+        f.a_merge(&src).unwrap();
+        f.a_merge(&src).unwrap();
+        let bytes = encode(&f, CounterMode::Wide).unwrap();
+        let decoded = decode(&bytes).unwrap().into_tcbf().unwrap();
+        assert_eq!(decoded.min_counter("big"), 600);
+        assert_eq!(decoded.counter_values(), f.counter_values());
     }
 
     #[test]
@@ -499,7 +543,12 @@ mod tests {
     #[test]
     fn decode_rejects_every_single_bit_flip() {
         let f = sample_tcbf();
-        for mode in [CounterMode::Full, CounterMode::Shared, CounterMode::Ripped] {
+        for mode in [
+            CounterMode::Full,
+            CounterMode::Shared,
+            CounterMode::Ripped,
+            CounterMode::Wide,
+        ] {
             let bytes = encode(&f, mode).unwrap();
             for bit in 0..bytes.len() * 8 {
                 let mut flipped = bytes.clone();

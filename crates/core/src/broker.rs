@@ -158,6 +158,17 @@ impl ElectionLog {
         ElectionAction::Keep
     }
 
+    /// Iterates the remembered meetings oldest-first as
+    /// `(at, peer, peer_was_broker, peer_degree)` tuples — the exact
+    /// arguments [`ElectionLog::record`] takes, so a log snapshot is
+    /// round-tripped by replaying each tuple into a fresh log. Used by
+    /// the `snapshot` module to ship election state between processes.
+    pub fn meetings(&self) -> impl Iterator<Item = (SimTime, NodeId, bool, usize)> + '_ {
+        self.meetings
+            .iter()
+            .map(|m| (m.at, m.peer, m.peer_was_broker, m.peer_degree))
+    }
+
     /// Number of meetings currently in the window (for diagnostics).
     #[must_use]
     pub fn len(&self) -> usize {

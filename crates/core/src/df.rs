@@ -102,6 +102,23 @@ impl AdaptiveDf {
     pub fn current(&self) -> f64 {
         self.current
     }
+
+    /// The cached ℕ the current DF was computed for.
+    #[must_use]
+    pub fn last_ncol(&self) -> u64 {
+        self.last_ncol
+    }
+
+    /// Restores the `(last_ncol, current)` cache pair captured from a
+    /// sibling instance built with the same configuration — the
+    /// snapshot seam used when shipping node state between processes.
+    /// Both values travel together because `current` was computed *at*
+    /// `last_ncol`; restoring only one would desynchronize the drift
+    /// test in [`AdaptiveDf::update`].
+    pub fn restore_cache(&mut self, last_ncol: u64, current: f64) {
+        self.last_ncol = last_ncol;
+        self.current = current;
+    }
 }
 
 #[cfg(test)]

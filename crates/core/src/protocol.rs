@@ -194,6 +194,12 @@ impl BsubProtocol {
             .unwrap_or(0)
     }
 
+    /// Test seam for the snapshot codec: direct access to node states.
+    #[cfg(test)]
+    pub(crate) fn nodes_mut(&mut self) -> &mut Vec<NodeState> {
+        &mut self.nodes
+    }
+
     /// One [`TraceEvent::Snapshot`] of network-wide gauges: broker
     /// population, buffered copies, mean relay fill / estimated FPR,
     /// and the largest relay counter (the Fig. 6 quantity).
@@ -807,6 +813,22 @@ impl Protocol for BsubProtocol {
                 .resize_with(node.index() + 1, || NodeState::new(config, &[]));
         }
         self.nodes[node.index()] = state;
+    }
+
+    /// Serializes `node`'s full state for cross-process shipping (the
+    /// networked runtime's analogue of [`Protocol::take_node`]); see
+    /// the `snapshot` module for the format and exactness contract.
+    fn export_node(&self, node: NodeId) -> Option<Vec<u8>> {
+        let state = self.nodes.get(node.index())?;
+        Some(crate::snapshot::encode_node(state))
+    }
+
+    fn import_node(&mut self, node: NodeId, bytes: &[u8]) -> bool {
+        let Self { config, nodes, .. } = self;
+        let Some(state) = nodes.get_mut(node.index()) else {
+            return false;
+        };
+        crate::snapshot::decode_node_into(state, config, bytes)
     }
 
     fn on_contact(&mut self, ctx: &mut SimCtx<'_>, contact: &ContactEvent, link: &mut Link) {

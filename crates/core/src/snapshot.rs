@@ -1,0 +1,400 @@
+//! Cross-process serialization of one node's complete B-SUB state.
+//!
+//! The networked runtime (`bsub-net`) checks node state out to the
+//! worker process that executes a contact and back afterwards, exactly
+//! like the sharded runner does in-process with `take_node`/`put_node`
+//! — except that across a socket the state must travel as
+//! self-contained bytes. This module implements that codec on top of
+//! the shared primitives in [`bsub_sim::snapshot`].
+//!
+//! Exactness is the contract: importing an exported snapshot must make
+//! the receiving node behave *identically* to the original — every
+//! future filter bit, counter, election decision, and forwarding
+//! choice. Consequences for the format:
+//!
+//! - The relay filter travels in the wire codec's lossless
+//!   [`CounterMode::Wide`] form (full `u32` counters, CRC-checked) —
+//!   the radio-facing modes saturate counters at 255, which would
+//!   silently corrupt a heavily reinforced relay. The real insertion
+//!   value `C` and merged flag are carried alongside, because decoded
+//!   filters are otherwise marked as generic merge sources.
+//! - The decayer's fractional residual and the adaptive DF's
+//!   `(ℕ, DF)` cache travel as exact IEEE-754 bit patterns.
+//! - The genuine filter is *not* shipped: it is a pure function of the
+//!   node's subscriptions (which every process knows) and never
+//!   changes, so the importer keeps its own copy.
+//! - Hash-ordered collections are canonically sorted on export, so
+//!   equal states encode to equal bytes.
+
+use crate::broker::ElectionLog;
+use crate::config::{BsubConfig, DfMode};
+use crate::node::{Carried, NodeState, Produced, RelayState, Role};
+use bsub_bloom::wire::{self, CounterMode};
+use bsub_bloom::{Decayer, KeyHasher, Tcbf};
+use bsub_sim::snapshot::{SnapReader, SnapWriter};
+use bsub_sim::MessageId;
+use bsub_traces::NodeId;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Snapshot format version; bump on any layout change.
+const VERSION: u8 = 1;
+
+/// Encodes `state` into a self-contained byte snapshot.
+pub(crate) fn encode_node(state: &NodeState) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.u8(VERSION);
+    w.u8(match state.role {
+        Role::User => 0,
+        Role::Broker => 1,
+    });
+
+    // Election log, oldest meeting first (replay order).
+    w.u32(state.election.len() as u32);
+    for (at, peer, was_broker, degree) in state.election.meetings() {
+        w.time(at);
+        w.u32(peer.index() as u32);
+        w.flag(was_broker);
+        w.u64(degree as u64);
+    }
+
+    // Relay state (brokers, and demoted brokers keep none).
+    match &state.relay {
+        None => w.flag(false),
+        Some(relay) => {
+            w.flag(true);
+            let encoded = wire::encode(&relay.filter, CounterMode::Wide)
+                .expect("relay filter fits the wire envelope");
+            w.bytes(&encoded);
+            w.u32(relay.filter.initial_counter());
+            w.flag(relay.filter.is_merged());
+            w.f64(relay.decayer.rate_per_min());
+            w.f64(relay.decayer.residual());
+            w.time(relay.last_decay);
+            w.u32(relay.contact_log.len() as u32);
+            for &t in &relay.contact_log {
+                w.time(t);
+            }
+            match &relay.adaptive {
+                None => w.flag(false),
+                Some(a) => {
+                    w.flag(true);
+                    w.u64(a.last_ncol());
+                    w.f64(a.current());
+                }
+            }
+            let mut shadow: Vec<(&Arc<str>, u32)> =
+                relay.shadow.iter().map(|(k, &c)| (k, c)).collect();
+            shadow.sort_by(|a, b| a.0.cmp(b.0));
+            w.u32(shadow.len() as u32);
+            for (key, c) in shadow {
+                w.str(key);
+                w.u32(c);
+            }
+        }
+    }
+
+    // Carried copies (Vec order is behavioral — preserved as-is).
+    w.u32(state.store.len() as u32);
+    for carried in &state.store {
+        w.message(&carried.msg);
+        write_node_set(&mut w, &carried.delivered_to);
+    }
+
+    // Own publications.
+    w.u32(state.published.len() as u32);
+    for produced in &state.published {
+        w.message(&produced.msg);
+        w.u32(produced.copies_left);
+        write_node_set(&mut w, &produced.delivered_to);
+    }
+
+    // Seen message ids.
+    let mut seen: Vec<u64> = state.seen.iter().map(|id| id.raw()).collect();
+    seen.sort_unstable();
+    w.u32(seen.len() as u32);
+    for id in seen {
+        w.u64(id);
+    }
+
+    w.into_bytes()
+}
+
+/// Overwrites everything in `state` except the genuine filter (and its
+/// sparse view) from a snapshot produced by [`encode_node`] under the
+/// same `config`. Returns `false` — leaving `state` untouched — on any
+/// malformed or config-incompatible input.
+pub(crate) fn decode_node_into(state: &mut NodeState, config: &BsubConfig, bytes: &[u8]) -> bool {
+    let Some(parsed) = parse(config, bytes) else {
+        return false;
+    };
+    state.role = parsed.role;
+    state.election = parsed.election;
+    state.relay = parsed.relay;
+    state.store = parsed.store;
+    state.published = parsed.published;
+    state.seen = parsed.seen;
+    true
+}
+
+/// Everything [`decode_node_into`] replaces, parsed up-front so a
+/// malformed snapshot rejects without half-mutating the node.
+struct Parsed {
+    role: Role,
+    election: ElectionLog,
+    relay: Option<RelayState>,
+    store: Vec<Carried>,
+    published: Vec<Produced>,
+    seen: HashSet<MessageId>,
+}
+
+fn parse(config: &BsubConfig, bytes: &[u8]) -> Option<Parsed> {
+    let mut r = SnapReader::new(bytes);
+    if r.u8()? != VERSION {
+        return None;
+    }
+    let role = match r.u8()? {
+        0 => Role::User,
+        1 => Role::Broker,
+        _ => return None,
+    };
+
+    let mut election = ElectionLog::new();
+    for _ in 0..r.u32()? {
+        let at = r.time()?;
+        let peer = NodeId::new(r.u32()?);
+        let was_broker = r.flag()?;
+        let degree = usize::try_from(r.u64()?).ok()?;
+        election.record(at, peer, was_broker, degree);
+    }
+
+    let relay = if r.flag()? {
+        let decoded = wire::decode(r.bytes()?).ok()?.into_tcbf()?;
+        let initial = r.u32()?;
+        let merged = r.flag()?;
+        if decoded.bit_len() != config.bits || decoded.hash_count() != config.hashes {
+            return None;
+        }
+        let filter = Tcbf::from_parts(
+            decoded.counter_values(),
+            config.hashes,
+            initial,
+            KeyHasher::default(),
+            merged,
+        );
+        let rate = r.f64()?;
+        let residual = r.f64()?;
+        if !(0.0..1.0).contains(&residual) {
+            return None;
+        }
+        let decayer = Decayer::restore(rate, residual);
+        let last_decay = r.time()?;
+        let mut contact_log = VecDeque::new();
+        for _ in 0..r.u32()? {
+            contact_log.push_back(r.time()?);
+        }
+        let adaptive = if r.flag()? {
+            let last_ncol = r.u64()?;
+            let current = r.f64()?;
+            let DfMode::Auto { delta } = config.df else {
+                return None; // snapshot/config DF-mode mismatch
+            };
+            let mut a = crate::df::AdaptiveDf::new(
+                config.initial_counter,
+                config.bits,
+                config.hashes,
+                config.delay_limit.as_mins(),
+                delta,
+            );
+            a.restore_cache(last_ncol, current);
+            Some(a)
+        } else {
+            None
+        };
+        let mut shadow = HashMap::new();
+        for _ in 0..r.u32()? {
+            let key: Arc<str> = Arc::from(r.str()?);
+            let c = r.u32()?;
+            shadow.insert(key, c);
+        }
+        Some(RelayState {
+            filter,
+            decayer,
+            last_decay,
+            contact_log,
+            adaptive,
+            shadow,
+        })
+    } else {
+        None
+    };
+
+    let mut store = Vec::new();
+    for _ in 0..r.u32()? {
+        let msg = Arc::new(r.message()?);
+        let delivered_to = read_node_set(&mut r)?;
+        store.push(Carried { msg, delivered_to });
+    }
+
+    let mut published = Vec::new();
+    for _ in 0..r.u32()? {
+        let msg = Arc::new(r.message()?);
+        let copies_left = r.u32()?;
+        let delivered_to = read_node_set(&mut r)?;
+        published.push(Produced {
+            msg,
+            copies_left,
+            delivered_to,
+        });
+    }
+
+    let mut seen = HashSet::new();
+    for _ in 0..r.u32()? {
+        seen.insert(MessageId::new(r.u64()?));
+    }
+
+    if !r.is_empty() {
+        return None; // trailing garbage
+    }
+    Some(Parsed {
+        role,
+        election,
+        relay,
+        store,
+        published,
+        seen,
+    })
+}
+
+fn write_node_set(w: &mut SnapWriter, set: &HashSet<NodeId>) {
+    let mut ids: Vec<u32> = set.iter().map(|n| n.index() as u32).collect();
+    ids.sort_unstable();
+    w.u32(ids.len() as u32);
+    for id in ids {
+        w.u32(id);
+    }
+}
+
+fn read_node_set(r: &mut SnapReader<'_>) -> Option<HashSet<NodeId>> {
+    let mut set = HashSet::new();
+    for _ in 0..r.u32()? {
+        set.insert(NodeId::new(r.u32()?));
+    }
+    Some(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BsubProtocol;
+    use bsub_sim::{GeneratedMessage, Protocol as _, SimConfig, Simulation, SubscriptionTable};
+    use bsub_traces::synthetic::SyntheticTrace;
+    use bsub_traces::SimDuration;
+
+    /// Runs a dense little network long enough to exercise every state
+    /// component: elections, relays with decay + adaptation, carried
+    /// cargo, publications, and seen sets.
+    fn worked_protocol() -> (BsubProtocol, SubscriptionTable) {
+        let trace = SyntheticTrace::new("snap", 16, SimDuration::from_hours(12), 2500)
+            .seed(11)
+            .build();
+        let mut subs = SubscriptionTable::new(16);
+        for i in 0..16 {
+            subs.subscribe(NodeId::new(i), if i % 2 == 0 { "news" } else { "sports" });
+        }
+        let sched: Vec<GeneratedMessage> = (0..12)
+            .map(|k| GeneratedMessage {
+                at: bsub_traces::SimTime::from_secs(100 + k * 600),
+                producer: NodeId::new((k % 5) as u32),
+                key: if k % 2 == 0 { "sports" } else { "news" }.into(),
+                size: 120,
+            })
+            .collect();
+        let sim = Simulation::new(trace, subs.clone(), sched, SimConfig::default());
+        let mut bsub = BsubProtocol::new(BsubConfig::default(), &subs);
+        let report = sim.run(&mut bsub);
+        assert!(report.delivered > 0, "the run must do real work");
+        assert!(bsub.broker_count() > 0);
+        (bsub, subs)
+    }
+
+    /// export → import into a *fresh* sibling → re-export must be
+    /// byte-identical, for every node — the canonical-ordering and
+    /// exactness guarantees in one test.
+    #[test]
+    fn export_import_reexport_is_byte_identical() {
+        let (bsub, subs) = worked_protocol();
+        let mut sibling = BsubProtocol::new(bsub.config().clone(), &subs);
+        for i in 0..16 {
+            let node = NodeId::new(i);
+            let snap = bsub.export_node(node).expect("B-SUB exports");
+            assert!(sibling.import_node(node, &snap), "import accepts");
+            let again = sibling.export_node(node).expect("re-export");
+            assert_eq!(snap, again, "node {i} snapshot must round-trip exactly");
+        }
+        assert_eq!(sibling.broker_count(), bsub.broker_count());
+        assert_eq!(sibling.carried_copies(), bsub.carried_copies());
+        assert_eq!(sibling.max_relay_counter(), bsub.max_relay_counter());
+    }
+
+    /// The relay filter round-trips losslessly even when counters
+    /// exceed the radio wire format's 255 saturation point.
+    #[test]
+    fn relay_counters_above_255_survive() {
+        let subs = SubscriptionTable::new(2);
+        let config = BsubConfig::default();
+        let mut a = BsubProtocol::new(config.clone(), &subs);
+        // Promote node 0 and reinforce one key far past 255.
+        let strong = Tcbf::from_keys(config.bits, config.hashes, 300, ["hot"]);
+        {
+            let state = &mut a.nodes_mut()[0];
+            state.promote(&config, bsub_traces::SimTime::ZERO);
+            let relay = state.relay.as_mut().unwrap();
+            relay.filter.a_merge(&strong).unwrap();
+            relay.filter.a_merge(&strong).unwrap();
+        }
+        let before = a.max_relay_counter();
+        assert!(before > 255, "test needs a saturating-range counter");
+
+        let snap = a.export_node(NodeId::new(0)).unwrap();
+        let mut b = BsubProtocol::new(config, &subs);
+        assert!(b.import_node(NodeId::new(0), &snap));
+        assert_eq!(b.max_relay_counter(), before, "no 255 saturation");
+    }
+
+    #[test]
+    fn malformed_snapshots_reject_without_mutation() {
+        let (bsub, subs) = worked_protocol();
+        let node = NodeId::new(3);
+        let good = bsub.export_node(node).unwrap();
+
+        let mut sibling = BsubProtocol::new(bsub.config().clone(), &subs);
+        assert!(sibling.import_node(node, &good));
+        let baseline = sibling.export_node(node).unwrap();
+
+        // Truncations and version/role corruption must all reject.
+        assert!(!sibling.import_node(node, &good[..good.len() - 1]));
+        assert!(!sibling.import_node(node, &[]));
+        let mut bad = good.clone();
+        bad[0] = VERSION + 1;
+        assert!(!sibling.import_node(node, &bad));
+        let mut bad = good.clone();
+        bad[1] = 9; // invalid role
+        assert!(!sibling.import_node(node, &bad));
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(!sibling.import_node(node, &trailing));
+
+        // And none of the rejects touched the node.
+        assert_eq!(sibling.export_node(node).unwrap(), baseline);
+    }
+
+    #[test]
+    fn import_out_of_range_node_rejects() {
+        let (bsub, subs) = worked_protocol();
+        let snap = bsub.export_node(NodeId::new(0)).unwrap();
+        let mut sibling = BsubProtocol::new(bsub.config().clone(), &subs);
+        assert!(!sibling.import_node(NodeId::new(999), &snap));
+        assert_eq!(bsub.export_node(NodeId::new(999)), None);
+    }
+}

@@ -1,0 +1,123 @@
+//! Deterministic jittered exponential backoff for dial retries.
+//!
+//! Retry timing must be jittered (so a fleet of workers dialing one
+//! coordinator doesn't thunder in lockstep) yet deterministic (so a
+//! failing cluster run replays identically under a fixed seed). Both
+//! at once: the jitter stream is a [`SplitMix64`] seeded from the
+//! cluster seed and the (local, remote) peer pair, so every process
+//! derives its own schedule from shared constants and nothing else.
+
+use bsub_bloom::SplitMix64;
+use std::time::Duration;
+
+/// A deterministic exponential backoff schedule with full jitter.
+///
+/// Attempt `n` sleeps between `base · 2ⁿ / 2` and `base · 2ⁿ`
+/// (capped), the point in that range chosen by the seeded stream.
+#[derive(Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    rng: SplitMix64,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// Default first-retry delay.
+    pub const DEFAULT_BASE: Duration = Duration::from_millis(10);
+    /// Default ceiling on a single delay.
+    pub const DEFAULT_CAP: Duration = Duration::from_millis(500);
+
+    /// A schedule for retries from `local` toward `remote` under the
+    /// cluster-wide `seed`, with the default base and cap.
+    #[must_use]
+    pub fn new(seed: u64, local: u64, remote: u64) -> Self {
+        Self::with_bounds(seed, local, remote, Self::DEFAULT_BASE, Self::DEFAULT_CAP)
+    }
+
+    /// A schedule with explicit base delay and cap.
+    #[must_use]
+    pub fn with_bounds(seed: u64, local: u64, remote: u64, base: Duration, cap: Duration) -> Self {
+        // Golden-ratio mixing keeps distinct (local, remote) pairs on
+        // distinct streams even under small consecutive ids.
+        let stream = seed
+            ^ local.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ remote.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        Self {
+            base: base.max(Duration::from_millis(1)),
+            cap: cap.max(base),
+            rng: SplitMix64::new(stream),
+            attempt: 0,
+        }
+    }
+
+    /// The number of delays handed out so far.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The next delay in the schedule (advances the attempt counter).
+    pub fn next_delay(&mut self) -> Duration {
+        let shift = self.attempt.min(16);
+        self.attempt = self.attempt.saturating_add(1);
+        let ceiling = self
+            .base
+            .saturating_mul(1u32 << shift.min(31))
+            .min(self.cap)
+            .as_millis() as u64;
+        let floor = ceiling / 2;
+        let jittered = floor + self.rng.below(ceiling - floor + 1);
+        Duration::from_millis(jittered)
+    }
+
+    /// Restarts the schedule after a successful connection (the
+    /// jitter stream keeps advancing; only the exponent resets).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(seed: u64, local: u64, remote: u64, n: usize) -> Vec<Duration> {
+        let mut b = Backoff::new(seed, local, remote);
+        (0..n).map(|_| b.next_delay()).collect()
+    }
+
+    #[test]
+    fn same_inputs_same_schedule() {
+        assert_eq!(schedule(7, 1, 0, 12), schedule(7, 1, 0, 12));
+    }
+
+    #[test]
+    fn distinct_peers_get_distinct_jitter() {
+        assert_ne!(schedule(7, 1, 0, 12), schedule(7, 2, 0, 12));
+        assert_ne!(schedule(7, 1, 0, 12), schedule(8, 1, 0, 12));
+    }
+
+    #[test]
+    fn delays_grow_toward_cap_and_respect_bounds() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(500);
+        let mut b = Backoff::with_bounds(3, 1, 2, base, cap);
+        let mut last_ceiling = Duration::ZERO;
+        for attempt in 0..12u32 {
+            let ceiling = base.saturating_mul(1 << attempt.min(16)).min(cap);
+            let d = b.next_delay();
+            assert!(d <= ceiling, "attempt {attempt}: {d:?} over {ceiling:?}");
+            assert!(
+                d >= Duration::from_millis(ceiling.as_millis() as u64 / 2),
+                "attempt {attempt}: {d:?} below half-ceiling jitter floor"
+            );
+            assert!(ceiling >= last_ceiling, "ceiling is monotone");
+            last_ceiling = ceiling;
+        }
+        assert_eq!(b.attempts(), 12);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        assert!(b.next_delay() <= base, "reset returns to the base delay");
+    }
+}

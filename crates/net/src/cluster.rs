@@ -1,0 +1,904 @@
+//! The loopback cluster runtime: the serial simulator's event loop,
+//! re-run across OS processes with the state on sockets.
+//!
+//! One **coordinator** (peer 0) walks the contact trace in order, and
+//! `W` **workers** (peers 1..=W) each host a full instance of the
+//! protocol under test, built by the same factory and seed. Node `n`
+//! is *owned* by worker `1 + (n mod W)`: the owner's copy of `n`'s
+//! state is authoritative between contacts.
+//!
+//! A contact between nodes `a` and `b` is dispatched to the owner of
+//! `a` (the *executor*). The executor pulls a snapshot of any
+//! endpoint it does not own (`STATE_REQ` → `STATE_GRANT`, via
+//! [`Protocol::export_node`]/[`Protocol::import_node`]), runs the
+//! protocol's `on_contact` against its own instance, returns the
+//! post-exchange snapshots to their owners (`STATE_RET`, acknowledged
+//! toward the coordinator as `NODE_FREE`), and reports the exchange's
+//! costs and deliveries (`RESULT`). The coordinator keeps per-node
+//! busy flags so no node is in two exchanges at once, and replays
+//! results **in contact-index order** into one master
+//! [`MetricsCollector`] — which is why the final [`SimReport`] is not
+//! merely close to the serial simulator's, but equal to it (the
+//! `net-cluster` harness and CI diff the CSVs byte for byte).
+//!
+//! Publications use a **publish barrier**: before the first contact
+//! at or after a scheduled publication, the coordinator drains every
+//! in-flight exchange, broadcasts `ADVANCE`, and waits for
+//! `PUBLISH_OK` from every worker. Every worker applies every
+//! publication to its own instance (cheap, and it keeps globally
+//! registered state such as PUSH's message registry dense), so a
+//! producer's authoritative owner always has the publication applied
+//! before the next exchange can touch it. Publication has no metric
+//! side effects on the workers; the coordinator accounts generated
+//! messages itself, exactly like the serial runner.
+//!
+//! Lock discipline (the reason the distributed exchange cannot
+//! deadlock): a worker's executor thread acquires its protocol
+//! instance **only after** all remote snapshots have arrived, and
+//! never blocks on the network while holding it; the main thread
+//! serves `STATE_REQ` for any node not currently in an exchange
+//! (guaranteed by the coordinator's busy flags). Every wait chain
+//! therefore ends at an executor that is simply computing.
+
+use crate::frame::{Frame, FrameKind};
+use crate::peer::{PeerConfig, PeerId, PeerManager};
+use crate::transport::EndpointAddr;
+use bsub_obs::{self as obs, TimeHist};
+use bsub_sim::snapshot::{SnapReader, SnapWriter};
+use bsub_sim::{
+    GeneratedMessage, Link, Message, MessageId, MetricsCollector, NullRecorder, Protocol,
+    ProtocolFactory, Recorder, SimConfig, SimCtx, SimReport, Simulation, SubscriptionTable,
+    TraceEvent,
+};
+use bsub_traces::{ContactTrace, NodeId, SimDuration};
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::path::Path;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// The coordinator's peer id. Workers are `1..=workers`.
+pub const COORDINATOR: PeerId = PeerId(0);
+
+/// How long either side waits for the next frame before rechecking
+/// liveness.
+const POLL: Duration = Duration::from_millis(200);
+
+/// How long a run may make no progress before it is declared wedged
+/// (a worker died, a socket path is wrong, ...).
+const STALL: Duration = Duration::from_secs(120);
+
+/// How long the coordinator waits for all workers to dial in.
+const ASSEMBLY: Duration = Duration::from_secs(60);
+
+/// The Unix-socket address of `peer` inside the cluster's rendezvous
+/// directory — the only thing processes must agree on besides the
+/// [`ClusterSpec`] itself.
+#[must_use]
+pub fn peer_addr(dir: &Path, peer: PeerId) -> EndpointAddr {
+    EndpointAddr::Unix(dir.join(format!("peer-{}.sock", peer.0)))
+}
+
+/// Everything a cluster run shares: the same inputs a [`Simulation`]
+/// holds, plus the seed and worker count. Every process derives its
+/// copy deterministically (same trace generator, same seeds), so
+/// nothing but protocol frames crosses the sockets.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// The contact trace driving the run.
+    pub trace: Arc<ContactTrace>,
+    /// Ground-truth subscriptions.
+    pub subscriptions: Arc<SubscriptionTable>,
+    /// The publication schedule (sorted by time).
+    pub schedule: Arc<[GeneratedMessage]>,
+    /// Link rate and TTL.
+    pub config: SimConfig,
+    /// Seed handed to the protocol factory on every peer.
+    pub seed: u64,
+    /// Number of worker processes (≥ 1).
+    pub workers: u32,
+}
+
+impl ClusterSpec {
+    /// Builds a spec over the same inputs a [`Simulation`] takes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero, the subscription table does not
+    /// match the trace, or the schedule is unsorted — the same
+    /// contracts [`Simulation::new`] enforces.
+    #[must_use]
+    pub fn new(
+        trace: impl Into<Arc<ContactTrace>>,
+        subscriptions: impl Into<Arc<SubscriptionTable>>,
+        schedule: impl Into<Arc<[GeneratedMessage]>>,
+        config: SimConfig,
+        seed: u64,
+        workers: u32,
+    ) -> Self {
+        let trace = trace.into();
+        let subscriptions = subscriptions.into();
+        let schedule = schedule.into();
+        assert!(workers >= 1, "a cluster needs at least one worker");
+        assert_eq!(
+            subscriptions.node_count(),
+            trace.node_count(),
+            "subscription table does not match trace"
+        );
+        assert!(
+            schedule.windows(2).all(|w| w[0].at <= w[1].at),
+            "message schedule must be sorted by time"
+        );
+        Self {
+            trace,
+            subscriptions,
+            schedule,
+            config,
+            seed,
+            workers,
+        }
+    }
+
+    /// The equivalent serial simulation (the ground truth the cluster
+    /// must reproduce exactly).
+    #[must_use]
+    pub fn simulation(&self) -> Simulation {
+        Simulation::new(
+            Arc::clone(&self.trace),
+            Arc::clone(&self.subscriptions),
+            Arc::clone(&self.schedule),
+            self.config.clone(),
+        )
+    }
+
+    /// The worker that owns `node`'s authoritative state.
+    #[must_use]
+    pub fn node_owner(&self, node: NodeId) -> PeerId {
+        PeerId(1 + (node.index() as u32 % self.workers))
+    }
+
+    /// Materializes schedule entry `index` exactly like the serial
+    /// runner: the message id *is* the schedule index.
+    fn message(&self, index: usize) -> Arc<Message> {
+        let spec = &self.schedule[index];
+        Arc::new(Message {
+            id: MessageId::new(index as u64),
+            key: Arc::clone(&spec.key),
+            size: spec.size,
+            created: spec.at,
+            ttl: self.config.ttl,
+            producer: spec.producer,
+        })
+    }
+}
+
+/// What a finished cluster run hands back.
+#[derive(Debug)]
+pub struct ClusterOutcome {
+    /// The master metrics — equal to the serial simulator's report
+    /// for the same spec and factory.
+    pub report: SimReport,
+    /// Wall-clock nanoseconds per exchange (dispatch to result, as
+    /// seen by the coordinator), in contact-index order.
+    pub exchange_ns: Vec<u64>,
+    /// Total wall clock of the run.
+    pub wall: Duration,
+}
+
+fn bad(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+fn timed_out(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::TimedOut, message.into())
+}
+
+// ---- frame body codecs ------------------------------------------------
+
+fn body_u32(v: u32) -> Vec<u8> {
+    v.to_le_bytes().to_vec()
+}
+
+fn body_u64(v: u64) -> Vec<u8> {
+    v.to_le_bytes().to_vec()
+}
+
+fn read_u32(body: &[u8]) -> io::Result<u32> {
+    let mut r = SnapReader::new(body);
+    let v = r.u32().ok_or_else(|| bad("truncated u32 body"))?;
+    if !r.is_empty() {
+        return Err(bad("trailing bytes in u32 body"));
+    }
+    Ok(v)
+}
+
+fn read_u64(body: &[u8]) -> io::Result<u64> {
+    let mut r = SnapReader::new(body);
+    let v = r.u64().ok_or_else(|| bad("truncated u64 body"))?;
+    if !r.is_empty() {
+        return Err(bad("trailing bytes in u64 body"));
+    }
+    Ok(v)
+}
+
+fn body_node_bytes(node: u32, bytes: &[u8]) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.u32(node);
+    w.bytes(bytes);
+    w.into_bytes()
+}
+
+fn read_node_bytes(body: &[u8]) -> io::Result<(u32, Vec<u8>)> {
+    let mut r = SnapReader::new(body);
+    let node = r.u32().ok_or_else(|| bad("truncated node id"))?;
+    let bytes = r.bytes().ok_or_else(|| bad("truncated snapshot"))?.to_vec();
+    if !r.is_empty() {
+        return Err(bad("trailing bytes after snapshot"));
+    }
+    Ok((node, bytes))
+}
+
+/// One executed contact, as shipped in a `RESULT` frame: the
+/// exchange's scalar costs plus its delivery events.
+#[derive(Debug, PartialEq, Eq)]
+struct ExchangeOutcome {
+    index: u64,
+    forwardings: u64,
+    control_bytes: u64,
+    data_bytes: u64,
+    injections: u64,
+    false_injections: u64,
+    /// `(message id, consumer, genuine)` in execution order.
+    deliveries: Vec<(u64, u32, bool)>,
+}
+
+impl ExchangeOutcome {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.u64(self.index);
+        w.u64(self.forwardings);
+        w.u64(self.control_bytes);
+        w.u64(self.data_bytes);
+        w.u64(self.injections);
+        w.u64(self.false_injections);
+        w.u64(self.deliveries.len() as u64);
+        for &(msg, node, genuine) in &self.deliveries {
+            w.u64(msg);
+            w.u32(node);
+            w.flag(genuine);
+        }
+        w.into_bytes()
+    }
+
+    fn decode(body: &[u8]) -> io::Result<Self> {
+        let mut r = SnapReader::new(body);
+        let index = r.u64().ok_or_else(|| bad("truncated result"))?;
+        let forwardings = r.u64().ok_or_else(|| bad("truncated result"))?;
+        let control_bytes = r.u64().ok_or_else(|| bad("truncated result"))?;
+        let data_bytes = r.u64().ok_or_else(|| bad("truncated result"))?;
+        let injections = r.u64().ok_or_else(|| bad("truncated result"))?;
+        let false_injections = r.u64().ok_or_else(|| bad("truncated result"))?;
+        let count = r.u64().ok_or_else(|| bad("truncated result"))?;
+        let mut deliveries = Vec::with_capacity(count.min(1 << 16) as usize);
+        for _ in 0..count {
+            let msg = r.u64().ok_or_else(|| bad("truncated delivery"))?;
+            let node = r.u32().ok_or_else(|| bad("truncated delivery"))?;
+            let genuine = r.flag().ok_or_else(|| bad("truncated delivery"))?;
+            deliveries.push((msg, node, genuine));
+        }
+        if !r.is_empty() {
+            return Err(bad("trailing bytes in result"));
+        }
+        Ok(Self {
+            index,
+            forwardings,
+            control_bytes,
+            data_bytes,
+            injections,
+            false_injections,
+            deliveries,
+        })
+    }
+
+    /// The scalar costs as a [`SimReport`] shell, for
+    /// [`MetricsCollector::absorb_costs`].
+    fn as_costs(&self) -> SimReport {
+        SimReport {
+            protocol: String::new(),
+            generated: 0,
+            target_pairs: 0,
+            delivered: 0,
+            false_delivered: 0,
+            delay_total: SimDuration::from_millis(0),
+            forwardings: self.forwardings,
+            control_bytes: self.control_bytes,
+            data_bytes: self.data_bytes,
+            contacts: 0,
+            injections: self.injections,
+            false_injections: self.false_injections,
+        }
+    }
+}
+
+/// A recorder that keeps only `Delivered` events — the one event
+/// class the coordinator must replay into the master ledger.
+#[derive(Debug, Default)]
+struct DeliveryTap {
+    deliveries: Vec<(u64, u32, bool)>,
+}
+
+impl Recorder for DeliveryTap {
+    fn is_active(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: &TraceEvent) {
+        if let TraceEvent::Delivered {
+            msg, node, genuine, ..
+        } = event
+        {
+            self.deliveries
+                .push((msg.raw(), node.index() as u32, *genuine));
+        }
+    }
+}
+
+/// Applies schedule entries `[from, to)` to `protocol` — the worker
+/// side of a publish barrier. Publication has no metric side effects
+/// (a publication's only possible delivery is a self-delivery, which
+/// the ledger classifies and drops identically on every instance), so
+/// a throwaway collector absorbs the context.
+fn apply_publishes(spec: &ClusterSpec, protocol: &mut dyn Protocol, from: usize, to: usize) {
+    for index in from..to {
+        let msg = spec.message(index);
+        let mut metrics = MetricsCollector::new();
+        let mut recorder = NullRecorder;
+        let mut ctx = SimCtx::for_exchange(
+            msg.created,
+            &spec.subscriptions,
+            &mut metrics,
+            &mut recorder,
+        );
+        protocol.on_message(&mut ctx, &msg);
+    }
+}
+
+// ---- worker -----------------------------------------------------------
+
+/// Runs worker `worker` (1-based, ≤ `spec.workers`) until the
+/// coordinator sends `DONE`. Blocks for the whole run.
+///
+/// # Errors
+///
+/// Connection failures, malformed frames, a protocol that cannot
+/// export/import state, or a coordinator that goes silent for longer
+/// than the stall timeout.
+///
+/// # Panics
+///
+/// Panics if `worker` is out of range.
+pub fn run_worker(
+    spec: &ClusterSpec,
+    factory: &dyn ProtocolFactory,
+    dir: &Path,
+    worker: u32,
+) -> io::Result<()> {
+    assert!(
+        (1..=spec.workers).contains(&worker),
+        "worker id {worker} out of range 1..={}",
+        spec.workers
+    );
+    let local = PeerId(worker);
+    let pm = PeerManager::bind(PeerConfig::new(local, peer_addr(dir, local), spec.seed))?;
+    // Deterministic assembly: every peer dials the peers below it, so
+    // exactly one side of each link dials in production runs.
+    for lower in 0..worker {
+        pm.connect(PeerId(lower), &peer_addr(dir, PeerId(lower)))?;
+    }
+
+    let protocol: Arc<Mutex<Box<dyn Protocol>>> = Arc::new(Mutex::new(factory.build(spec.seed)));
+    let (exec_tx, exec_rx) = mpsc::channel::<u64>();
+    let (grant_tx, grant_rx) = mpsc::channel::<(u32, Vec<u8>)>();
+    let executor = {
+        let pm = Arc::clone(&pm);
+        let protocol = Arc::clone(&protocol);
+        let spec = spec.clone();
+        thread::spawn(move || -> io::Result<()> {
+            while let Ok(index) = exec_rx.recv() {
+                execute_contact(&spec, &pm, &protocol, &grant_rx, index)?;
+            }
+            Ok(())
+        })
+    };
+
+    let mut applied = 0usize;
+    let mut last_frame = Instant::now();
+    let main = (|| -> io::Result<()> {
+        loop {
+            let Some((from, frame)) = pm.recv_timeout(POLL) else {
+                if last_frame.elapsed() > STALL {
+                    return Err(timed_out("coordinator went silent"));
+                }
+                continue;
+            };
+            last_frame = Instant::now();
+            match frame.kind {
+                FrameKind::Dispatch => {
+                    let index = read_u64(&frame.body)?;
+                    exec_tx
+                        .send(index)
+                        .map_err(|_| bad("executor thread is gone"))?;
+                }
+                FrameKind::StateReq => {
+                    let node = read_u32(&frame.body)?;
+                    let snapshot = {
+                        let guard = protocol.lock().expect("protocol lock");
+                        guard
+                            .export_node(NodeId::new(node))
+                            .ok_or_else(|| bad("protocol cannot export node state"))?
+                    };
+                    pm.send(
+                        from,
+                        Frame::new(FrameKind::StateGrant, body_node_bytes(node, &snapshot)),
+                    )?;
+                }
+                FrameKind::StateGrant => {
+                    let granted = read_node_bytes(&frame.body)?;
+                    // The executor may already have given up on a
+                    // wedged run; a dropped receiver is not an error.
+                    let _ = grant_tx.send(granted);
+                }
+                FrameKind::StateRet => {
+                    let (node, bytes) = read_node_bytes(&frame.body)?;
+                    {
+                        let mut guard = protocol.lock().expect("protocol lock");
+                        if !guard.import_node(NodeId::new(node), &bytes) {
+                            return Err(bad("returned node snapshot rejected"));
+                        }
+                    }
+                    pm.send(COORDINATOR, Frame::new(FrameKind::NodeFree, body_u32(node)))?;
+                }
+                FrameKind::Advance => {
+                    let count = read_u64(&frame.body)? as usize;
+                    if count > spec.schedule.len() || count < applied {
+                        return Err(bad("ADVANCE outside the schedule"));
+                    }
+                    {
+                        let mut guard = protocol.lock().expect("protocol lock");
+                        apply_publishes(spec, &mut **guard, applied, count);
+                    }
+                    applied = count;
+                    pm.send(
+                        COORDINATOR,
+                        Frame::new(FrameKind::PublishOk, body_u64(count as u64)),
+                    )?;
+                }
+                FrameKind::Done => return Ok(()),
+                other => return Err(bad(format!("worker got unexpected {other:?} frame"))),
+            }
+        }
+    })();
+    drop(exec_tx);
+    let exec = executor
+        .join()
+        .map_err(|_| bad("executor thread panicked"))?;
+    pm.shutdown();
+    main.and(exec)
+}
+
+/// One dispatched contact on the executor worker. See the module docs
+/// for the lock discipline this function upholds.
+fn execute_contact(
+    spec: &ClusterSpec,
+    pm: &PeerManager,
+    protocol: &Mutex<Box<dyn Protocol>>,
+    grants: &mpsc::Receiver<(u32, Vec<u8>)>,
+    index: u64,
+) -> io::Result<()> {
+    let contact = *spec
+        .trace
+        .events()
+        .get(index as usize)
+        .ok_or_else(|| bad("dispatch index outside the trace"))?;
+    let local = pm.local();
+    let mut remotes: Vec<NodeId> = Vec::new();
+    for node in [contact.a, contact.b] {
+        if spec.node_owner(node) != local && !remotes.contains(&node) {
+            remotes.push(node);
+        }
+    }
+    // Gather every remote snapshot BEFORE touching the local
+    // instance: the main thread must stay free to serve STATE_REQs
+    // from other executors meanwhile.
+    for &node in &remotes {
+        pm.send(
+            spec.node_owner(node),
+            Frame::new(FrameKind::StateReq, body_u32(node.index() as u32)),
+        )?;
+    }
+    let mut snapshots: HashMap<u32, Vec<u8>> = HashMap::new();
+    let deadline = Instant::now() + STALL;
+    while snapshots.len() < remotes.len() {
+        match grants.recv_timeout(POLL) {
+            Ok((node, bytes)) => {
+                snapshots.insert(node, bytes);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if Instant::now() >= deadline {
+                    return Err(timed_out("state grant never arrived"));
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(bad("worker main loop is gone"));
+            }
+        }
+    }
+
+    let (report, deliveries, returns) = {
+        let mut guard = protocol.lock().expect("protocol lock");
+        let instance = &mut **guard;
+        for (&node, bytes) in &snapshots {
+            if !instance.import_node(NodeId::new(node), bytes) {
+                return Err(bad("remote node snapshot rejected"));
+            }
+        }
+        let mut metrics = MetricsCollector::new();
+        let mut tap = DeliveryTap::default();
+        let mut link = Link::for_contact(contact.duration(), spec.config.bytes_per_sec);
+        {
+            let mut ctx =
+                SimCtx::for_exchange(contact.start, &spec.subscriptions, &mut metrics, &mut tap);
+            instance.on_contact(&mut ctx, &contact, &mut link);
+        }
+        let mut returns = Vec::with_capacity(remotes.len());
+        for &node in &remotes {
+            let bytes = instance
+                .export_node(node)
+                .ok_or_else(|| bad("protocol cannot export node state"))?;
+            returns.push((node, bytes));
+        }
+        (metrics.finish("exchange"), tap.deliveries, returns)
+    };
+    for (node, bytes) in returns {
+        pm.send(
+            spec.node_owner(node),
+            Frame::new(
+                FrameKind::StateRet,
+                body_node_bytes(node.index() as u32, &bytes),
+            ),
+        )?;
+    }
+    let outcome = ExchangeOutcome {
+        index,
+        forwardings: report.forwardings,
+        control_bytes: report.control_bytes,
+        data_bytes: report.data_bytes,
+        injections: report.injections,
+        false_injections: report.false_injections,
+        deliveries,
+    };
+    pm.send(
+        COORDINATOR,
+        Frame::new(FrameKind::ExchangeResult, outcome.encode()),
+    )?;
+    Ok(())
+}
+
+// ---- coordinator ------------------------------------------------------
+
+struct PendingContact {
+    executor: PeerId,
+    at: Instant,
+}
+
+struct Coordinator<'a> {
+    spec: &'a ClusterSpec,
+    pm: Arc<PeerManager>,
+    metrics: MetricsCollector,
+    /// Materialized messages, indexed by message id (= schedule index).
+    messages: Vec<Arc<Message>>,
+    /// Schedule entries applied (and accounted) so far.
+    applied: usize,
+    busy: Vec<bool>,
+    busy_nodes: usize,
+    /// Dispatched contacts whose RESULT has not arrived yet.
+    pending: HashMap<u64, PendingContact>,
+    /// Results arrived out of order, waiting for their turn.
+    buffered: BTreeMap<u64, ExchangeOutcome>,
+    /// Next contact index to replay into the master ledger.
+    next_replay: u64,
+    exchange_ns: Vec<u64>,
+    acks: u32,
+    barrier_target: Option<u64>,
+    last_progress: Instant,
+}
+
+impl Coordinator<'_> {
+    /// Handles one inbound frame (or a liveness check on timeout).
+    fn pump(&mut self) -> io::Result<()> {
+        let Some((from, frame)) = self.pm.recv_timeout(POLL) else {
+            if self.last_progress.elapsed() > STALL {
+                return Err(timed_out("cluster made no progress — worker dead?"));
+            }
+            return Ok(());
+        };
+        self.last_progress = Instant::now();
+        match frame.kind {
+            FrameKind::ExchangeResult => {
+                let outcome = ExchangeOutcome::decode(&frame.body)?;
+                let pending = self
+                    .pending
+                    .remove(&outcome.index)
+                    .ok_or_else(|| bad("result for a contact that was never dispatched"))?;
+                if pending.executor != from {
+                    return Err(bad("result arrived from the wrong worker"));
+                }
+                let ns = pending.at.elapsed().as_nanos() as u64;
+                obs::observe_ns(TimeHist::NetExchangeNs, ns);
+                self.exchange_ns[outcome.index as usize] = ns;
+                // Endpoints the executor itself owns are free now;
+                // remotely owned ones stay busy until NODE_FREE.
+                let contact = self.spec.trace.events()[outcome.index as usize];
+                for node in [contact.a, contact.b] {
+                    if self.spec.node_owner(node) == from {
+                        self.free(node);
+                    }
+                }
+                self.buffered.insert(outcome.index, outcome);
+                self.replay_ready()
+            }
+            FrameKind::NodeFree => {
+                let node = read_u32(&frame.body)?;
+                self.free(NodeId::new(node));
+                Ok(())
+            }
+            FrameKind::PublishOk => {
+                let count = read_u64(&frame.body)?;
+                if Some(count) != self.barrier_target {
+                    return Err(bad("PUBLISH_OK outside a publish barrier"));
+                }
+                self.acks += 1;
+                Ok(())
+            }
+            other => Err(bad(format!("coordinator got unexpected {other:?} frame"))),
+        }
+    }
+
+    fn free(&mut self, node: NodeId) {
+        let slot = &mut self.busy[node.index()];
+        if *slot {
+            *slot = false;
+            self.busy_nodes -= 1;
+        }
+    }
+
+    /// Replays every contiguous buffered result into the master
+    /// ledger, in contact-index order — the step that makes the
+    /// distributed run's report equal the serial one.
+    fn replay_ready(&mut self) -> io::Result<()> {
+        while let Some(outcome) = self.buffered.remove(&self.next_replay) {
+            let contact = self.spec.trace.events()[self.next_replay as usize];
+            self.metrics.on_contact();
+            self.metrics.absorb_costs(&outcome.as_costs());
+            for &(msg, node, genuine) in &outcome.deliveries {
+                let msg = self
+                    .messages
+                    .get(msg as usize)
+                    .ok_or_else(|| bad("delivery references an unpublished message"))?;
+                let _ = self
+                    .metrics
+                    .on_delivery(msg, NodeId::new(node), contact.start, genuine);
+            }
+            self.next_replay += 1;
+        }
+        Ok(())
+    }
+
+    /// Waits until no exchange is in flight anywhere in the cluster.
+    fn drain_inflight(&mut self) -> io::Result<()> {
+        while !self.pending.is_empty() || self.busy_nodes > 0 || !self.buffered.is_empty() {
+            self.pump()?;
+        }
+        Ok(())
+    }
+
+    /// The publish barrier: drain, broadcast `ADVANCE(target)`, await
+    /// every worker's `PUBLISH_OK`, then account the publications in
+    /// the master ledger exactly like the serial runner.
+    fn barrier(&mut self, target: usize) -> io::Result<()> {
+        self.drain_inflight()?;
+        self.acks = 0;
+        self.barrier_target = Some(target as u64);
+        for worker in 1..=self.spec.workers {
+            self.pm.send(
+                PeerId(worker),
+                Frame::new(FrameKind::Advance, body_u64(target as u64)),
+            )?;
+        }
+        while self.acks < self.spec.workers {
+            self.pump()?;
+        }
+        self.barrier_target = None;
+        for index in self.applied..target {
+            let entry = &self.spec.schedule[index];
+            let targets = self
+                .spec
+                .subscriptions
+                .subscribers_of(&entry.key)
+                .filter(|&n| n != entry.producer)
+                .count() as u64;
+            self.metrics.on_generated(targets);
+            let msg = self.spec.message(index);
+            self.messages.push(msg);
+        }
+        self.applied = target;
+        Ok(())
+    }
+}
+
+/// Runs the coordinator over `spec.workers` already-spawned workers
+/// rendezvousing in `dir`. Blocks until the run completes and every
+/// worker has been told `DONE`.
+///
+/// The `factory` is used only to name the protocol in the report; the
+/// workers build the instances that actually run.
+///
+/// # Errors
+///
+/// Assembly timeouts, malformed frames, protocol violations by a
+/// worker, or a stall (e.g. a worker process died mid-run).
+pub fn run_coordinator(
+    spec: &ClusterSpec,
+    factory: &dyn ProtocolFactory,
+    dir: &Path,
+) -> io::Result<ClusterOutcome> {
+    let started = Instant::now();
+    let name = factory.build(spec.seed).name().to_string();
+    let pm = PeerManager::bind(PeerConfig::new(
+        COORDINATOR,
+        peer_addr(dir, COORDINATOR),
+        spec.seed,
+    ))?;
+    pm.await_connections(spec.workers as usize, ASSEMBLY)?;
+
+    let contacts = spec.trace.len();
+    let mut coord = Coordinator {
+        spec,
+        pm: Arc::clone(&pm),
+        metrics: MetricsCollector::new(),
+        messages: Vec::with_capacity(spec.schedule.len()),
+        applied: 0,
+        busy: vec![false; spec.trace.node_count() as usize],
+        busy_nodes: 0,
+        pending: HashMap::new(),
+        buffered: BTreeMap::new(),
+        next_replay: 0,
+        exchange_ns: vec![0; contacts],
+        acks: 0,
+        barrier_target: None,
+        last_progress: Instant::now(),
+    };
+
+    for index in 0..contacts {
+        let contact = spec.trace.events()[index];
+        // Publications scheduled at or before this contact's start go
+        // first (inclusive boundary, same as the serial runner).
+        let mut due = coord.applied;
+        while due < spec.schedule.len() && spec.schedule[due].at <= contact.start {
+            due += 1;
+        }
+        if due > coord.applied {
+            coord.barrier(due)?;
+        }
+        while coord.busy[contact.a.index()] || coord.busy[contact.b.index()] {
+            coord.pump()?;
+        }
+        for node in [contact.a, contact.b] {
+            if !coord.busy[node.index()] {
+                coord.busy[node.index()] = true;
+                coord.busy_nodes += 1;
+            }
+        }
+        let executor = spec.node_owner(contact.a);
+        coord.pending.insert(
+            index as u64,
+            PendingContact {
+                executor,
+                at: Instant::now(),
+            },
+        );
+        coord.last_progress = Instant::now();
+        pm.send(
+            executor,
+            Frame::new(FrameKind::Dispatch, body_u64(index as u64)),
+        )?;
+    }
+    coord.drain_inflight()?;
+    // Trailing publications after the last contact (the serial
+    // runner's final inclusive flush).
+    if coord.applied < spec.schedule.len() {
+        coord.barrier(spec.schedule.len())?;
+    }
+    debug_assert_eq!(coord.next_replay as usize, contacts);
+
+    for worker in 1..=spec.workers {
+        pm.send(PeerId(worker), Frame::new(FrameKind::Done, Vec::new()))?;
+        // Flush the queue and half-close so DONE is guaranteed out
+        // before the manager shuts down.
+        pm.drain(PeerId(worker));
+    }
+    let report = coord.metrics.finish(&name);
+    let exchange_ns = coord.exchange_ns;
+    Ok(ClusterOutcome {
+        report,
+        exchange_ns,
+        wall: started.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_outcome_round_trips() {
+        let outcome = ExchangeOutcome {
+            index: 42,
+            forwardings: 3,
+            control_bytes: 128,
+            data_bytes: 4096,
+            injections: 2,
+            false_injections: 1,
+            deliveries: vec![(7, 11, true), (9, 0, false)],
+        };
+        assert_eq!(ExchangeOutcome::decode(&outcome.encode()).unwrap(), outcome);
+    }
+
+    #[test]
+    fn truncated_bodies_are_rejected() {
+        let outcome = ExchangeOutcome {
+            index: 1,
+            forwardings: 0,
+            control_bytes: 0,
+            data_bytes: 0,
+            injections: 0,
+            false_injections: 0,
+            deliveries: vec![(1, 2, true)],
+        };
+        let mut body = outcome.encode();
+        body.truncate(body.len() - 1);
+        assert!(ExchangeOutcome::decode(&body).is_err());
+        assert!(read_u64(&[1, 2, 3]).is_err());
+        assert!(read_u32(&[1, 2, 3, 4, 5]).is_err(), "trailing bytes");
+        let nb = body_node_bytes(9, b"snapshot");
+        assert_eq!(read_node_bytes(&nb).unwrap(), (9, b"snapshot".to_vec()));
+    }
+
+    #[test]
+    fn node_ownership_partitions_all_nodes() {
+        use bsub_traces::synthetic::SyntheticTrace;
+        let trace = SyntheticTrace::new("own", 9, SimDuration::from_mins(30), 20)
+            .seed(3)
+            .build();
+        let nodes = trace.node_count();
+        let subs = SubscriptionTable::new(nodes);
+        let spec = ClusterSpec::new(
+            trace,
+            subs,
+            Vec::<GeneratedMessage>::new(),
+            SimConfig::default(),
+            7,
+            3,
+        );
+        for n in 0..nodes {
+            let owner = spec.node_owner(NodeId::new(n));
+            assert!((1..=3).contains(&owner.0), "owner in worker range");
+            assert_ne!(owner, COORDINATOR);
+        }
+        assert_eq!(spec.node_owner(NodeId::new(0)), PeerId(1));
+        assert_eq!(spec.node_owner(NodeId::new(1)), PeerId(2));
+        assert_eq!(spec.node_owner(NodeId::new(3)), PeerId(1));
+    }
+}

@@ -1,0 +1,598 @@
+//! The peer/connection manager: lifecycle, dial races, backpressure.
+//!
+//! A [`PeerManager`] owns one listening socket and at most one live
+//! connection per remote peer. Each connection moves through the
+//! explicit state machine of DESIGN.md §12.1:
+//!
+//! ```text
+//! Idle → Dialing ──┐
+//!                  ├→ Established → Draining → Closed
+//! Idle → Accepting ┘        │
+//!                           └→ Closed   (error / displaced by a race)
+//! ```
+//!
+//! **Dial races.** Two peers that dial each other simultaneously
+//! create two sockets for one logical link. Both sides resolve the
+//! conflict with the same local rule — *the connection dialed by the
+//! lower peer id wins* — so they converge on one surviving socket
+//! without exchanging another byte (DESIGN.md §12.2). The loser is
+//! torn down and counted under the `net_race_lost` metric.
+//!
+//! **Backpressure.** Each connection's outbound path is a bounded
+//! queue drained by a dedicated writer thread; [`PeerManager::send`]
+//! blocks when the queue is full, so a slow peer throttles its
+//! producers instead of growing an unbounded buffer. Inbound frames
+//! from all peers funnel into one channel read via
+//! [`PeerManager::recv_timeout`].
+//!
+//! **Reset semantics.** Frame streams never resynchronize: any read
+//! error (CRC mismatch, unknown kind, EOF mid-frame) closes the
+//! connection. Re-establishing is the dialer's job, with the
+//! deterministic jittered backoff of [`crate::backoff`].
+
+use crate::backoff::Backoff;
+use crate::frame::{Frame, FrameKind, HEADER_LEN};
+use crate::transport::{EndpointAddr, Listener, Stream};
+use bsub_obs::{self as obs, Counter};
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// A cluster-wide peer identity. Ids double as the dial-race
+/// tiebreaker, so they must be unique within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerId(pub u32);
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer-{}", self.0)
+    }
+}
+
+/// Lifecycle state of the connection toward one remote peer
+/// (DESIGN.md §12.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConnState {
+    /// No connection and no attempt in progress.
+    #[default]
+    Idle,
+    /// An outbound dial (including its HELLO exchange) is in flight.
+    Dialing,
+    /// An inbound connection's HELLO exchange is in flight.
+    Accepting,
+    /// The connection is live in both directions.
+    Established,
+    /// The outbound queue is closed and flushing; reads continue
+    /// until the peer closes.
+    Draining,
+    /// The connection is gone (drained, errored, or displaced by a
+    /// dial race).
+    Closed,
+}
+
+/// Configuration for a [`PeerManager`].
+#[derive(Debug, Clone)]
+pub struct PeerConfig {
+    /// This peer's identity.
+    pub local: PeerId,
+    /// The address this peer listens on.
+    pub addr: EndpointAddr,
+    /// Seed for the deterministic dial backoff.
+    pub seed: u64,
+    /// Outbound queue depth per connection; a full queue blocks
+    /// [`PeerManager::send`] (backpressure).
+    pub queue_depth: usize,
+    /// Read timeout for the HELLO handshake.
+    pub handshake_timeout: Duration,
+    /// Dial attempts before [`PeerManager::connect`] gives up.
+    pub dial_attempts: u32,
+}
+
+impl PeerConfig {
+    /// A configuration with the defaults: queue depth 64, 2 s
+    /// handshake timeout, 200 dial attempts.
+    #[must_use]
+    pub fn new(local: PeerId, addr: EndpointAddr, seed: u64) -> Self {
+        Self {
+            local,
+            addr,
+            seed,
+            queue_depth: 64,
+            handshake_timeout: Duration::from_secs(2),
+            dial_attempts: 200,
+        }
+    }
+}
+
+/// One live connection's bookkeeping. The `stream` handle exists to
+/// tear the socket down; the reader and writer threads own clones.
+struct Conn {
+    tx: SyncSender<Frame>,
+    stream: Stream,
+    dialer: PeerId,
+    epoch: u64,
+}
+
+struct Shared {
+    local: PeerId,
+    queue_depth: usize,
+    conns: Mutex<HashMap<PeerId, Conn>>,
+    states: Mutex<HashMap<PeerId, ConnState>>,
+    inbound: Sender<(PeerId, Frame)>,
+    shutdown: AtomicBool,
+    epochs: AtomicU64,
+}
+
+impl Shared {
+    fn set_state(&self, peer: PeerId, state: ConnState) {
+        self.states.lock().expect("states lock").insert(peer, state);
+    }
+}
+
+/// Manages this peer's listening socket and its connections; see the
+/// module docs for the lifecycle, race, and backpressure rules.
+pub struct PeerManager {
+    shared: Arc<Shared>,
+    inbound_rx: Mutex<Receiver<(PeerId, Frame)>>,
+    config: PeerConfig,
+}
+
+impl fmt::Debug for PeerManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PeerManager")
+            .field("local", &self.config.local)
+            .field("addr", &self.config.addr)
+            .field("connections", &self.connection_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PeerManager {
+    /// Binds the configured address and starts the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(config: PeerConfig) -> io::Result<Arc<Self>> {
+        let listener = Listener::bind(&config.addr)?;
+        let (inbound_tx, inbound_rx) = mpsc::channel();
+        let shared = Arc::new(Shared {
+            local: config.local,
+            queue_depth: config.queue_depth,
+            conns: Mutex::new(HashMap::new()),
+            states: Mutex::new(HashMap::new()),
+            inbound: inbound_tx,
+            shutdown: AtomicBool::new(false),
+            epochs: AtomicU64::new(0),
+        });
+        let manager = Arc::new(Self {
+            shared: Arc::clone(&shared),
+            inbound_rx: Mutex::new(inbound_rx),
+            config: config.clone(),
+        });
+        let handshake_timeout = config.handshake_timeout;
+        thread::spawn(move || accept_loop(&shared, &listener, handshake_timeout));
+        Ok(manager)
+    }
+
+    /// This peer's identity.
+    #[must_use]
+    pub fn local(&self) -> PeerId {
+        self.config.local
+    }
+
+    /// The lifecycle state of the connection toward `peer`.
+    #[must_use]
+    pub fn state(&self, peer: PeerId) -> ConnState {
+        *self
+            .shared
+            .states
+            .lock()
+            .expect("states lock")
+            .get(&peer)
+            .unwrap_or(&ConnState::Idle)
+    }
+
+    /// The number of live connections.
+    #[must_use]
+    pub fn connection_count(&self) -> usize {
+        self.shared.conns.lock().expect("conns lock").len()
+    }
+
+    /// Dials `peer` at `addr` until a connection is established (in
+    /// either direction — losing a dial race to the peer's own dial
+    /// still counts as connected), retrying with the deterministic
+    /// jittered backoff.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::TimedOut`] after the configured number of
+    /// attempts; [`io::ErrorKind::Interrupted`] on shutdown.
+    pub fn connect(&self, peer: PeerId, addr: &EndpointAddr) -> io::Result<()> {
+        let mut backoff = Backoff::new(
+            self.config.seed,
+            u64::from(self.config.local.0),
+            u64::from(peer.0),
+        );
+        for _ in 0..self.config.dial_attempts {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "peer manager is shut down",
+                ));
+            }
+            if self.state(peer) == ConnState::Established {
+                return Ok(());
+            }
+            self.shared.set_state(peer, ConnState::Dialing);
+            match self.dial_once(peer, addr) {
+                Ok(()) => return Ok(()),
+                Err(_) => {
+                    obs::count(Counter::NetRetries, 1);
+                    if self.state(peer) == ConnState::Dialing {
+                        self.shared.set_state(peer, ConnState::Idle);
+                    }
+                    thread::sleep(backoff.next_delay());
+                }
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            format!("could not reach {peer} at {addr}"),
+        ))
+    }
+
+    fn dial_once(&self, peer: PeerId, addr: &EndpointAddr) -> io::Result<()> {
+        let mut stream = Stream::connect(addr)?;
+        stream.set_read_timeout(Some(self.config.handshake_timeout))?;
+        Frame::new(FrameKind::Hello, self.config.local.0.to_le_bytes().to_vec())
+            .write_to(&mut stream)?;
+        let reply = Frame::read_from(&mut stream)?;
+        let remote = decode_hello(&reply)?;
+        if remote != peer {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("dialed {peer}, reached {remote}"),
+            ));
+        }
+        stream.set_read_timeout(None)?;
+        // Either this socket was installed or an existing (or
+        // race-winning) connection already serves the peer — both
+        // mean "connected".
+        install(&self.shared, peer, stream, self.config.local)?;
+        Ok(())
+    }
+
+    /// Queues `frame` for `peer`. Blocks while the peer's bounded
+    /// outbound queue is full — this is the backpressure surface.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::NotConnected`] without a live connection;
+    /// [`io::ErrorKind::BrokenPipe`] if the connection died while the
+    /// frame was queued.
+    pub fn send(&self, peer: PeerId, frame: Frame) -> io::Result<()> {
+        let tx = {
+            let conns = self.shared.conns.lock().expect("conns lock");
+            conns.get(&peer).map(|c| c.tx.clone())
+        };
+        let tx = tx.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotConnected,
+                format!("no connection to {peer}"),
+            )
+        })?;
+        tx.send(frame)
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, format!("{peer} went away")))
+    }
+
+    /// Receives the next inbound frame from any peer, waiting at most
+    /// `timeout`. `None` on timeout.
+    #[must_use]
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<(PeerId, Frame)> {
+        self.inbound_rx
+            .lock()
+            .expect("inbound lock")
+            .recv_timeout(timeout)
+            .ok()
+    }
+
+    /// Waits until `count` connections are live.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::TimedOut`] if the cluster does not assemble
+    /// within `timeout`.
+    pub fn await_connections(&self, count: usize, timeout: Duration) -> io::Result<()> {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.connection_count() < count {
+            if std::time::Instant::now() > deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "{} of {count} peers connected before timeout",
+                        self.connection_count()
+                    ),
+                ));
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        Ok(())
+    }
+
+    /// Starts a graceful drain toward `peer`: the outbound queue is
+    /// closed and flushed by the writer, then the write side shuts
+    /// down; the peer observes a clean EOF after the last frame.
+    pub fn drain(&self, peer: PeerId) {
+        let removed = self.shared.conns.lock().expect("conns lock").remove(&peer);
+        if removed.is_some() {
+            // Dropping the Conn drops its SyncSender; the writer
+            // thread drains the queue, then half-closes the socket.
+            self.shared.set_state(peer, ConnState::Draining);
+        }
+    }
+
+    /// Tears down every connection and stops the accept loop.
+    /// Idempotent; also invoked on drop.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let conns: Vec<(PeerId, Conn)> = self
+            .shared
+            .conns
+            .lock()
+            .expect("conns lock")
+            .drain()
+            .collect();
+        for (peer, conn) in conns {
+            conn.stream.shutdown_both();
+            self.shared.set_state(peer, ConnState::Closed);
+        }
+    }
+}
+
+impl Drop for PeerManager {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn decode_hello(frame: &Frame) -> io::Result<PeerId> {
+    if frame.kind != FrameKind::Hello || frame.body.len() != 4 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed HELLO",
+        ));
+    }
+    Ok(PeerId(u32::from_le_bytes(
+        frame.body[..4].try_into().expect("4 bytes"),
+    )))
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &Listener, handshake_timeout: Duration) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept_pending() {
+            Ok(Some(stream)) => {
+                let shared = Arc::clone(shared);
+                thread::spawn(move || accept_handshake(&shared, stream, handshake_timeout));
+            }
+            Ok(None) => thread::sleep(Duration::from_millis(5)),
+            Err(_) => break,
+        }
+    }
+}
+
+fn accept_handshake(shared: &Arc<Shared>, mut stream: Stream, handshake_timeout: Duration) {
+    let outcome = (|| -> io::Result<()> {
+        stream.set_read_timeout(Some(handshake_timeout))?;
+        let hello = Frame::read_from(&mut stream)?;
+        let remote = decode_hello(&hello)?;
+        shared.set_state(remote, ConnState::Accepting);
+        Frame::new(FrameKind::Hello, shared.local.0.to_le_bytes().to_vec())
+            .write_to(&mut stream)?;
+        stream.set_read_timeout(None)?;
+        // An accepted connection was dialed by the remote peer.
+        install(shared, remote, stream, remote)?;
+        Ok(())
+    })();
+    // A failed handshake leaves no installed connection; nothing to
+    // clean up beyond dropping the socket.
+    let _ = outcome;
+}
+
+/// Installs a freshly handshaken connection, resolving a dial race if
+/// a connection to `peer` already exists: the socket dialed by the
+/// lower peer id survives, the other is torn down (both sides apply
+/// the same rule and converge without coordination).
+fn install(shared: &Arc<Shared>, peer: PeerId, stream: Stream, dialer: PeerId) -> io::Result<bool> {
+    let reader_stream = stream.try_clone()?;
+    let writer_stream = stream.try_clone()?;
+    let mut conns = shared.conns.lock().expect("conns lock");
+    if let Some(existing) = conns.get(&peer) {
+        if existing.dialer <= dialer {
+            // The established connection wins: it was dialed by the
+            // lower id (or this is a duplicate dial of the same
+            // direction). Discard the newcomer.
+            obs::count(Counter::NetRaceLost, 1);
+            drop(conns);
+            stream.shutdown_both();
+            return Ok(false);
+        }
+        // The newcomer wins the race: displace the established
+        // connection. Its reader observes the teardown and exits
+        // without touching the new entry (epoch check).
+        obs::count(Counter::NetRaceLost, 1);
+        if let Some(old) = conns.remove(&peer) {
+            old.stream.shutdown_both();
+        }
+    }
+    let epoch = shared.epochs.fetch_add(1, Ordering::SeqCst) + 1;
+    let (tx, rx) = mpsc::sync_channel(shared.queue_depth);
+    conns.insert(
+        peer,
+        Conn {
+            tx,
+            stream,
+            dialer,
+            epoch,
+        },
+    );
+    drop(conns);
+    shared.set_state(peer, ConnState::Established);
+    {
+        let shared = Arc::clone(shared);
+        thread::spawn(move || reader_loop(&shared, reader_stream, peer, epoch));
+    }
+    thread::spawn(move || writer_loop(writer_stream, &rx));
+    Ok(true)
+}
+
+fn reader_loop(shared: &Arc<Shared>, mut stream: Stream, peer: PeerId, epoch: u64) {
+    // Reset semantics: any read error — CRC mismatch, EOF mid-frame,
+    // socket teardown — ends the connection; the stream is never
+    // resynchronized.
+    while let Ok(frame) = Frame::read_from(&mut stream) {
+        obs::count(Counter::NetFramesRecv, 1);
+        obs::count(
+            Counter::NetBytesRecv,
+            (HEADER_LEN + frame.body.len()) as u64,
+        );
+        if shared.inbound.send((peer, frame)).is_err() {
+            break;
+        }
+    }
+    let mut conns = shared.conns.lock().expect("conns lock");
+    // Only retire the entry if it is still ours; if a dial race
+    // displaced this connection, the winner's entry stays untouched.
+    if conns.get(&peer).is_some_and(|c| c.epoch == epoch) {
+        if let Some(conn) = conns.remove(&peer) {
+            conn.stream.shutdown_both();
+        }
+        drop(conns);
+        shared.set_state(peer, ConnState::Closed);
+    }
+}
+
+fn writer_loop(mut stream: Stream, rx: &Receiver<Frame>) {
+    while let Ok(frame) = rx.recv() {
+        let bytes = frame.encoded_len() as u64;
+        if frame.write_to(&mut stream).is_err() {
+            return; // reader notices the dead socket and retires it
+        }
+        obs::count(Counter::NetFramesSent, 1);
+        obs::count(Counter::NetBytesSent, bytes);
+    }
+    // Queue closed (drain): everything queued has been written.
+    stream.shutdown_write();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn scratch_addr(tag: &str) -> EndpointAddr {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        EndpointAddr::Unix(
+            std::env::temp_dir().join(format!("bsub-peer-{}-{tag}-{n}.sock", std::process::id())),
+        )
+    }
+
+    fn pair(
+        tag: &str,
+    ) -> (
+        Arc<PeerManager>,
+        Arc<PeerManager>,
+        EndpointAddr,
+        EndpointAddr,
+    ) {
+        let (a_addr, b_addr) = (
+            scratch_addr(&format!("{tag}a")),
+            scratch_addr(&format!("{tag}b")),
+        );
+        let a = PeerManager::bind(PeerConfig::new(PeerId(0), a_addr.clone(), 7)).unwrap();
+        let b = PeerManager::bind(PeerConfig::new(PeerId(1), b_addr.clone(), 7)).unwrap();
+        (a, b, a_addr, b_addr)
+    }
+
+    #[test]
+    fn connect_send_recv() {
+        let (a, b, _a_addr, b_addr) = pair("basic");
+        a.connect(PeerId(1), &b_addr).unwrap();
+        assert_eq!(a.state(PeerId(1)), ConnState::Established);
+        a.send(
+            PeerId(1),
+            Frame::new(FrameKind::Dispatch, 42u64.to_le_bytes().to_vec()),
+        )
+        .unwrap();
+        let (from, frame) = b
+            .recv_timeout(Duration::from_secs(5))
+            .expect("frame arrives");
+        assert_eq!(from, PeerId(0));
+        assert_eq!(frame.kind, FrameKind::Dispatch);
+        assert_eq!(b.state(PeerId(0)), ConnState::Established);
+        // And the reverse direction over the same socket.
+        b.send(PeerId(0), Frame::new(FrameKind::PublishOk, Vec::new()))
+            .unwrap();
+        let (from, frame) = a
+            .recv_timeout(Duration::from_secs(5))
+            .expect("reply arrives");
+        assert_eq!((from, frame.kind), (PeerId(1), FrameKind::PublishOk));
+    }
+
+    #[test]
+    fn send_without_connection_errors() {
+        let (a, _b, _a_addr, _b_addr) = pair("noconn");
+        let err = a
+            .send(PeerId(9), Frame::new(FrameKind::Done, Vec::new()))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotConnected);
+        assert_eq!(a.state(PeerId(9)), ConnState::Idle);
+    }
+
+    #[test]
+    fn connect_retries_until_listener_appears() {
+        let addr = scratch_addr("late");
+        let a = PeerManager::bind(PeerConfig::new(PeerId(0), scratch_addr("latea"), 7)).unwrap();
+        let dial_addr = addr.clone();
+        let dialer = {
+            let a = Arc::clone(&a);
+            thread::spawn(move || a.connect(PeerId(1), &dial_addr))
+        };
+        // Let a few dial attempts fail before the listener exists.
+        thread::sleep(Duration::from_millis(60));
+        let _b = PeerManager::bind(PeerConfig::new(PeerId(1), addr, 7)).unwrap();
+        dialer.join().unwrap().unwrap();
+        assert_eq!(a.state(PeerId(1)), ConnState::Established);
+    }
+
+    #[test]
+    fn drain_flushes_then_closes() {
+        let (a, b, _a_addr, b_addr) = pair("drain");
+        a.connect(PeerId(1), &b_addr).unwrap();
+        a.send(PeerId(1), Frame::new(FrameKind::Done, Vec::new()))
+            .unwrap();
+        a.drain(PeerId(1));
+        assert!(matches!(
+            a.state(PeerId(1)),
+            ConnState::Draining | ConnState::Closed
+        ));
+        // The queued frame still arrives before the EOF.
+        let (_, frame) = b
+            .recv_timeout(Duration::from_secs(5))
+            .expect("drained frame");
+        assert_eq!(frame.kind, FrameKind::Done);
+        // B's reader sees the clean EOF and retires the connection.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while b.state(PeerId(0)) != ConnState::Closed {
+            assert!(std::time::Instant::now() < deadline, "peer retires on EOF");
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(b.connection_count(), 0);
+    }
+}

@@ -59,7 +59,7 @@ mod report;
 
 pub use crate::hist::Histogram;
 pub use crate::profiler::{
-    absorb, count, finish, gauge_add, gauge_set, gauge_sub, is_active, observe, span, start,
-    Counter, Gauge, SizeHist, Span, TimeHist, OCCUPANCY_SAMPLE_PERIOD,
+    absorb, count, finish, gauge_add, gauge_set, gauge_sub, is_active, observe, observe_ns, span,
+    start, Counter, Gauge, SizeHist, Span, TimeHist, OCCUPANCY_SAMPLE_PERIOD,
 };
 pub use crate::report::{calibrate_ns, MetricsReport, ProfReport};

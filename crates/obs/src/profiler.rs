@@ -65,11 +65,25 @@ pub enum Counter {
     DataBytes,
     /// Encoded control-filter bytes produced by the wire codec.
     WireBytes,
+    /// Network frames written to a socket (`bsub-net`).
+    NetFramesSent,
+    /// Network frames read and accepted from a socket (`bsub-net`).
+    NetFramesRecv,
+    /// Bytes written to sockets, headers included (`bsub-net`).
+    NetBytesSent,
+    /// Bytes read from sockets, headers included (`bsub-net`).
+    NetBytesRecv,
+    /// Dial attempts that were retried after a connect failure or
+    /// handshake timeout (`bsub-net`).
+    NetRetries,
+    /// Connections closed as the losing side of a simultaneous-dial
+    /// race (`bsub-net`).
+    NetRaceLost,
 }
 
 impl Counter {
     /// Every counter, in stable report order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 28] = [
         Counter::TcbfInsert,
         Counter::TcbfAMerge,
         Counter::TcbfMMerge,
@@ -92,6 +106,12 @@ impl Counter {
         Counter::ControlBytes,
         Counter::DataBytes,
         Counter::WireBytes,
+        Counter::NetFramesSent,
+        Counter::NetFramesRecv,
+        Counter::NetBytesSent,
+        Counter::NetBytesRecv,
+        Counter::NetRetries,
+        Counter::NetRaceLost,
     ];
 
     /// Stable snake-case name used in JSON and tables.
@@ -120,6 +140,12 @@ impl Counter {
             Counter::ControlBytes => "control_bytes",
             Counter::DataBytes => "data_bytes",
             Counter::WireBytes => "wire_bytes",
+            Counter::NetFramesSent => "net_frames_sent",
+            Counter::NetFramesRecv => "net_frames_recv",
+            Counter::NetBytesSent => "net_bytes_sent",
+            Counter::NetBytesRecv => "net_bytes_recv",
+            Counter::NetRetries => "net_retries",
+            Counter::NetRaceLost => "net_race_lost",
         }
     }
 }
@@ -183,17 +209,21 @@ pub enum TimeHist {
     DecodeNs,
     /// One full protocol contact handler.
     ContactNs,
+    /// One networked contact exchange, dispatch to result, as seen by
+    /// the cluster coordinator (`bsub-net`).
+    NetExchangeNs,
 }
 
 impl TimeHist {
     /// Every timing histogram, in stable report order.
-    pub const ALL: [TimeHist; 6] = [
+    pub const ALL: [TimeHist; 7] = [
         TimeHist::MergeNs,
         TimeHist::DecayNs,
         TimeHist::PreferenceNs,
         TimeHist::EncodeNs,
         TimeHist::DecodeNs,
         TimeHist::ContactNs,
+        TimeHist::NetExchangeNs,
     ];
 
     /// Stable snake-case name used in JSON and tables.
@@ -206,6 +236,7 @@ impl TimeHist {
             TimeHist::EncodeNs => "wire_encode_ns",
             TimeHist::DecodeNs => "wire_decode_ns",
             TimeHist::ContactNs => "contact_ns",
+            TimeHist::NetExchangeNs => "net_exchange_ns",
         }
     }
 }
@@ -359,6 +390,15 @@ pub fn gauge_set(g: Gauge, level: u64) {
 #[inline]
 pub fn observe(h: SizeHist, value: u64) {
     with_profiler(|p| p.size_hists[h as usize].record(value));
+}
+
+/// Records an externally measured duration into a timing histogram —
+/// for latencies that cannot be bracketed by a [`span`] (e.g. a
+/// request/response round trip observed across threads). Free when
+/// inactive.
+#[inline]
+pub fn observe_ns(h: TimeHist, ns: u64) {
+    with_profiler(|p| p.time_hists[h as usize].record(ns));
 }
 
 /// A scoped timing guard returned by [`span`]: measures wall-clock

@@ -58,6 +58,7 @@ pub mod protocols;
 pub mod record;
 mod runner;
 mod shard;
+pub mod snapshot;
 mod subscriptions;
 
 pub use crate::fault::{FaultSpec, WireCorruption};

@@ -187,6 +187,28 @@ impl MetricsCollector {
         }
     }
 
+    /// Adds another run segment's *scalar cost tallies* (forwardings,
+    /// control/data bytes, injections, false injections) into this
+    /// collector, saturating like every other tally.
+    ///
+    /// This is the coordinator-side merge seam for `bsub-net`: a
+    /// remote worker executes a contact with a throwaway collector,
+    /// ships the finished [`SimReport`] home, and the coordinator
+    /// folds the costs in here while replaying the *delivery* events
+    /// through [`MetricsCollector::on_delivery`] so the master ledger
+    /// keeps global (message, node) dedup. Generated/contact counts
+    /// and delays are deliberately excluded — the coordinator already
+    /// accounts those itself.
+    pub fn absorb_costs(&mut self, report: &SimReport) {
+        self.forwardings = self.forwardings.saturating_add(report.forwardings);
+        self.control_bytes = self.control_bytes.saturating_add(report.control_bytes);
+        self.data_bytes = self.data_bytes.saturating_add(report.data_bytes);
+        self.injections = self.injections.saturating_add(report.injections);
+        self.false_injections = self
+            .false_injections
+            .saturating_add(report.false_injections);
+    }
+
     /// Finalizes into a report for the protocol named `protocol`.
     #[must_use]
     pub fn finish(self, protocol: &str) -> SimReport {
@@ -628,6 +650,42 @@ mod tests {
         primary.absorb(w2);
         primary.absorb(w1);
         assert_eq!(primary.finish("t"), forward);
+    }
+
+    /// `absorb_costs` folds only the scalar cost tallies — deliveries,
+    /// generation counts, contacts, and delays stay untouched so the
+    /// coordinator's own accounting is not double-counted.
+    #[test]
+    fn absorb_costs_merges_only_scalar_costs() {
+        let mut remote = MetricsCollector::new();
+        remote.on_generated(5);
+        remote.on_contact();
+        remote.on_forwarding(100);
+        remote.on_control(32);
+        remote.on_injection(true);
+        remote.on_injection(false);
+        let _ = remote.on_delivery(
+            &msg(1, 0, 1000),
+            NodeId::new(1),
+            SimTime::from_secs(10),
+            true,
+        );
+        let report = remote.finish("remote");
+
+        let mut home = MetricsCollector::new();
+        home.on_forwarding(1);
+        home.absorb_costs(&report);
+        let r = home.finish("home");
+        assert_eq!(r.forwardings, 2);
+        assert_eq!(r.data_bytes, 101);
+        assert_eq!(r.control_bytes, 32);
+        assert_eq!(r.injections, 2);
+        assert_eq!(r.false_injections, 1);
+        // Excluded on purpose:
+        assert_eq!(r.generated, 0);
+        assert_eq!(r.contacts, 0);
+        assert_eq!(r.delivered, 0);
+        assert_eq!(r.delay_total, SimDuration::from_secs(0));
     }
 
     #[test]

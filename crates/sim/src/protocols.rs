@@ -64,6 +64,24 @@ impl<'a> SimCtx<'a> {
         self.corruption = Some(CorruptionDraws { rng, ppm });
     }
 
+    /// Builds a context for a single protocol exchange driven from
+    /// *outside* the simulation runner — the seam the networked
+    /// runtime (`bsub-net`) uses to execute one contact against a
+    /// protocol instance it hosts.
+    ///
+    /// Identical to the runner's internal context except that no fault
+    /// stream is attached ([`SimCtx::draw_corruption`] always answers
+    /// `None`); real sockets surface their own failures.
+    #[must_use]
+    pub fn for_exchange(
+        now: SimTime,
+        subscriptions: &'a SubscriptionTable,
+        metrics: &'a mut MetricsCollector,
+        recorder: &'a mut dyn Recorder,
+    ) -> Self {
+        Self::new(now, subscriptions, metrics, recorder)
+    }
+
     /// Draws the fate of one in-flight control-plane encoding:
     /// `Some(damage)` if fault injection corrupts this transmission.
     ///
@@ -254,6 +272,33 @@ pub trait Protocol: std::any::Any + Send {
     ///
     /// The default for non-sharding protocols is a no-op.
     fn put_node(&mut self, _node: NodeId, _state: Box<dyn std::any::Any + Send>) {}
+
+    /// Networked-execution capability: serializes `node`'s complete
+    /// per-node state to a portable byte snapshot that a *different
+    /// process* running a sibling instance of the same concrete
+    /// protocol can absorb via [`Protocol::import_node`].
+    ///
+    /// Unlike [`Protocol::take_node`] (an in-process `Box<dyn Any>`
+    /// move), the snapshot must be self-contained bytes: the two
+    /// instances share no heap. `None` means the protocol does not
+    /// support networked state shipping; the default is `None`.
+    ///
+    /// The round-trip contract is exactness: importing an exported
+    /// snapshot must leave the receiving instance's behavior (every
+    /// future forwarding decision, filter bit, and counter) identical
+    /// to the exporting instance's. `bsub-net` relies on this to
+    /// reproduce simulator figure CSVs byte-for-byte over sockets.
+    fn export_node(&self, _node: NodeId) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Replaces `node`'s state with a snapshot previously produced by
+    /// [`Protocol::export_node`] on a sibling instance (possibly in
+    /// another process). Returns `false` when the protocol does not
+    /// support networked state shipping or the snapshot is malformed.
+    fn import_node(&mut self, _node: NodeId, _bytes: &[u8]) -> bool {
+        false
+    }
 }
 
 /// Builds fresh [`Protocol`] instances, one per run.

@@ -3,16 +3,21 @@
 //!
 //! See the individual crates for documentation:
 //!
+//! - [`obs`] — allocation-free in-process metrics and profiling.
 //! - [`bloom`] — Bloom filter, counting Bloom filter, and the TCBF.
 //! - [`traces`] — contact traces: parsers, synthetic generators, stats.
 //! - [`sim`] — the contact-driven DTN simulator and its metrics.
 //! - [`workload`] — Twitter-trend keys and message generation.
 //! - [`baselines`] — the PUSH and PULL comparison protocols.
 //! - [`core`] — the B-SUB protocol itself.
+//! - [`net`] — the networked runtime: framed socket exchanges and the
+//!   loopback cluster driver.
 
 pub use bsub_baselines as baselines;
 pub use bsub_bloom as bloom;
 pub use bsub_core as core;
+pub use bsub_net as net;
+pub use bsub_obs as obs;
 pub use bsub_sim as sim;
 pub use bsub_traces as traces;
 pub use bsub_workload as workload;
