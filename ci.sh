@@ -61,13 +61,46 @@ stage "build (cargo build --release --workspace)"
 cargo build --release --workspace
 
 stage "test (cargo test --workspace)"
-cargo test --workspace -q
+# `-- -q` quiets the per-test lines while keeping cargo's `Running` /
+# `Doc-tests` headers, so the count summary below can name each suite.
+TEST_LOG="$(mktemp)"
+cargo test --workspace -- -q 2>&1 | tee "$TEST_LOG"
+
+test_counts() {
+    echo
+    echo "== test counts =="
+    awk '
+        / Running / {
+            name = $0
+            sub(/^.* Running +/, "", name)
+            src = name
+            sub(/ \(.*\)$/, "", src)
+            bin = name
+            sub(/^.*\(/, "", bin)
+            sub(/\)$/, "", bin)
+            sub(/^.*\//, "", bin)
+            sub(/-[0-9a-f]+$/, "", bin)
+            name = bin " (" src ")"
+            next
+        }
+        / Doc-tests / { name = "doc-tests " $NF; next }
+        /^test result:/ {
+            passed = $4
+            total += passed
+            printf "%6d passed  %s\n", passed, name
+        }
+        END { printf "%6d passed  total\n", total }
+    ' "$TEST_LOG"
+}
 
 if [ "$QUICK" = 1 ]; then
+    test_counts
+    rm -f "$TEST_LOG"
     timing_summary
     echo "CI OK (quick)"
     exit 0
 fi
+rm -f "$TEST_LOG"
 
 stage "fmt (cargo fmt --check)"
 cargo fmt --check
@@ -143,6 +176,21 @@ test -s "$SMOKE_DIR/sharded/scale_smoke.csv" || {
 if ! diff <(cut -d, -f1,2,4- "$SMOKE_DIR/scale_smoke.csv") \
     <(cut -d, -f1,2,4- "$SMOKE_DIR/sharded/scale_smoke.csv"); then
     echo "sharded scale run diverged from the serial run" >&2
+    exit 1
+fi
+
+stage "matching --smoke --check (subscription-aggregation index)"
+# Aggregates the smoke subscription sets, proves index-vs-reference
+# equality in-process, gates on the committed BENCH_perf.json entry,
+# and diffs the deterministic smoke CSV against the committed copy —
+# every column is a counter, so the file must match byte for byte.
+BSUB_RESULTS_DIR="$SMOKE_DIR" ./target/release/matching --smoke --check
+test -s "$SMOKE_DIR/matching_smoke.csv" || {
+    echo "missing smoke artifact: matching_smoke.csv" >&2
+    exit 1
+}
+if ! diff "$SMOKE_DIR/matching_smoke.csv" results/matching_smoke.csv; then
+    echo "matching smoke run diverged from the committed artifact" >&2
     exit 1
 fi
 

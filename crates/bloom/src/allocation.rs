@@ -13,6 +13,7 @@
 //! `n_keys / h` keys per filter becomes the allocation threshold θ.
 
 use crate::error::Error;
+use crate::hash::KeyHasher;
 use crate::math;
 use crate::tcbf::Tcbf;
 use crate::wire::{self, CounterMode};
@@ -164,6 +165,45 @@ impl TcbfPool {
         }
         let mut fresh = Tcbf::new(self.bits, self.hashes, self.initial);
         fresh.insert(key).expect("fresh filter accepts inserts");
+        self.filters.push(fresh);
+    }
+
+    /// Inserts-or-refreshes a key, identified by its pre-computed
+    /// [`KeyHasher::digests`], at strength `value`: afterwards some
+    /// filter in the pool holds every position of the key at a
+    /// materialized counter `>= value`, i.e.
+    /// `self.min_counter(key) >= value`.
+    ///
+    /// This is the aggregation write path of `bsub-match`: unlike
+    /// [`TcbfPool::insert`], which keeps already-set counters (the
+    /// paper's insertion rule), reinforcement *refreshes* counters
+    /// that an earlier key set and decay has since weakened, so a
+    /// tier-level pool stays a superset of every member filter. The
+    /// digests must come from the same hasher the pool's filters use
+    /// (the crate default unless constructed otherwise). Spill
+    /// behavior mirrors `insert`: a fresh filter is allocated when the
+    /// active one is past the threshold θ and does not already hold
+    /// the key.
+    pub fn reinforce(&mut self, digests: (u64, u64), value: u32) {
+        if value == 0 {
+            return;
+        }
+        let (hashes, bits) = (self.hashes, self.bits);
+        let active = self.filters.last_mut().expect("pool is never empty");
+        let present = KeyHasher::positions_from_digests(digests, hashes, bits)
+            .all(|p| active.counter_at(p) > 0);
+        if present || active.fill_ratio() <= self.fr_threshold {
+            active.refresh_positions(
+                KeyHasher::positions_from_digests(digests, hashes, bits),
+                value,
+            );
+            return;
+        }
+        let mut fresh = Tcbf::new(self.bits, self.hashes, self.initial);
+        fresh.refresh_positions(
+            KeyHasher::positions_from_digests(digests, hashes, bits),
+            value,
+        );
         self.filters.push(fresh);
     }
 
@@ -323,6 +363,80 @@ mod tests {
         }
         assert_eq!(pool.min_counter("a"), 7);
         assert_eq!(pool.min_counter("absent-key"), 0);
+    }
+
+    #[test]
+    fn reinforce_guarantees_min_counter() {
+        let hasher = KeyHasher::default();
+        let mut pool = TcbfPool::new(256, 4, 10, 0.3);
+        for i in 0..40 {
+            pool.insert(format!("base-{i}"));
+        }
+        pool.decay(6);
+        pool.reinforce(hasher.digests(b"fresh"), 9);
+        assert!(pool.min_counter("fresh") >= 9);
+    }
+
+    #[test]
+    fn reinforce_refreshes_decayed_counters() {
+        // insert keeps already-set counters; reinforce raises them.
+        let hasher = KeyHasher::default();
+        let mut pool = TcbfPool::new(256, 4, 10, 0.9);
+        pool.insert("k");
+        pool.decay(7);
+        assert_eq!(pool.min_counter("k"), 3);
+        pool.insert("k");
+        assert_eq!(pool.min_counter("k"), 3, "insert keeps set counters");
+        pool.reinforce(hasher.digests(b"k"), 10);
+        assert_eq!(pool.min_counter("k"), 10, "reinforce refreshes them");
+    }
+
+    #[test]
+    fn reinforce_spills_past_threshold_like_insert() {
+        let hasher = KeyHasher::default();
+        let mut pool = TcbfPool::new(256, 4, 10, 0.2);
+        for i in 0..50 {
+            pool.reinforce(hasher.digests(format!("spill-{i}").as_bytes()), 10);
+        }
+        assert!(pool.filter_count() >= 2);
+        for i in 0..50 {
+            assert!(pool.min_counter(format!("spill-{i}")) >= 10);
+        }
+    }
+
+    #[test]
+    fn reinforce_present_key_refreshes_in_place_past_threshold() {
+        // Push the active filter just past θ while it holds "k": every
+        // call below finds fill ≤ θ at call time, so nothing spills.
+        let hasher = KeyHasher::default();
+        let mut pool = TcbfPool::new(64, 4, 10, 0.2);
+        pool.reinforce(hasher.digests(b"k"), 10);
+        let mut i = 0;
+        while pool.filters().last().unwrap().fill_ratio() <= 0.2 {
+            pool.reinforce(hasher.digests(format!("fill-{i}").as_bytes()), 10);
+            i += 1;
+        }
+        assert_eq!(pool.filter_count(), 1);
+        pool.decay(4);
+        pool.reinforce(hasher.digests(b"k"), 10);
+        assert_eq!(
+            pool.filter_count(),
+            1,
+            "refreshing a key the active filter holds must not spill"
+        );
+        assert_eq!(pool.min_counter("k"), 10);
+        // A genuinely new key now does spill.
+        pool.reinforce(hasher.digests(b"brand-new"), 10);
+        assert_eq!(pool.filter_count(), 2);
+    }
+
+    #[test]
+    fn reinforce_zero_value_is_noop() {
+        let hasher = KeyHasher::default();
+        let mut pool = TcbfPool::new(256, 4, 10, 0.3);
+        let bits = pool.set_bits();
+        pool.reinforce(hasher.digests(b"k"), 0);
+        assert_eq!(pool.set_bits(), bits);
     }
 
     #[test]

@@ -99,10 +99,28 @@ impl KeyHasher {
     #[must_use]
     pub fn positions(&self, key: &[u8], k: usize, m: usize) -> Positions {
         assert!(m > 0, "filter length must be positive");
-        let (h1, h2) = self.digests(key);
+        Self::positions_from_digests(self.digests(key), k, m)
+    }
+
+    /// Returns the `k` bit positions derived from pre-computed
+    /// [`KeyHasher::digests`] output, for a filter of `m` bits.
+    ///
+    /// This is the batch-matching fast path: hash a key **once**, then
+    /// derive positions for any number of filter geometries (brokers
+    /// probe per-subscriber filters and tier aggregates of different
+    /// `m` from the same digest pair). Identical to
+    /// [`KeyHasher::positions`] when the digests came from the same
+    /// hasher and key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn positions_from_digests(digests: (u64, u64), k: usize, m: usize) -> Positions {
+        assert!(m > 0, "filter length must be positive");
         Positions {
-            h1,
-            h2,
+            h1: digests.0,
+            h2: digests.1,
             m: m as u64,
             i: 0,
             k,
@@ -185,6 +203,19 @@ mod tests {
                 for pos in h.positions(key.as_bytes(), 8, m) {
                     assert!(pos < m, "key={key} m={m} pos={pos}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn positions_from_digests_match_keyed_positions() {
+        let h = KeyHasher::default();
+        for key in ["a", "", "NewMoon", "Thanksgiving"] {
+            let digests = h.digests(key.as_bytes());
+            for &m in &[7usize, 64, 256, 4096] {
+                let direct: Vec<_> = h.positions(key.as_bytes(), 4, m).collect();
+                let derived: Vec<_> = KeyHasher::positions_from_digests(digests, 4, m).collect();
+                assert_eq!(direct, derived, "key={key} m={m}");
             }
         }
     }

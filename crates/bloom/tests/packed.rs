@@ -396,3 +396,57 @@ fn split_decay_equals_total_decay() {
         );
     }
 }
+
+/// Sparse A-merge ≡ dense A-merge under randomized epoch skew: the
+/// receiver and the source each carry independent random lazy-decay
+/// epochs, and folding `other` in dense form must leave the same
+/// materialized state as folding `other.sparse_words()` — the sparse
+/// path both materializes the source (sparse entries are epoch-free)
+/// and flushes the receiver's pending epoch before adding.
+#[test]
+fn sparse_a_merge_matches_dense_under_epoch_skew() {
+    for case in 0..CASES {
+        let mut rng = rng_for(7000 + case);
+
+        let build = |rng: &mut SplitMix64| {
+            let mut f = PackedTcbf::new(256, 4, (rng.below(14) + 1) as u8);
+            for key in random_keys(rng, 12) {
+                let _ = f.insert(key);
+            }
+            f
+        };
+        let mut receiver = build(&mut rng);
+        // Pile on extra merges so some nibbles sit near saturation.
+        for _ in 0..rng.below_usize(3) {
+            let extra = build(&mut rng);
+            receiver.a_merge(&extra).unwrap();
+        }
+        let mut source = build(&mut rng);
+
+        // Independent random epoch skew on both sides (decay keeps the
+        // epochs lazy below the clear-at-15 shortcut).
+        receiver.decay(rng.below(8) as u32);
+        source.decay(rng.below(8) as u32);
+
+        let mut dense = receiver.clone();
+        dense.a_merge(&source).unwrap();
+
+        let mut sparse = receiver.clone();
+        sparse.a_merge_sparse(&source.sparse_words());
+
+        assert_eq!(
+            dense.materialized_words(),
+            sparse.materialized_words(),
+            "case {case}: dense and sparse A-merge diverged"
+        );
+        // Subsequent uniform decay keeps them in agreement too.
+        let d = rng.below(6) as u32;
+        dense.decay(d);
+        sparse.decay(d);
+        assert_eq!(
+            dense.materialized_words(),
+            sparse.materialized_words(),
+            "case {case}: divergence after post-merge decay"
+        );
+    }
+}

@@ -44,6 +44,7 @@ use crate::broker::ElectionAction;
 use crate::config::BsubConfig;
 use crate::node::{Carried, NodeState, Produced, Role};
 use bsub_bloom::wire::{self, CounterMode};
+use bsub_match::ProbeCache;
 use bsub_obs::{self as obs, Counter, Gauge};
 use bsub_sim::{
     Link, MergeKind, Message, PreferenceValue, Protocol, SimCtx, SubscriptionTable, TraceEvent,
@@ -416,6 +417,7 @@ impl BsubProtocol {
         &mut self,
         ctx: &mut SimCtx<'_>,
         link: &mut Link,
+        probes: &mut ProbeCache,
         src: NodeId,
         dst: NodeId,
         channel: FilterChannel,
@@ -454,7 +456,11 @@ impl BsubProtocol {
             if produced.msg.is_expired(now)
                 || produced.delivered_to.contains(&dst)
                 || produced.msg.producer == dst
-                || !dst_bloom.contains(produced.msg.key.as_bytes())
+                || !probes.contains(
+                    produced.msg.id.raw(),
+                    produced.msg.key.as_bytes(),
+                    &dst_bloom,
+                )
             {
                 continue;
             }
@@ -472,7 +478,7 @@ impl BsubProtocol {
             if carried.msg.is_expired(now)
                 || carried.delivered_to.contains(&dst)
                 || carried.msg.producer == dst
-                || !dst_bloom.contains(carried.msg.key.as_bytes())
+                || !probes.contains(carried.msg.id.raw(), carried.msg.key.as_bytes(), &dst_bloom)
             {
                 continue;
             }
@@ -494,6 +500,7 @@ impl BsubProtocol {
         &mut self,
         ctx: &mut SimCtx<'_>,
         link: &mut Link,
+        probes: &mut ProbeCache,
         producer: NodeId,
         broker: NodeId,
     ) -> bool {
@@ -539,7 +546,11 @@ impl BsubProtocol {
             if produced.copies_left == 0
                 || produced.msg.is_expired(now)
                 || broker_state.seen.contains(&produced.msg.id)
-                || !relay_bloom.contains(produced.msg.key.as_bytes())
+                || !probes.contains(
+                    produced.msg.id.raw(),
+                    produced.msg.key.as_bytes(),
+                    &relay_bloom,
+                )
             {
                 continue;
             }
@@ -882,6 +893,13 @@ impl Protocol for BsubProtocol {
         // 5a + 5c: serve each side as a consumer. The genuine filter
         // already traveled (with counters) if the serving side is a
         // broker — unless it was corrupted in flight.
+        //
+        // A contact probes the same message against up to two filters
+        // (a genuine bloom in 5a/5c, a relay bloom in 5b); the probe
+        // cache hashes each message key once per contact and replays
+        // the digest pair — the decisions are bit-identical to direct
+        // `contains` calls.
+        let mut probes = ProbeCache::new(self.nodes[a.index()].genuine.hasher());
         let channel = |server_is_broker: bool, arrived: bool| {
             if !server_is_broker {
                 FilterChannel::Pay
@@ -891,18 +909,18 @@ impl Protocol for BsubProtocol {
                 FilterChannel::Corrupted
             }
         };
-        if !self.serve_consumer(ctx, link, a, b, channel(a_is_broker, a_got_b)) {
+        if !self.serve_consumer(ctx, link, &mut probes, a, b, channel(a_is_broker, a_got_b)) {
             return;
         }
-        if !self.serve_consumer(ctx, link, b, a, channel(b_is_broker, b_got_a)) {
+        if !self.serve_consumer(ctx, link, &mut probes, b, a, channel(b_is_broker, b_got_a)) {
             return;
         }
 
         // 5b: producers replicate to brokers.
-        if !self.replicate_to_broker(ctx, link, a, b) {
+        if !self.replicate_to_broker(ctx, link, &mut probes, a, b) {
             return;
         }
-        if !self.replicate_to_broker(ctx, link, b, a) {
+        if !self.replicate_to_broker(ctx, link, &mut probes, b, a) {
             return;
         }
 

@@ -1,0 +1,201 @@
+//! Precomputed probes: hash a key once, test many filters.
+//!
+//! Every filter geometry in a B-SUB broker shares one network-wide
+//! [`KeyHasher`] (Section IV-A), and the Kirsch–Mitzenmacher
+//! construction derives all `k` bit positions from two 64-bit digests.
+//! A [`Probe`] caches those digests, so batch matching pays the
+//! variable-length key hash **once per key** and then derives
+//! positions for any `(k, m)` with two integer ops per probe — the
+//! amortization the `MatchIndex` batch path and the broker contact
+//! pipeline in `bsub-core` both lean on.
+//!
+//! All checks here are *uninstrumented*, mirroring
+//! [`BloomFilter::contains`]: swapping a per-key query for a
+//! precomputed probe must not perturb any `bsub-obs` counter, which is
+//! what keeps the refactored broker path byte-identical to the
+//! committed figure artifacts.
+
+use bsub_bloom::hash::Positions;
+use bsub_bloom::{BloomFilter, KeyHasher, Tcbf, TcbfPool};
+use std::collections::HashMap;
+
+/// The two Kirsch–Mitzenmacher digests of one key, ready to probe any
+/// filter geometry without re-hashing the key bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Probe {
+    digests: (u64, u64),
+}
+
+impl Probe {
+    /// Hashes `key` once with `hasher`. The probe is only valid
+    /// against filters built with an equal hasher.
+    #[must_use]
+    pub fn new(hasher: &KeyHasher, key: &[u8]) -> Self {
+        Self {
+            digests: hasher.digests(key),
+        }
+    }
+
+    /// The raw digest pair (for [`TcbfPool::reinforce`] and friends).
+    #[must_use]
+    pub fn digests(&self) -> (u64, u64) {
+        self.digests
+    }
+
+    /// The key's `k` bit positions in a filter of `m` bits — identical
+    /// to [`KeyHasher::positions`] for the same key.
+    #[must_use]
+    pub fn positions(&self, k: usize, m: usize) -> Positions {
+        KeyHasher::positions_from_digests(self.digests, k, m)
+    }
+
+    /// Exactly [`BloomFilter::contains`] for the probed key, without
+    /// re-hashing it.
+    #[must_use]
+    pub fn hits_bloom(&self, bloom: &BloomFilter) -> bool {
+        self.positions(bloom.hash_count(), bloom.bit_len())
+            .all(|pos| bloom.bits().get(pos))
+    }
+
+    /// Exactly [`Tcbf::min_counter`] for the probed key, without
+    /// re-hashing it — and without the `TcbfQuery` counter bump, so
+    /// batch probing stays invisible to the metrics layer.
+    #[must_use]
+    pub fn min_counter(&self, filter: &Tcbf) -> u32 {
+        self.positions(filter.hash_count(), filter.bit_len())
+            .map(|pos| filter.counter_at(pos))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Exactly [`Tcbf::contains`] for the probed key.
+    #[must_use]
+    pub fn hits_tcbf(&self, filter: &Tcbf) -> bool {
+        self.min_counter(filter) > 0
+    }
+
+    /// Exactly [`TcbfPool::contains`] for the probed key: the
+    /// existential query across every filter of the pool (the joint
+    /// FPR of Eq. 7).
+    #[must_use]
+    pub fn hits_pool(&self, pool: &TcbfPool) -> bool {
+        pool.filters().iter().any(|f| self.hits_tcbf(f))
+    }
+}
+
+/// A per-batch probe memo: hash each distinct item once, reuse the
+/// probe across every filter it is tested against.
+///
+/// The broker contact pipeline keys the memo by message id (one
+/// message's key may be probed against the consumer's genuine bloom
+/// in step 5a/5c *and* the broker's relay bloom in step 5b), so a
+/// contact hashes each carried message at most once.
+#[derive(Debug)]
+pub struct ProbeCache {
+    hasher: KeyHasher,
+    probes: HashMap<u64, Probe>,
+}
+
+impl ProbeCache {
+    /// An empty cache whose probes are computed with `hasher`.
+    #[must_use]
+    pub fn new(hasher: KeyHasher) -> Self {
+        Self {
+            hasher,
+            probes: HashMap::new(),
+        }
+    }
+
+    /// The probe for `key`, memoized under `id`. The caller guarantees
+    /// the id↔key association is stable within the cache's lifetime.
+    pub fn probe(&mut self, id: u64, key: &[u8]) -> Probe {
+        let hasher = self.hasher;
+        *self
+            .probes
+            .entry(id)
+            .or_insert_with(|| Probe::new(&hasher, key))
+    }
+
+    /// [`BloomFilter::contains`] via the memoized probe: identical
+    /// decision, at most one key hash per id.
+    pub fn contains(&mut self, id: u64, key: &[u8], bloom: &BloomFilter) -> bool {
+        debug_assert_eq!(bloom.hasher(), self.hasher);
+        self.probe(id, key).hits_bloom(bloom)
+    }
+
+    /// Number of distinct ids hashed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Whether no probe has been computed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_matches_bloom_contains() {
+        let hasher = KeyHasher::default();
+        let filter = Tcbf::from_keys(256, 4, 10, ["a", "b", "c"]);
+        let bloom = filter.to_bloom();
+        for key in ["a", "b", "c", "d", "absent", ""] {
+            let probe = Probe::new(&hasher, key.as_bytes());
+            assert_eq!(probe.hits_bloom(&bloom), bloom.contains(key), "key={key}");
+        }
+    }
+
+    #[test]
+    fn probe_matches_tcbf_min_counter_under_decay() {
+        let hasher = KeyHasher::default();
+        let mut filter = Tcbf::from_keys(64, 4, 10, ["x", "y"]);
+        filter.decay(4);
+        for key in ["x", "y", "z"] {
+            let probe = Probe::new(&hasher, key.as_bytes());
+            assert_eq!(probe.min_counter(&filter), filter.min_counter(key));
+            assert_eq!(probe.hits_tcbf(&filter), filter.contains(key));
+        }
+    }
+
+    #[test]
+    fn probe_matches_pool_contains() {
+        let hasher = KeyHasher::default();
+        let mut pool = TcbfPool::new(256, 4, 10, 0.2);
+        for i in 0..40 {
+            pool.insert(format!("k-{i}"));
+        }
+        for i in 0..60 {
+            let key = format!("k-{i}");
+            let probe = Probe::new(&hasher, key.as_bytes());
+            assert_eq!(probe.hits_pool(&pool), pool.contains(&key), "key={key}");
+        }
+    }
+
+    #[test]
+    fn cache_memoizes_by_id() {
+        let mut cache = ProbeCache::new(KeyHasher::default());
+        let bloom = Tcbf::from_keys(256, 4, 10, ["hit"]).to_bloom();
+        assert!(cache.contains(7, b"hit", &bloom));
+        assert!(cache.contains(7, b"hit", &bloom));
+        assert_eq!(cache.len(), 1, "same id hashed once");
+        assert!(!cache.contains(8, b"miss", &bloom) || bloom.contains("miss"));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn probe_positions_match_hasher_positions() {
+        let hasher = KeyHasher::default();
+        let probe = Probe::new(&hasher, b"NewMoon");
+        for &(k, m) in &[(4usize, 256usize), (3, 64), (8, 4096)] {
+            let direct: Vec<_> = hasher.positions(b"NewMoon", k, m).collect();
+            let derived: Vec<_> = probe.positions(k, m).collect();
+            assert_eq!(direct, derived);
+        }
+    }
+}

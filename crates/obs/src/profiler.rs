@@ -79,11 +79,30 @@ pub enum Counter {
     /// Connections closed as the losing side of a simultaneous-dial
     /// race (`bsub-net`).
     NetRaceLost,
+    /// Subscriptions added to a `bsub-match` index.
+    MatchSubscribe,
+    /// Subscriptions removed from a `bsub-match` index.
+    MatchUnsubscribe,
+    /// Subscriptions expired out of a `bsub-match` index (deadline
+    /// passed or filter fully decayed).
+    MatchExpire,
+    /// Tier rebuilds triggered by tombstone accumulation
+    /// (`bsub-match` compaction).
+    MatchCompact,
+    /// Events processed through the batched `match_events` path.
+    MatchEvents,
+    /// Tier-aggregate probes taken while pruning a batch.
+    MatchTierProbes,
+    /// Exact per-subscriber confirmations attempted after tier
+    /// pruning (the candidates the hierarchy could not rule out).
+    MatchCandidates,
+    /// Confirmed (subscriber, event) matches produced by the index.
+    MatchMatched,
 }
 
 impl Counter {
     /// Every counter, in stable report order.
-    pub const ALL: [Counter; 28] = [
+    pub const ALL: [Counter; 36] = [
         Counter::TcbfInsert,
         Counter::TcbfAMerge,
         Counter::TcbfMMerge,
@@ -112,6 +131,14 @@ impl Counter {
         Counter::NetBytesRecv,
         Counter::NetRetries,
         Counter::NetRaceLost,
+        Counter::MatchSubscribe,
+        Counter::MatchUnsubscribe,
+        Counter::MatchExpire,
+        Counter::MatchCompact,
+        Counter::MatchEvents,
+        Counter::MatchTierProbes,
+        Counter::MatchCandidates,
+        Counter::MatchMatched,
     ];
 
     /// Stable snake-case name used in JSON and tables.
@@ -146,6 +173,14 @@ impl Counter {
             Counter::NetBytesRecv => "net_bytes_recv",
             Counter::NetRetries => "net_retries",
             Counter::NetRaceLost => "net_race_lost",
+            Counter::MatchSubscribe => "match_subscribe",
+            Counter::MatchUnsubscribe => "match_unsubscribe",
+            Counter::MatchExpire => "match_expire",
+            Counter::MatchCompact => "match_compact",
+            Counter::MatchEvents => "match_events",
+            Counter::MatchTierProbes => "match_tier_probes",
+            Counter::MatchCandidates => "match_candidates",
+            Counter::MatchMatched => "match_matched",
         }
     }
 }
@@ -212,11 +247,13 @@ pub enum TimeHist {
     /// One networked contact exchange, dispatch to result, as seen by
     /// the cluster coordinator (`bsub-net`).
     NetExchangeNs,
+    /// One batched `match_events` call on a `bsub-match` index.
+    MatchBatchNs,
 }
 
 impl TimeHist {
     /// Every timing histogram, in stable report order.
-    pub const ALL: [TimeHist; 7] = [
+    pub const ALL: [TimeHist; 8] = [
         TimeHist::MergeNs,
         TimeHist::DecayNs,
         TimeHist::PreferenceNs,
@@ -224,6 +261,7 @@ impl TimeHist {
         TimeHist::DecodeNs,
         TimeHist::ContactNs,
         TimeHist::NetExchangeNs,
+        TimeHist::MatchBatchNs,
     ];
 
     /// Stable snake-case name used in JSON and tables.
@@ -237,6 +275,7 @@ impl TimeHist {
             TimeHist::DecodeNs => "wire_decode_ns",
             TimeHist::ContactNs => "contact_ns",
             TimeHist::NetExchangeNs => "net_exchange_ns",
+            TimeHist::MatchBatchNs => "match_batch_ns",
         }
     }
 }
@@ -250,11 +289,21 @@ pub enum SizeHist {
     EncodedFilterBytes,
     /// Total bytes (control + data) moved per contact.
     ContactBytes,
+    /// Events per batched `match_events` call (`bsub-match`).
+    MatchBatchEvents,
+    /// Exact confirmations attempted per batched `match_events` call
+    /// (`bsub-match`) — how much work tier pruning let through.
+    MatchBatchCandidates,
 }
 
 impl SizeHist {
     /// Every size histogram, in stable report order.
-    pub const ALL: [SizeHist; 2] = [SizeHist::EncodedFilterBytes, SizeHist::ContactBytes];
+    pub const ALL: [SizeHist; 4] = [
+        SizeHist::EncodedFilterBytes,
+        SizeHist::ContactBytes,
+        SizeHist::MatchBatchEvents,
+        SizeHist::MatchBatchCandidates,
+    ];
 
     /// Stable snake-case name used in JSON and tables.
     #[must_use]
@@ -262,6 +311,8 @@ impl SizeHist {
         match self {
             SizeHist::EncodedFilterBytes => "encoded_filter_bytes",
             SizeHist::ContactBytes => "contact_bytes",
+            SizeHist::MatchBatchEvents => "match_batch_events",
+            SizeHist::MatchBatchCandidates => "match_batch_candidates",
         }
     }
 }

@@ -10,12 +10,15 @@
 //! - [`workload`] — Twitter-trend keys and message generation.
 //! - [`baselines`] — the PUSH and PULL comparison protocols.
 //! - [`core`] — the B-SUB protocol itself.
+//! - [`matching`] — broker-side subscription aggregation and the
+//!   batched event-matching index.
 //! - [`net`] — the networked runtime: framed socket exchanges and the
 //!   loopback cluster driver.
 
 pub use bsub_baselines as baselines;
 pub use bsub_bloom as bloom;
 pub use bsub_core as core;
+pub use bsub_match as matching;
 pub use bsub_net as net;
 pub use bsub_obs as obs;
 pub use bsub_sim as sim;
