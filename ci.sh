@@ -194,13 +194,34 @@ if ! diff "$SMOKE_DIR/matching_smoke.csv" results/matching_smoke.csv; then
     exit 1
 fi
 
-stage "net-cluster --smoke --check (networked loopback cluster)"
+stage "net-cluster --smoke --check (networked loopback cluster + live stats)"
 # Spins up a 3-process loopback cluster (coordinator + 2 workers over
 # Unix-domain sockets) running the smoke workload through the real
-# networked runtime, then diffs every deterministic report column
-# against the serial simulator's — byte for byte.
-BSUB_RESULTS_DIR="$SMOKE_DIR" ./target/release/net-cluster --smoke --check
-for artifact in net_smoke.csv net_smoke_sim.csv net_latency.csv; do
+# networked runtime with the stats plane on (STATS deltas every 100 ms
+# by default), then diffs every deterministic report column against
+# the serial simulator's — byte for byte. While the cluster runs, the
+# coordinator's stats endpoint is scraped from a separate process to
+# prove the merged cluster-wide report is retrievable live; the binary
+# additionally self-checks that the scraped exposition equals the
+# final offline merge.
+BSUB_RESULTS_DIR="$SMOKE_DIR" ./target/release/net-cluster --smoke --check \
+    --stats-addr "unix:$SMOKE_DIR/stats.sock" &
+NET_CLUSTER_PID=$!
+LIVE_SCRAPE=""
+while kill -0 "$NET_CLUSTER_PID" 2>/dev/null; do
+    if OUT="$(./target/release/net-cluster --scrape "unix:$SMOKE_DIR/stats.sock" 2>/dev/null)" \
+        && printf '%s' "$OUT" | grep -q '^bsub_'; then
+        LIVE_SCRAPE="$OUT"
+        break
+    fi
+    sleep 0.05
+done
+wait "$NET_CLUSTER_PID"
+if [ -z "$LIVE_SCRAPE" ]; then
+    echo "live scrape of the running cluster never returned a bsub_ metric" >&2
+    exit 1
+fi
+for artifact in net_smoke.csv net_smoke_sim.csv net_latency.csv net_metrics.json; do
     test -s "$SMOKE_DIR/$artifact" || {
         echo "missing smoke artifact: $artifact" >&2
         exit 1

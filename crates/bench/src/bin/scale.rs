@@ -62,12 +62,21 @@
 //! perf-gate entry go to stdout and `BENCH_perf.json`, keeping the CSV
 //! byte-stable across hosts — and across shard counts — like every
 //! other results artifact.
+//!
+//! Each barrier phase is additionally timed on every run (cheap: two
+//! clock reads per phase per epoch per worker, never any allocation),
+//! and the summed work time lands in four `scale-phase-{derive,merge,
+//! query,decay}` trajectory entries gated alongside the sweep's own —
+//! so a regression in, say, the merge kernel is attributed to its
+//! phase instead of disappearing into the total. Under `--prof` the
+//! same spans also feed the `scale_*_ns` histograms (one sample per
+//! epoch per worker), giving tail latencies per phase.
 
 use bsub_bench::output::{render_table, results_dir, write_csv};
 use bsub_bench::perf::{self, PerfEntry, Tolerance};
 use bsub_bloom::rng::SplitMix64;
 use bsub_bloom::PackedTcbf;
-use bsub_obs::{self as obs, Counter, MetricsReport, ProfReport};
+use bsub_obs::{self as obs, Counter, MetricsReport, ProfReport, TimeHist};
 use bsub_traces::synthetic::ContactStream;
 use bsub_traces::SimDuration;
 use std::path::{Path, PathBuf};
@@ -101,6 +110,18 @@ const SCALE_SEED: u64 = 0x000b_50b5_ca1e;
 const QUERY_STREAM: u64 = 0x00c0_ffee_9e37;
 /// Shard counts the full sweep measures on the largest cell.
 const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+/// The four barrier-separated phase names, in execution order. Each
+/// phase's summed work time becomes a `scale-phase-*` entry in the
+/// perf trajectory, gated like every other experiment.
+const PHASES: [&str; 4] = ["derive", "merge", "query", "decay"];
+/// The profiler histogram behind each phase (DESIGN.md §15): one
+/// sample per epoch per worker when `--prof` is set.
+const PHASE_HISTS: [TimeHist; 4] = [
+    TimeHist::ScaleDeriveNs,
+    TimeHist::ScaleMergeNs,
+    TimeHist::ScaleQueryNs,
+    TimeHist::ScaleDecayNs,
+];
 
 /// One (nodes × interest-cardinality) cell of the sweep.
 struct Cell {
@@ -122,6 +143,9 @@ struct CellOutcome {
     resident_bytes: u64,
     wall_ms: f64,
     peak_rss_kb: u64,
+    /// Summed per-worker work time inside each barrier phase
+    /// ([`PHASES`] order), excluding barrier waits.
+    phase_ns: [u64; 4],
     prof: Option<ProfReport>,
 }
 
@@ -221,7 +245,24 @@ struct WorkerOutcome {
     queries: u64,
     hits: u64,
     merged_words: u64,
+    /// Wall-clock nanoseconds this worker spent *working* inside each
+    /// phase ([`PHASES`] order). Barrier waits are excluded, so the
+    /// cell-level sum is pure work time, not `shards ×` idle time.
+    phase_ns: [u64; 4],
     prof: Option<ProfReport>,
+}
+
+impl WorkerOutcome {
+    /// Closes phase `i`'s span: accumulates the always-on wall total
+    /// and, when profiled, records one epoch sample into the matching
+    /// `scale_*_ns` histogram.
+    fn end_phase(&mut self, i: usize, started: Instant, prof: bool) {
+        let ns = started.elapsed().as_nanos() as u64;
+        self.phase_ns[i] += ns;
+        if prof {
+            obs::observe_ns(PHASE_HISTS[i], ns);
+        }
+    }
 }
 
 /// The per-shard worker loop: all epochs, four barrier-separated
@@ -241,6 +282,7 @@ fn worker(engine: &Engine, w: usize, prof: bool) -> WorkerOutcome {
         // Phase A — derive this worker's slice of the epoch and bucket
         // each merge by the owning broker shard. Only the endpoints
         // are needed to route, so the duration draw is skipped.
+        let phase = Instant::now();
         let mut index = epoch_start + w as u64;
         while index < epoch_end {
             let (a, b) = engine.stream.endpoints_at(index);
@@ -257,10 +299,12 @@ fn worker(engine: &Engine, w: usize, prof: bool) -> WorkerOutcome {
                 .expect("bucket lock")
                 .append(jobs);
         }
+        out.end_phase(0, phase, prof);
         engine.barrier.wait();
 
         // Phase B — apply every job destined for this shard's relays.
         // Saturating adds commute, so arrival order cannot matter.
+        let phase = Instant::now();
         {
             let mut relays = engine.groups[w].write().expect("relay lock");
             for producer in 0..s {
@@ -274,12 +318,14 @@ fn worker(engine: &Engine, w: usize, prof: bool) -> WorkerOutcome {
                 out.merges += jobs.len() as u64;
             }
         }
+        out.end_phase(1, phase, prof);
         engine.barrier.wait();
 
         // Phase C — sampled queries, read-only against the epoch's
         // fully merged, not-yet-decayed state; round-robin across
         // workers by query ordinal. Key choice is a stateless draw
         // from the event index, so nothing here depends on S.
+        let phase = Instant::now();
         {
             let guards: Vec<_> = engine
                 .groups
@@ -311,11 +357,13 @@ fn worker(engine: &Engine, w: usize, prof: bool) -> WorkerOutcome {
                 q += QUERY_EVERY;
             }
         }
+        out.end_phase(2, phase, prof);
         engine.barrier.wait();
 
         // Phase D — decay own relays at full epoch boundaries only
         // (the tail of a schedule that is not an epoch multiple does
         // not decay, matching the serial cadence).
+        let phase = Instant::now();
         if epoch_end - epoch_start == EPOCH_EVENTS {
             let mut relays = engine.groups[w].write().expect("relay lock");
             for relay in relays.iter_mut() {
@@ -323,6 +371,7 @@ fn worker(engine: &Engine, w: usize, prof: bool) -> WorkerOutcome {
             }
             out.decays += relays.len() as u64;
         }
+        out.end_phase(3, phase, prof);
         engine.barrier.wait();
 
         epoch_start = epoch_end;
@@ -394,6 +443,12 @@ fn run_cell(cell: &Cell, shards: usize, prof: bool) -> CellOutcome {
 
     let merges: u64 = outcomes.iter().map(|o| o.merges).sum();
     let merged_words: u64 = outcomes.iter().map(|o| o.merged_words).sum();
+    let mut phase_ns = [0u64; 4];
+    for o in &outcomes {
+        for (total, ns) in phase_ns.iter_mut().zip(o.phase_ns) {
+            *total += ns;
+        }
+    }
     let combined = prof.then(|| {
         // Re-aggregate the per-shard profiles exactly as a sharded
         // simulation does: absorb into a fresh run-level profiler in
@@ -424,6 +479,7 @@ fn run_cell(cell: &Cell, shards: usize, prof: bool) -> CellOutcome {
         resident_bytes,
         wall_ms,
         peak_rss_kb: peak_rss_kb(),
+        phase_ns,
         prof: combined,
     }
 }
@@ -485,6 +541,35 @@ fn perf_entry(experiment: &str, outcomes: &[&CellOutcome], total_ms: f64) -> Per
     }
 }
 
+/// One `scale-phase-*` perf entry: the sweep-wide work time spent
+/// inside a single barrier phase, paired with that phase's own
+/// deterministic work sums so the byte gate tracks what the time pays
+/// for (derive routes events, merge folds words, query samples, decay
+/// touches relays).
+fn phase_entry(i: usize, outcomes: &[CellOutcome], total_ms: f64) -> PerfEntry {
+    let cpu_ms: f64 = outcomes.iter().map(|o| o.phase_ns[i] as f64 / 1e6).sum();
+    let shards = outcomes.iter().map(|o| o.shards).max().unwrap_or(1);
+    let sum = |f: fn(&CellOutcome) -> u64| outcomes.iter().map(f).sum::<u64>();
+    let (bytes, forwardings, delivered) = match i {
+        0 => (0, sum(|o| o.events), 0),
+        1 => (sum(|o| o.merged_bytes), sum(|o| o.merges), 0),
+        2 => (0, sum(|o| o.queries), sum(|o| o.hits)),
+        _ => (0, sum(|o| o.decays), 0),
+    };
+    PerfEntry {
+        experiment: format!("scale-phase-{}", PHASES[i]),
+        workers: shards as u64,
+        runs: outcomes.len() as u64,
+        total_ms,
+        cpu_ms,
+        speedup: cpu_ms / total_ms.max(f64::MIN_POSITIVE),
+        calib_ns: bsub_obs::calibrate_ns(),
+        bytes,
+        forwardings,
+        delivered,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -522,6 +607,9 @@ fn main() {
         }
     }
     let total_ms = sweep_start.elapsed().as_secs_f64() * 1e3;
+    let phase_entries: Vec<PerfEntry> = (0..PHASES.len())
+        .map(|i| phase_entry(i, &outcomes, total_ms))
+        .collect();
 
     let headers = [
         "nodes",
@@ -585,6 +673,30 @@ fn main() {
         )
     );
 
+    let phase_total_ms: f64 = phase_entries.iter().map(|e| e.cpu_ms).sum();
+    let phase_rows: Vec<Vec<String>> = phase_entries
+        .iter()
+        .zip(PHASES)
+        .map(|(e, phase)| {
+            vec![
+                phase.to_string(),
+                format!("{:.1}", e.cpu_ms),
+                format!(
+                    "{:.1}",
+                    e.cpu_ms / phase_total_ms.max(f64::MIN_POSITIVE) * 100.0
+                ),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &format!("{name} — per-phase work time (summed across shards)"),
+            &["phase", "cpu_ms", "share_%"],
+            &phase_rows,
+        )
+    );
+
     if prof {
         let mut metrics = MetricsReport::new();
         for o in &outcomes {
@@ -601,12 +713,18 @@ fn main() {
     for sweep_entry in &sweep_entries {
         perf::append(&trajectory, sweep_entry);
     }
+    for phase in &phase_entries {
+        perf::append(&trajectory, phase);
+    }
     println!("[appended {}]", trajectory.display());
 
     if check {
         let baseline = perf::load(&baseline_path());
         let mut failed = false;
-        for e in std::iter::once(&entry).chain(&sweep_entries) {
+        for e in std::iter::once(&entry)
+            .chain(&sweep_entries)
+            .chain(&phase_entries)
+        {
             match perf::check(&baseline, e, Tolerance::from_env()) {
                 Ok(note) => println!("[perf check] {note}"),
                 Err(err) => {

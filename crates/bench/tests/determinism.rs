@@ -493,6 +493,40 @@ fn figure_artifacts_are_shard_invariant() {
     }
 }
 
+/// The live observability plane's standing invariant (DESIGN.md §15):
+/// the profiler that feeds it — the same per-contact reports workers
+/// ship as `STATS` deltas — is a pure observer. With the plane on or
+/// off, figure CSVs and TraceEvent streams are byte-identical across
+/// the full worker × shard matrix the plane ships under.
+#[test]
+fn observability_plane_on_off_artifacts_are_byte_identical() {
+    let (baseline_csv, baseline_events, _) = figure_artifacts(1, false, 1);
+    assert!(baseline_csv.lines().count() > 1);
+    assert!(!baseline_events.is_empty());
+    for workers in [1usize, 2, 8] {
+        for shards in [1usize, 4] {
+            for plane_on in [false, true] {
+                let (csv, events, profs) = figure_artifacts(workers, plane_on, shards);
+                assert_eq!(
+                    csv, baseline_csv,
+                    "figure CSV must not see the plane (workers={workers}, \
+                     shards={shards}, plane_on={plane_on})"
+                );
+                assert_eq!(
+                    events, baseline_events,
+                    "event stream must not see the plane (workers={workers}, \
+                     shards={shards}, plane_on={plane_on})"
+                );
+                assert_eq!(
+                    !profs.is_empty(),
+                    plane_on,
+                    "reports exist exactly when the plane is on"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn protocols_return_in_input_order() {
     let outcome = Executor::with_workers(4).run(&fig7_shaped());

@@ -42,8 +42,9 @@
 
 use crate::frame::{Frame, FrameKind};
 use crate::peer::{PeerConfig, PeerId, PeerManager};
+use crate::stats::StatsHandle;
 use crate::transport::EndpointAddr;
-use bsub_obs::{self as obs, TimeHist};
+use bsub_obs::{self as obs, Counter, ProfReport, TimeHist};
 use bsub_sim::snapshot::{SnapReader, SnapWriter};
 use bsub_sim::{
     GeneratedMessage, Link, Message, MessageId, MetricsCollector, NullRecorder, Protocol,
@@ -99,6 +100,12 @@ pub struct ClusterSpec {
     pub seed: u64,
     /// Number of worker processes (≥ 1).
     pub workers: u32,
+    /// Observability plane (DESIGN.md §15): when set, every worker
+    /// arms its socket-thread metrics sink, profiles each executed
+    /// contact, and ships delta `ProfReport`s to the coordinator in
+    /// `STATS` frames on this cadence (plus a final delta at drain).
+    /// `None` (the default) keeps the plane fully off.
+    pub stats_cadence: Option<Duration>,
 }
 
 impl ClusterSpec {
@@ -138,7 +145,18 @@ impl ClusterSpec {
             config,
             seed,
             workers,
+            stats_cadence: None,
         }
+    }
+
+    /// Enables the live observability plane with the given delta
+    /// cadence. Shipping is piggybacked on the worker main loop, so
+    /// the effective granularity is bounded below by the loop's poll
+    /// interval (200 ms).
+    #[must_use]
+    pub fn with_stats_cadence(mut self, cadence: Duration) -> Self {
+        self.stats_cadence = Some(cadence);
+        self
     }
 
     /// The equivalent serial simulation (the ground truth the cluster
@@ -185,6 +203,10 @@ pub struct ClusterOutcome {
     pub exchange_ns: Vec<u64>,
     /// Total wall clock of the run.
     pub wall: Duration,
+    /// The cluster-wide merged live report (worker deltas plus the
+    /// coordinator's own socket metrics); `None` when the
+    /// observability plane was off.
+    pub cluster_metrics: Option<ProfReport>,
 }
 
 fn bad(message: impl Into<String>) -> io::Error {
@@ -238,6 +260,44 @@ fn read_node_bytes(body: &[u8]) -> io::Result<(u32, Vec<u8>)> {
         return Err(bad("trailing bytes after snapshot"));
     }
     Ok((node, bytes))
+}
+
+// ---- STATS sub-protocol (DESIGN.md §15) -------------------------------
+//
+// body[0] is the stats op; a report payload (the `bsub_obs` wire
+// codec) follows for the two delta-carrying ops. Same reset semantics
+// as every other frame: a malformed body kills the connection.
+
+/// Coordinator → worker: send your final delta now (no payload).
+const STATS_REQUEST: u8 = 0;
+/// Worker → coordinator: an unsolicited cadence delta.
+const STATS_DELTA: u8 = 1;
+/// Worker → coordinator: the final delta, in reply to a request.
+const STATS_FINAL: u8 = 2;
+
+fn body_stats(op: u8, report: Option<&ProfReport>) -> Vec<u8> {
+    let mut body = vec![op];
+    if let Some(report) = report {
+        body.extend_from_slice(&report.encode());
+    }
+    body
+}
+
+fn read_stats(body: &[u8]) -> io::Result<(u8, Option<ProfReport>)> {
+    let (&op, rest) = body.split_first().ok_or_else(|| bad("empty STATS body"))?;
+    match op {
+        STATS_REQUEST => {
+            if !rest.is_empty() {
+                return Err(bad("STATS request carries a payload"));
+            }
+            Ok((op, None))
+        }
+        STATS_DELTA | STATS_FINAL => {
+            let report = ProfReport::decode(rest).ok_or_else(|| bad("malformed STATS report"))?;
+            Ok((op, Some(report)))
+        }
+        other => Err(bad(format!("unknown STATS op {other}"))),
+    }
 }
 
 /// One executed contact, as shipped in a `RESULT` frame: the
@@ -392,11 +452,21 @@ pub fn run_worker(
     );
     let local = PeerId(worker);
     let pm = PeerManager::bind(PeerConfig::new(local, peer_addr(dir, local), spec.seed))?;
+    if spec.stats_cadence.is_some() {
+        pm.metrics().enable();
+    }
     // Deterministic assembly: every peer dials the peers below it, so
     // exactly one side of each link dials in production runs.
     for lower in 0..worker {
         pm.connect(PeerId(lower), &peer_addr(dir, PeerId(lower)))?;
     }
+    // Then wait for the peers above to dial in: coordinator plus every
+    // other worker = `spec.workers` connections. Without this gate the
+    // coordinator (which only counts its own links) can dispatch a
+    // contact whose executor immediately needs a worker-worker link
+    // that has not assembled yet — the StateReq send then fails
+    // NotConnected and the cluster wedges until the stall timeout.
+    pm.await_connections(spec.workers as usize, ASSEMBLY)?;
 
     let protocol: Arc<Mutex<Box<dyn Protocol>>> = Arc::new(Mutex::new(factory.build(spec.seed)));
     let (exec_tx, exec_rx) = mpsc::channel::<u64>();
@@ -415,11 +485,33 @@ pub fn run_worker(
 
     let mut applied = 0usize;
     let mut last_frame = Instant::now();
+    let mut last_stats = Instant::now();
+    let mut stats_done = false;
     let main = (|| -> io::Result<()> {
         loop {
+            // Cadence shipping: piggybacked on the main loop, so the
+            // effective granularity is bounded by POLL. Stops once the
+            // final delta has been surrendered, keeping the
+            // coordinator's merged total stable from then on.
+            if let Some(cadence) = spec.stats_cadence {
+                if !stats_done && last_stats.elapsed() >= cadence {
+                    last_stats = Instant::now();
+                    let delta = pm.metrics().take_delta();
+                    if !delta.is_empty() {
+                        pm.send(
+                            COORDINATOR,
+                            Frame::new(FrameKind::Stats, body_stats(STATS_DELTA, Some(&delta))),
+                        )?;
+                    }
+                }
+            }
             let Some((from, frame)) = pm.recv_timeout(POLL) else {
                 if last_frame.elapsed() > STALL {
-                    return Err(timed_out("coordinator went silent"));
+                    return Err(timed_out(format!(
+                        "coordinator went silent (worker {}, applied={applied}, \
+                         stats_done={stats_done})",
+                        local.0
+                    )));
                 }
                 continue;
             };
@@ -475,6 +567,22 @@ pub fn run_worker(
                         Frame::new(FrameKind::PublishOk, body_u64(count as u64)),
                     )?;
                 }
+                FrameKind::Stats => {
+                    let (op, _) = read_stats(&frame.body)?;
+                    if op != STATS_REQUEST {
+                        return Err(bad("worker got a non-request STATS frame"));
+                    }
+                    // Surrender the final delta — even an empty one,
+                    // since the coordinator counts replies. Receipt by
+                    // the coordinator is the flush guarantee: once it
+                    // holds all W finals, nothing is still in flight.
+                    let delta = pm.metrics().take_delta();
+                    stats_done = true;
+                    pm.send(
+                        COORDINATOR,
+                        Frame::new(FrameKind::Stats, body_stats(STATS_FINAL, Some(&delta))),
+                    )?;
+                }
                 FrameKind::Done => return Ok(()),
                 other => return Err(bad(format!("worker got unexpected {other:?} frame"))),
             }
@@ -485,7 +593,15 @@ pub fn run_worker(
         .join()
         .map_err(|_| bad("executor thread panicked"))?;
     pm.shutdown();
-    main.and(exec)
+    // Surface both failures: the executor's error is usually the root
+    // cause (e.g. a dead link), the main loop's stall the symptom.
+    match (main, exec) {
+        (Err(main), Err(exec)) => Err(io::Error::new(
+            main.kind(),
+            format!("{main}; executor: {exec}"),
+        )),
+        (main, exec) => main.and(exec),
+    }
 }
 
 /// One dispatched contact on the executor worker. See the module docs
@@ -502,6 +618,14 @@ fn execute_contact(
         .events()
         .get(index as usize)
         .ok_or_else(|| bad("dispatch index outside the trace"))?;
+    // With the observability plane on, profile this contact with the
+    // ordinary thread-local profiler and fold the result into the
+    // shared sink — the protocol's own `obs::` instrumentation lights
+    // up exactly as it does under the serial profiled runner.
+    let profiled = pm.metrics().is_enabled();
+    if profiled {
+        obs::start();
+    }
     let local = pm.local();
     let mut remotes: Vec<NodeId> = Vec::new();
     for node in [contact.a, contact.b] {
@@ -527,7 +651,13 @@ fn execute_contact(
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if Instant::now() >= deadline {
-                    return Err(timed_out("state grant never arrived"));
+                    return Err(timed_out(format!(
+                        "state grant never arrived (worker {} executing contact {index}, \
+                         got {} of {} snapshots)",
+                        pm.local().0,
+                        snapshots.len(),
+                        remotes.len(),
+                    )));
                 }
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => {
@@ -579,6 +709,13 @@ fn execute_contact(
         false_injections: report.false_injections,
         deliveries,
     };
+    if profiled {
+        // Absorb BEFORE the result frame goes out: once the
+        // coordinator holds every result, every contact's profile is
+        // already in some worker's sink, so the drain-time STATS
+        // collection misses nothing.
+        pm.metrics().absorb(&obs::finish());
+    }
     pm.send(
         COORDINATOR,
         Frame::new(FrameKind::ExchangeResult, outcome.encode()),
@@ -613,14 +750,49 @@ struct Coordinator<'a> {
     acks: u32,
     barrier_target: Option<u64>,
     last_progress: Instant,
+    /// The live merged cluster report; `None` = plane off.
+    stats: Option<StatsHandle>,
+    /// Workers whose final STATS delta has arrived.
+    stats_finals: u32,
+    /// Last time the coordinator folded its own sink into `stats`.
+    last_stats: Instant,
 }
 
 impl Coordinator<'_> {
+    /// Folds the coordinator's own socket-thread metrics into the live
+    /// report on the configured cadence.
+    fn merge_own_stats(&mut self) {
+        let Some(handle) = &self.stats else { return };
+        let cadence = self.spec.stats_cadence.unwrap_or(POLL);
+        if self.last_stats.elapsed() >= cadence {
+            self.last_stats = Instant::now();
+            let delta = self.pm.metrics().take_delta();
+            if !delta.is_empty() {
+                handle.merge(&delta);
+            }
+        }
+    }
+
     /// Handles one inbound frame (or a liveness check on timeout).
     fn pump(&mut self) -> io::Result<()> {
+        self.merge_own_stats();
         let Some((from, frame)) = self.pm.recv_timeout(POLL) else {
             if self.last_progress.elapsed() > STALL {
-                return Err(timed_out("cluster made no progress — worker dead?"));
+                // The bookkeeping snapshot names what the coordinator
+                // was still owed — usually enough to tell a dead
+                // worker from a protocol-level wedge.
+                return Err(timed_out(format!(
+                    "cluster made no progress — worker dead? \
+                     (pending={:?}, busy_nodes={}, buffered={}, next_replay={}, \
+                      acks={}/{:?}, stats_finals={})",
+                    self.pending.keys().collect::<Vec<_>>(),
+                    self.busy_nodes,
+                    self.buffered.len(),
+                    self.next_replay,
+                    self.acks,
+                    self.barrier_target,
+                    self.stats_finals,
+                )));
             }
             return Ok(());
         };
@@ -637,6 +809,7 @@ impl Coordinator<'_> {
                 }
                 let ns = pending.at.elapsed().as_nanos() as u64;
                 obs::observe_ns(TimeHist::NetExchangeNs, ns);
+                self.pm.metrics().observe_ns(TimeHist::NetExchangeNs, ns);
                 self.exchange_ns[outcome.index as usize] = ns;
                 // Endpoints the executor itself owns are free now;
                 // remotely owned ones stay busy until NODE_FREE.
@@ -660,6 +833,20 @@ impl Coordinator<'_> {
                     return Err(bad("PUBLISH_OK outside a publish barrier"));
                 }
                 self.acks += 1;
+                Ok(())
+            }
+            FrameKind::Stats => {
+                let (op, report) = read_stats(&frame.body)?;
+                let Some(handle) = &self.stats else {
+                    return Err(bad("STATS frame but the stats plane is off"));
+                };
+                let report =
+                    report.ok_or_else(|| bad("coordinator got a STATS request, not a delta"))?;
+                handle.merge(&report);
+                self.pm.metrics().count(Counter::NetStatsFrames, 1);
+                if op == STATS_FINAL {
+                    self.stats_finals += 1;
+                }
                 Ok(())
             }
             other => Err(bad(format!("coordinator got unexpected {other:?} frame"))),
@@ -754,6 +941,25 @@ pub fn run_coordinator(
     factory: &dyn ProtocolFactory,
     dir: &Path,
 ) -> io::Result<ClusterOutcome> {
+    let stats = spec.stats_cadence.is_some().then(StatsHandle::new);
+    run_coordinator_with(spec, factory, dir, stats)
+}
+
+/// [`run_coordinator`] with an externally owned [`StatsHandle`]: pass
+/// `Some(handle)` to watch the merged cluster report *while the run is
+/// live* — e.g. by serving the handle from a
+/// [`StatsServer`](crate::stats::StatsServer), which is exactly what
+/// the `net-cluster` binary's `--stats-addr` flag does.
+///
+/// # Errors
+///
+/// Same as [`run_coordinator`].
+pub fn run_coordinator_with(
+    spec: &ClusterSpec,
+    factory: &dyn ProtocolFactory,
+    dir: &Path,
+    stats: Option<StatsHandle>,
+) -> io::Result<ClusterOutcome> {
     let started = Instant::now();
     let name = factory.build(spec.seed).name().to_string();
     let pm = PeerManager::bind(PeerConfig::new(
@@ -761,6 +967,9 @@ pub fn run_coordinator(
         peer_addr(dir, COORDINATOR),
         spec.seed,
     ))?;
+    if stats.is_some() {
+        pm.metrics().enable();
+    }
     pm.await_connections(spec.workers as usize, ASSEMBLY)?;
 
     let contacts = spec.trace.len();
@@ -779,6 +988,9 @@ pub fn run_coordinator(
         acks: 0,
         barrier_target: None,
         last_progress: Instant::now(),
+        stats,
+        stats_finals: 0,
+        last_stats: Instant::now(),
     };
 
     for index in 0..contacts {
@@ -823,6 +1035,28 @@ pub fn run_coordinator(
     }
     debug_assert_eq!(coord.next_replay as usize, contacts);
 
+    // Final STATS collection, before DONE goes out: ask every worker
+    // for its final delta and pump until all have replied. Receipt is
+    // the flush guarantee — once the last final is in, the merged
+    // report covers every contact and every cadence delta.
+    if coord.stats.is_some() {
+        for worker in 1..=spec.workers {
+            pm.send(
+                PeerId(worker),
+                Frame::new(FrameKind::Stats, body_stats(STATS_REQUEST, None)),
+            )?;
+        }
+        while coord.stats_finals < spec.workers {
+            coord.pump()?;
+        }
+        if let Some(handle) = &coord.stats {
+            let delta = pm.metrics().take_delta();
+            if !delta.is_empty() {
+                handle.merge(&delta);
+            }
+        }
+    }
+
     for worker in 1..=spec.workers {
         pm.send(PeerId(worker), Frame::new(FrameKind::Done, Vec::new()))?;
         // Flush the queue and half-close so DONE is guaranteed out
@@ -831,10 +1065,12 @@ pub fn run_coordinator(
     }
     let report = coord.metrics.finish(&name);
     let exchange_ns = coord.exchange_ns;
+    let cluster_metrics = coord.stats.as_ref().map(StatsHandle::snapshot);
     Ok(ClusterOutcome {
         report,
         exchange_ns,
         wall: started.elapsed(),
+        cluster_metrics,
     })
 }
 
@@ -874,6 +1110,50 @@ mod tests {
         assert!(read_u32(&[1, 2, 3, 4, 5]).is_err(), "trailing bytes");
         let nb = body_node_bytes(9, b"snapshot");
         assert_eq!(read_node_bytes(&nb).unwrap(), (9, b"snapshot".to_vec()));
+    }
+
+    #[test]
+    fn stats_bodies_round_trip_pinned_to_the_wire_spec() {
+        // DESIGN.md §15: body[0] is the stats op; a report payload in
+        // the bsub_obs wire codec follows for delta-carrying ops.
+        let request = body_stats(STATS_REQUEST, None);
+        assert_eq!(request, vec![0], "request is the op byte alone");
+        assert_eq!(read_stats(&request).unwrap(), (STATS_REQUEST, None));
+
+        let mut report = ProfReport::default();
+        report.add_counter(Counter::NetFramesSent, 5);
+        report.record_time(TimeHist::NetExchangeNs, 777);
+        for op in [STATS_DELTA, STATS_FINAL] {
+            let body = body_stats(op, Some(&report));
+            assert_eq!(body[0], op);
+            assert_eq!(body[1], ProfReport::WIRE_VERSION, "payload starts at 1");
+            let (got_op, got) = read_stats(&body).unwrap();
+            assert_eq!(got_op, op);
+            assert_eq!(got, Some(report.clone()));
+        }
+
+        // And the full frame wraps it under kind byte 11 with the
+        // usual header/CRC (reset semantics on any mismatch).
+        let frame = Frame::new(FrameKind::Stats, body_stats(STATS_FINAL, Some(&report)));
+        let mut wire = Vec::new();
+        frame.write_to(&mut wire).unwrap();
+        assert_eq!(wire[0], 11, "kind byte");
+        assert_eq!(wire[crate::frame::HEADER_LEN], STATS_FINAL, "op byte");
+        assert_eq!(Frame::read_from(&mut wire.as_slice()).unwrap(), frame);
+    }
+
+    #[test]
+    fn malformed_stats_bodies_are_rejected() {
+        assert!(read_stats(&[]).is_err(), "empty body");
+        assert!(read_stats(&[9]).is_err(), "unknown op");
+        assert!(
+            read_stats(&[STATS_REQUEST, 1]).is_err(),
+            "request with payload"
+        );
+        assert!(read_stats(&[STATS_DELTA]).is_err(), "delta without report");
+        let mut body = body_stats(STATS_FINAL, Some(&ProfReport::default()));
+        body.truncate(body.len() - 1);
+        assert!(read_stats(&body).is_err(), "truncated report");
     }
 
     #[test]

@@ -67,11 +67,16 @@ pub enum FrameKind {
     PublishOk = 9,
     /// Coordinator → workers: the run is over, drain and exit.
     Done = 10,
+    /// Observability plane (DESIGN.md §15). Worker → coordinator: a
+    /// delta `ProfReport` (body: one stats op byte, then the
+    /// `bsub_obs` wire codec). Coordinator → worker: a drain-time
+    /// poll for the final delta (body: the request op byte alone).
+    Stats = 11,
 }
 
 impl FrameKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [FrameKind; 10] = [
+    pub const ALL: [FrameKind; 11] = [
         FrameKind::Hello,
         FrameKind::Dispatch,
         FrameKind::StateReq,
@@ -82,6 +87,7 @@ impl FrameKind {
         FrameKind::Advance,
         FrameKind::PublishOk,
         FrameKind::Done,
+        FrameKind::Stats,
     ];
 
     /// Decodes the on-wire `kind` byte; `None` for unknown values.
@@ -94,6 +100,24 @@ impl FrameKind {
     #[must_use]
     pub fn byte(self) -> u8 {
         self as u8
+    }
+
+    /// Stable lowercase name, used in trace events and metric rows.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameKind::Hello => "hello",
+            FrameKind::Dispatch => "dispatch",
+            FrameKind::StateReq => "state_req",
+            FrameKind::StateGrant => "state_grant",
+            FrameKind::StateRet => "state_ret",
+            FrameKind::ExchangeResult => "exchange_result",
+            FrameKind::NodeFree => "node_free",
+            FrameKind::Advance => "advance",
+            FrameKind::PublishOk => "publish_ok",
+            FrameKind::Done => "done",
+            FrameKind::Stats => "stats",
+        }
     }
 }
 
@@ -300,7 +324,7 @@ mod tests {
     #[test]
     fn kind_bytes_are_stable() {
         // The discriminants are the wire contract (DESIGN.md §12.3).
-        let expected: [(FrameKind, u8); 10] = [
+        let expected: [(FrameKind, u8); 11] = [
             (FrameKind::Hello, 1),
             (FrameKind::Dispatch, 2),
             (FrameKind::StateReq, 3),
@@ -311,12 +335,13 @@ mod tests {
             (FrameKind::Advance, 8),
             (FrameKind::PublishOk, 9),
             (FrameKind::Done, 10),
+            (FrameKind::Stats, 11),
         ];
         for (kind, byte) in expected {
             assert_eq!(kind.byte(), byte);
             assert_eq!(FrameKind::from_byte(byte), Some(kind));
         }
         assert_eq!(FrameKind::from_byte(0), None);
-        assert_eq!(FrameKind::from_byte(11), None);
+        assert_eq!(FrameKind::from_byte(12), None);
     }
 }

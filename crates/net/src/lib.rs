@@ -24,6 +24,15 @@
 //!   serial simulator's event loop across OS processes, shipping node
 //!   state via the protocols' snapshot seams. Its final report is
 //!   **equal** to the serial simulator's, not approximately so.
+//! - [`metrics`] — the cross-thread metrics sink socket threads record
+//!   into (the thread-local `bsub_obs` profiler cannot see them), plus
+//!   the per-frame-kind histogram maps.
+//! - [`trace`] — typed wall-clock event tracing for the connection
+//!   state machine (dials, races, displacements, retries, stalls,
+//!   drains), serializable as JSON lines.
+//! - [`stats`] — the live observability endpoint: a [`StatsHandle`]
+//!   the coordinator merges worker `STATS` deltas into, served as
+//!   Prometheus text and JSON by a [`StatsServer`] (DESIGN.md §15).
 //!
 //! # Run a loopback cluster
 //!
@@ -44,13 +53,20 @@
 pub mod backoff;
 pub mod cluster;
 pub mod frame;
+pub mod metrics;
 pub mod peer;
+pub mod stats;
+pub mod trace;
 pub mod transport;
 
 pub use backoff::Backoff;
 pub use cluster::{
-    peer_addr, run_coordinator, run_worker, ClusterOutcome, ClusterSpec, COORDINATOR,
+    peer_addr, run_coordinator, run_coordinator_with, run_worker, ClusterOutcome, ClusterSpec,
+    COORDINATOR,
 };
 pub use frame::{Frame, FrameKind, HEADER_LEN, MAX_BODY_LEN};
+pub use metrics::{frame_size_hist, frame_time_hist, NetMetrics};
 pub use peer::{ConnState, PeerConfig, PeerId, PeerManager};
+pub use stats::{render_prometheus, scrape, StatsHandle, StatsServer};
+pub use trace::{NetEvent, NetTrace, TracedEvent};
 pub use transport::{EndpointAddr, Listener, Stream};

@@ -11,12 +11,27 @@
 //!                           └→ Closed   (error / displaced by a race)
 //! ```
 //!
+//! **Handshake.** Three HELLO frames: the dialer announces itself,
+//! the acceptor replies, and the dialer confirms. The acceptor only
+//! installs the connection after reading the confirmation, so a
+//! dialer whose reply read timed out (and who will therefore retry on
+//! a fresh socket) never leaves a half-installed ghost behind on the
+//! acceptor — on a loaded single-core host that ghost used to win the
+//! duplicate-dial tiebreak against the retry and wedge the link. The
+//! first two legs are guarded by the handshake timeout; the
+//! confirmation read is not (an abandoning dialer closes the socket,
+//! which aborts the read with EOF), because timing it out would drop
+//! a socket the dialer already considers established.
+//!
 //! **Dial races.** Two peers that dial each other simultaneously
 //! create two sockets for one logical link. Both sides resolve the
 //! conflict with the same local rule — *the connection dialed by the
 //! lower peer id wins* — so they converge on one surviving socket
 //! without exchanging another byte (DESIGN.md §12.2). The loser is
-//! torn down and counted under the `net_race_lost` metric.
+//! torn down and counted under the `net_race_lost` metric. A
+//! duplicate dial from the *same* direction is not a race: the remote
+//! only re-dials after abandoning its previous socket, so the
+//! newcomer always replaces the incumbent.
 //!
 //! **Backpressure.** Each connection's outbound path is a bounded
 //! queue drained by a dedicated writer thread; [`PeerManager::send`]
@@ -32,16 +47,18 @@
 
 use crate::backoff::Backoff;
 use crate::frame::{Frame, FrameKind, HEADER_LEN};
+use crate::metrics::{frame_size_hist, frame_time_hist, NetMetrics};
+use crate::trace::{self, NetEvent, NetTrace, TraceSlot};
 use crate::transport::{EndpointAddr, Listener, Stream};
-use bsub_obs::{self as obs, Counter};
+use bsub_obs::Counter;
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A cluster-wide peer identity. Ids double as the dial-race
 /// tiebreaker, so they must be unique within a cluster.
@@ -122,15 +139,29 @@ struct Shared {
     local: PeerId,
     queue_depth: usize,
     conns: Mutex<HashMap<PeerId, Conn>>,
+    /// Signalled on every `conns` mutation (install, displacement,
+    /// retirement, drain, shutdown) so waiters like
+    /// [`PeerManager::await_connections`] never have to poll on a
+    /// fixed sleep — the fix for the 1-vCPU assembly flake.
+    conns_changed: Condvar,
     states: Mutex<HashMap<PeerId, ConnState>>,
     inbound: Sender<(PeerId, Frame)>,
     shutdown: AtomicBool,
     epochs: AtomicU64,
+    /// Cross-thread metrics sink (socket threads have no thread-local
+    /// profiler); disabled unless armed via [`PeerManager::metrics`].
+    metrics: NetMetrics,
+    /// Optional wall-clock event trace; empty slot = one atomic load.
+    trace: TraceSlot,
 }
 
 impl Shared {
     fn set_state(&self, peer: PeerId, state: ConnState) {
         self.states.lock().expect("states lock").insert(peer, state);
+    }
+
+    fn trace(&self, event: NetEvent) {
+        trace::record(&self.trace, event);
     }
 }
 
@@ -165,10 +196,13 @@ impl PeerManager {
             local: config.local,
             queue_depth: config.queue_depth,
             conns: Mutex::new(HashMap::new()),
+            conns_changed: Condvar::new(),
             states: Mutex::new(HashMap::new()),
             inbound: inbound_tx,
             shutdown: AtomicBool::new(false),
             epochs: AtomicU64::new(0),
+            metrics: NetMetrics::new(),
+            trace: TraceSlot::new(),
         });
         let manager = Arc::new(Self {
             shared: Arc::clone(&shared),
@@ -184,6 +218,20 @@ impl PeerManager {
     #[must_use]
     pub fn local(&self) -> PeerId {
         self.config.local
+    }
+
+    /// The cross-thread metrics sink shared by this peer's socket
+    /// threads. Disabled until [`NetMetrics::enable`] is called, so an
+    /// unobserved runtime records nothing.
+    #[must_use]
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.shared.metrics
+    }
+
+    /// Attaches a wall-clock event trace. Only the first attach wins;
+    /// a later call is ignored (the slot is write-once).
+    pub fn attach_trace(&self, trace: Arc<NetTrace>) {
+        let _ = self.shared.trace.set(trace);
     }
 
     /// The lifecycle state of the connection toward `peer`.
@@ -219,7 +267,7 @@ impl PeerManager {
             u64::from(self.config.local.0),
             u64::from(peer.0),
         );
-        for _ in 0..self.config.dial_attempts {
+        for attempt in 1..=self.config.dial_attempts {
             if self.shared.shutdown.load(Ordering::SeqCst) {
                 return Err(io::Error::new(
                     io::ErrorKind::Interrupted,
@@ -230,14 +278,20 @@ impl PeerManager {
                 return Ok(());
             }
             self.shared.set_state(peer, ConnState::Dialing);
+            self.shared.trace(NetEvent::Dial { peer, attempt });
             match self.dial_once(peer, addr) {
                 Ok(()) => return Ok(()),
                 Err(_) => {
-                    obs::count(Counter::NetRetries, 1);
+                    self.shared.metrics.count(Counter::NetRetries, 1);
                     if self.state(peer) == ConnState::Dialing {
                         self.shared.set_state(peer, ConnState::Idle);
                     }
-                    thread::sleep(backoff.next_delay());
+                    let delay = backoff.next_delay();
+                    self.shared.trace(NetEvent::Retry {
+                        peer,
+                        delay_ms: delay.as_millis() as u64,
+                    });
+                    thread::sleep(delay);
                 }
             }
         }
@@ -260,6 +314,11 @@ impl PeerManager {
                 format!("dialed {peer}, reached {remote}"),
             ));
         }
+        // Third leg of the handshake: confirm so the acceptor knows
+        // this socket was not abandoned to a reply timeout. Only after
+        // this write does either side install.
+        Frame::new(FrameKind::Hello, self.config.local.0.to_le_bytes().to_vec())
+            .write_to(&mut stream)?;
         stream.set_read_timeout(None)?;
         // Either this socket was installed or an existing (or
         // race-winning) connection already serves the peer — both
@@ -287,6 +346,25 @@ impl PeerManager {
                 format!("no connection to {peer}"),
             )
         })?;
+        // Try the fast path first so a full queue — the backpressure
+        // surface — is observable before this call blocks on it.
+        let frame = match tx.try_send(frame) {
+            Ok(()) => return Ok(()),
+            Err(TrySendError::Disconnected(_)) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    format!("{peer} went away"),
+                ));
+            }
+            Err(TrySendError::Full(frame)) => {
+                self.shared.metrics.count(Counter::NetSendStalls, 1);
+                self.shared.trace(NetEvent::SendStall {
+                    peer,
+                    kind: frame.kind,
+                });
+                frame
+            }
+        };
         tx.send(frame)
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, format!("{peer} went away")))
     }
@@ -304,23 +382,39 @@ impl PeerManager {
 
     /// Waits until `count` connections are live.
     ///
+    /// Readiness-driven: the waiter parks on a condvar that every
+    /// `conns` mutation signals, so assembly needs no polling interval
+    /// — on a 1-vCPU host the old fixed 5 ms sleep could starve the
+    /// handshake threads it was waiting for. A bounded wait slice
+    /// remains as a backstop; each slice that expires without progress
+    /// is counted under `net_poll_starved`.
+    ///
     /// # Errors
     ///
     /// [`io::ErrorKind::TimedOut`] if the cluster does not assemble
     /// within `timeout`.
     pub fn await_connections(&self, count: usize, timeout: Duration) -> io::Result<()> {
-        let deadline = std::time::Instant::now() + timeout;
-        while self.connection_count() < count {
-            if std::time::Instant::now() > deadline {
+        let deadline = Instant::now() + timeout;
+        let mut conns = self.shared.conns.lock().expect("conns lock");
+        while conns.len() < count {
+            let now = Instant::now();
+            if now >= deadline {
                 return Err(io::Error::new(
                     io::ErrorKind::TimedOut,
-                    format!(
-                        "{} of {count} peers connected before timeout",
-                        self.connection_count()
-                    ),
+                    format!("{} of {count} peers connected before timeout", conns.len()),
                 ));
             }
-            thread::sleep(Duration::from_millis(5));
+            let before = conns.len();
+            let slice = (deadline - now).min(Duration::from_secs(1));
+            let (guard, wait) = self
+                .shared
+                .conns_changed
+                .wait_timeout(conns, slice)
+                .expect("conns lock");
+            conns = guard;
+            if wait.timed_out() && conns.len() <= before {
+                self.shared.metrics.count(Counter::NetPollStarved, 1);
+            }
         }
         Ok(())
     }
@@ -329,11 +423,17 @@ impl PeerManager {
     /// closed and flushed by the writer, then the write side shuts
     /// down; the peer observes a clean EOF after the last frame.
     pub fn drain(&self, peer: PeerId) {
-        let removed = self.shared.conns.lock().expect("conns lock").remove(&peer);
+        let removed = {
+            let mut conns = self.shared.conns.lock().expect("conns lock");
+            let removed = conns.remove(&peer);
+            self.shared.conns_changed.notify_all();
+            removed
+        };
         if removed.is_some() {
             // Dropping the Conn drops its SyncSender; the writer
             // thread drains the queue, then half-closes the socket.
             self.shared.set_state(peer, ConnState::Draining);
+            self.shared.trace(NetEvent::Drain { peer });
         }
     }
 
@@ -341,16 +441,16 @@ impl PeerManager {
     /// Idempotent; also invoked on drop.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        let conns: Vec<(PeerId, Conn)> = self
-            .shared
-            .conns
-            .lock()
-            .expect("conns lock")
-            .drain()
-            .collect();
+        let conns: Vec<(PeerId, Conn)> = {
+            let mut guard = self.shared.conns.lock().expect("conns lock");
+            let drained = guard.drain().collect();
+            self.shared.conns_changed.notify_all();
+            drained
+        };
         for (peer, conn) in conns {
             conn.stream.shutdown_both();
             self.shared.set_state(peer, ConnState::Closed);
+            self.shared.trace(NetEvent::Closed { peer });
         }
     }
 }
@@ -373,14 +473,32 @@ fn decode_hello(frame: &Frame) -> io::Result<PeerId> {
     )))
 }
 
+/// Longest the accept loop sleeps between empty polls.
+const ACCEPT_IDLE_CAP: Duration = Duration::from_millis(5);
+
 fn accept_loop(shared: &Arc<Shared>, listener: &Listener, handshake_timeout: Duration) {
+    // Adaptive wait instead of a fixed sleep: yield while a burst may
+    // still be arriving, then back off geometrically to the cap. On a
+    // 1-vCPU host the yields give handshake threads the core instead
+    // of parking the loop for a full 5 ms at the worst moment.
+    let mut idle = 0u32;
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept_pending() {
             Ok(Some(stream)) => {
+                idle = 0;
+                shared.trace(NetEvent::Accept);
                 let shared = Arc::clone(shared);
                 thread::spawn(move || accept_handshake(&shared, stream, handshake_timeout));
             }
-            Ok(None) => thread::sleep(Duration::from_millis(5)),
+            Ok(None) => {
+                idle = idle.saturating_add(1);
+                if idle <= 3 {
+                    thread::yield_now();
+                } else {
+                    let backoff = Duration::from_micros(200).saturating_mul(1 << (idle - 4).min(8));
+                    thread::sleep(backoff.min(ACCEPT_IDLE_CAP));
+                }
+            }
             Err(_) => break,
         }
     }
@@ -394,6 +512,24 @@ fn accept_handshake(shared: &Arc<Shared>, mut stream: Stream, handshake_timeout:
         shared.set_state(remote, ConnState::Accepting);
         Frame::new(FrameKind::Hello, shared.local.0.to_le_bytes().to_vec())
             .write_to(&mut stream)?;
+        // Wait for the dialer's confirmation before installing: a
+        // dialer whose reply read timed out abandons the socket and
+        // retries, and installing its ghost here would let the ghost
+        // win the duplicate-dial tiebreak against that retry. The
+        // confirmation read is NOT timed: the counterparty proved
+        // itself live with a valid HELLO, and our dialer either
+        // confirms promptly or closes the socket (a clean EOF aborts
+        // this read) — while a timeout here would re-open the window
+        // in the other direction, dropping a socket the dialer
+        // already considers established.
+        stream.set_read_timeout(None)?;
+        let confirm = decode_hello(&Frame::read_from(&mut stream)?)?;
+        if confirm != remote {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "handshake confirmation names a different peer",
+            ));
+        }
         stream.set_read_timeout(None)?;
         // An accepted connection was dialed by the remote peer.
         install(shared, remote, stream, remote)?;
@@ -413,19 +549,23 @@ fn install(shared: &Arc<Shared>, peer: PeerId, stream: Stream, dialer: PeerId) -
     let writer_stream = stream.try_clone()?;
     let mut conns = shared.conns.lock().expect("conns lock");
     if let Some(existing) = conns.get(&peer) {
-        if existing.dialer <= dialer {
+        if existing.dialer < dialer {
             // The established connection wins: it was dialed by the
-            // lower id (or this is a duplicate dial of the same
-            // direction). Discard the newcomer.
-            obs::count(Counter::NetRaceLost, 1);
+            // lower id. Discard the newcomer.
+            shared.metrics.count(Counter::NetRaceLost, 1);
+            shared.trace(NetEvent::RaceLost { peer });
             drop(conns);
             stream.shutdown_both();
             return Ok(false);
         }
-        // The newcomer wins the race: displace the established
-        // connection. Its reader observes the teardown and exits
-        // without touching the new entry (epoch check).
-        obs::count(Counter::NetRaceLost, 1);
+        // The newcomer wins: either it was dialed by the lower id
+        // (cross race), or this is a duplicate dial of the same
+        // direction — the remote only re-dials after abandoning its
+        // previous socket, so the incumbent is dead. Displace it; its
+        // reader observes the teardown and exits without touching the
+        // new entry (epoch check).
+        shared.metrics.count(Counter::NetRaceLost, 1);
+        shared.trace(NetEvent::Displaced { peer });
         if let Some(old) = conns.remove(&peer) {
             old.stream.shutdown_both();
         }
@@ -441,13 +581,21 @@ fn install(shared: &Arc<Shared>, peer: PeerId, stream: Stream, dialer: PeerId) -
             epoch,
         },
     );
+    shared.conns_changed.notify_all();
     drop(conns);
     shared.set_state(peer, ConnState::Established);
+    shared.trace(NetEvent::HandshakeOk {
+        peer,
+        dialer: dialer == shared.local,
+    });
     {
         let shared = Arc::clone(shared);
         thread::spawn(move || reader_loop(&shared, reader_stream, peer, epoch));
     }
-    thread::spawn(move || writer_loop(writer_stream, &rx));
+    {
+        let shared = Arc::clone(shared);
+        thread::spawn(move || writer_loop(&shared, writer_stream, &rx));
+    }
     Ok(true)
 }
 
@@ -456,8 +604,8 @@ fn reader_loop(shared: &Arc<Shared>, mut stream: Stream, peer: PeerId, epoch: u6
     // socket teardown — ends the connection; the stream is never
     // resynchronized.
     while let Ok(frame) = Frame::read_from(&mut stream) {
-        obs::count(Counter::NetFramesRecv, 1);
-        obs::count(
+        shared.metrics.count(Counter::NetFramesRecv, 1);
+        shared.metrics.count(
             Counter::NetBytesRecv,
             (HEADER_LEN + frame.body.len()) as u64,
         );
@@ -472,19 +620,34 @@ fn reader_loop(shared: &Arc<Shared>, mut stream: Stream, peer: PeerId, epoch: u6
         if let Some(conn) = conns.remove(&peer) {
             conn.stream.shutdown_both();
         }
+        shared.conns_changed.notify_all();
         drop(conns);
         shared.set_state(peer, ConnState::Closed);
+        shared.trace(NetEvent::Closed { peer });
     }
 }
 
-fn writer_loop(mut stream: Stream, rx: &Receiver<Frame>) {
+fn writer_loop(shared: &Arc<Shared>, mut stream: Stream, rx: &Receiver<Frame>) {
     while let Ok(frame) = rx.recv() {
+        // The clock is read only when the sink is armed, keeping the
+        // unobserved hot path free of syscalls.
+        let started = shared.metrics.is_enabled().then(Instant::now);
+        let kind = frame.kind;
         let bytes = frame.encoded_len() as u64;
         if frame.write_to(&mut stream).is_err() {
             return; // reader notices the dead socket and retires it
         }
-        obs::count(Counter::NetFramesSent, 1);
-        obs::count(Counter::NetBytesSent, bytes);
+        if let Some(started) = started {
+            // Per-kind wall clock from dequeue to completed write,
+            // and per-kind encoded size. Sizes are recorded on the
+            // send side only so a cluster-wide merge counts each
+            // frame exactly once.
+            let ns = started.elapsed().as_nanos() as u64;
+            shared.metrics.observe_ns(frame_time_hist(kind), ns);
+            shared.metrics.observe(frame_size_hist(kind), bytes);
+        }
+        shared.metrics.count(Counter::NetFramesSent, 1);
+        shared.metrics.count(Counter::NetBytesSent, bytes);
     }
     // Queue closed (drain): everything queued has been written.
     stream.shutdown_write();
@@ -569,6 +732,51 @@ mod tests {
         let _b = PeerManager::bind(PeerConfig::new(PeerId(1), addr, 7)).unwrap();
         dialer.join().unwrap().unwrap();
         assert_eq!(a.state(PeerId(1)), ConnState::Established);
+    }
+
+    #[test]
+    fn metrics_sink_and_trace_observe_the_lifecycle() {
+        let (a, b, _a_addr, b_addr) = pair("obsplane");
+        a.metrics().enable();
+        let trace = Arc::new(NetTrace::new());
+        a.attach_trace(Arc::clone(&trace));
+        a.connect(PeerId(1), &b_addr).unwrap();
+        a.send(PeerId(1), Frame::new(FrameKind::Dispatch, vec![0; 16]))
+            .unwrap();
+        b.recv_timeout(Duration::from_secs(5)).expect("delivered");
+        a.drain(PeerId(1));
+
+        // The writer thread records asynchronously; wait for it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let snap = a.metrics().snapshot();
+            // Dispatch + the dial-side share of the HELLO exchange.
+            if snap.counter(Counter::NetFramesSent) >= 1 {
+                assert!(snap.counter(Counter::NetBytesSent) >= 16);
+                assert_eq!(
+                    snap.size_hist(bsub_obs::SizeHist::NetFrameDispatchBytes)
+                        .count(),
+                    1
+                );
+                assert_eq!(
+                    snap.time_hist(bsub_obs::TimeHist::NetFrameDispatchNs)
+                        .count(),
+                    1
+                );
+                break;
+            }
+            assert!(Instant::now() < deadline, "writer metrics never appeared");
+            thread::yield_now();
+        }
+
+        let labels: Vec<&str> = trace.events().iter().map(|e| e.event.label()).collect();
+        assert!(labels.contains(&"dial"), "{labels:?}");
+        assert!(labels.contains(&"handshake_ok"), "{labels:?}");
+        assert!(labels.contains(&"drain"), "{labels:?}");
+        assert!(trace.to_jsonl().lines().count() == labels.len());
+
+        // B never armed its sink: nothing recorded there.
+        assert!(b.metrics().snapshot().is_empty());
     }
 
     #[test]

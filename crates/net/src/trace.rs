@@ -1,0 +1,257 @@
+//! Wall-clock event tracing for the peer connection state machine.
+//!
+//! The simulator's `EventLog` records *simulated* time; connection
+//! management happens in *wall-clock* time, on threads the simulator
+//! never sees. [`NetTrace`] is the equivalent seam for that layer: a
+//! shared, append-only log of typed [`NetEvent`]s stamped with
+//! microseconds since the trace was attached, serializable to the same
+//! JSON-lines shape the simulator's event streams use (one object per
+//! line, stable keys) so the two can be eyeballed and post-processed
+//! with the same tooling.
+//!
+//! A trace is attached to a [`PeerManager`](crate::PeerManager) after
+//! construction via `attach_trace`; when none is attached the recording
+//! path is a single `OnceLock` load. Traces observe only — they never
+//! feed back into connection decisions — so attaching one cannot change
+//! protocol results, which is what lets the determinism suite assert
+//! byte-identical artifacts with the observability plane on and off.
+
+use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::frame::FrameKind;
+use crate::peer::PeerId;
+
+/// One typed lifecycle event in the peer state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetEvent {
+    /// An outbound dial attempt started (1-based attempt number).
+    Dial {
+        /// The peer being dialed.
+        peer: PeerId,
+        /// 1-based dial attempt number.
+        attempt: u32,
+    },
+    /// An inbound connection was accepted (peer unknown until Hello).
+    Accept,
+    /// A connection finished its handshake and was installed.
+    HandshakeOk {
+        /// The remote peer.
+        peer: PeerId,
+        /// Whether the local side dialed (`true`) or accepted.
+        dialer: bool,
+    },
+    /// A dial race was lost; the redundant connection was dropped.
+    RaceLost {
+        /// The remote peer.
+        peer: PeerId,
+    },
+    /// An established connection was displaced by a newer one.
+    Displaced {
+        /// The remote peer.
+        peer: PeerId,
+    },
+    /// A failed dial will be retried after a backoff delay.
+    Retry {
+        /// The peer being dialed.
+        peer: PeerId,
+        /// Backoff delay before the next attempt, in milliseconds.
+        delay_ms: u64,
+    },
+    /// A send found the outbound queue full and stalled (backpressure).
+    SendStall {
+        /// The destination peer.
+        peer: PeerId,
+        /// The kind of frame that stalled.
+        kind: FrameKind,
+    },
+    /// A graceful drain of a connection started.
+    Drain {
+        /// The remote peer.
+        peer: PeerId,
+    },
+    /// A connection reached the closed state.
+    Closed {
+        /// The remote peer.
+        peer: PeerId,
+    },
+}
+
+impl NetEvent {
+    /// Stable lowercase event name (the `"event"` key in JSONL).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            NetEvent::Dial { .. } => "dial",
+            NetEvent::Accept => "accept",
+            NetEvent::HandshakeOk { .. } => "handshake_ok",
+            NetEvent::RaceLost { .. } => "race_lost",
+            NetEvent::Displaced { .. } => "displaced",
+            NetEvent::Retry { .. } => "retry",
+            NetEvent::SendStall { .. } => "send_stall",
+            NetEvent::Drain { .. } => "drain",
+            NetEvent::Closed { .. } => "closed",
+        }
+    }
+}
+
+/// One recorded event with its wall-clock offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TracedEvent {
+    /// Microseconds since the trace was created.
+    pub us: u64,
+    /// The event.
+    pub event: NetEvent,
+}
+
+/// A shared wall-clock event log for one peer's connection machinery.
+#[derive(Debug)]
+pub struct NetTrace {
+    start: Instant,
+    events: Mutex<Vec<TracedEvent>>,
+}
+
+impl Default for NetTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NetTrace {
+    /// An empty trace; the clock starts now.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Appends one event, stamped with the current offset.
+    pub fn record(&self, event: NetEvent) {
+        let us = self.start.elapsed().as_micros() as u64;
+        self.events
+            .lock()
+            .expect("net trace")
+            .push(TracedEvent { us, event });
+    }
+
+    /// A copy of every event recorded so far, in record order.
+    #[must_use]
+    pub fn events(&self) -> Vec<TracedEvent> {
+        self.events.lock().expect("net trace").clone()
+    }
+
+    /// Number of events recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("net trace").len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes the trace as JSON lines: one object per event with
+    /// an `"us"` offset, an `"event"` label, and the event's fields.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for TracedEvent { us, event } in self.events().iter() {
+            let _ = write!(out, "{{\"us\":{us},\"event\":\"{}\"", event.label());
+            match *event {
+                NetEvent::Dial { peer, attempt } => {
+                    let _ = write!(out, ",\"peer\":{},\"attempt\":{attempt}", peer.0);
+                }
+                NetEvent::Accept => {}
+                NetEvent::HandshakeOk { peer, dialer } => {
+                    let _ = write!(out, ",\"peer\":{},\"dialer\":{dialer}", peer.0);
+                }
+                NetEvent::RaceLost { peer }
+                | NetEvent::Displaced { peer }
+                | NetEvent::Drain { peer }
+                | NetEvent::Closed { peer } => {
+                    let _ = write!(out, ",\"peer\":{}", peer.0);
+                }
+                NetEvent::Retry { peer, delay_ms } => {
+                    let _ = write!(out, ",\"peer\":{},\"delay_ms\":{delay_ms}", peer.0);
+                }
+                NetEvent::SendStall { peer, kind } => {
+                    let _ = write!(out, ",\"peer\":{},\"kind\":\"{}\"", peer.0, kind.name());
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+/// A lazily-attached trace slot: one atomic load when empty, so an
+/// untraced runtime pays nothing. Shared by all threads of one peer.
+pub(crate) type TraceSlot = OnceLock<std::sync::Arc<NetTrace>>;
+
+/// Records into `slot` if a trace is attached.
+pub(crate) fn record(slot: &TraceSlot, event: NetEvent) {
+    if let Some(trace) = slot.get() {
+        trace.record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_lines_carry_typed_fields() {
+        let trace = NetTrace::new();
+        trace.record(NetEvent::Dial {
+            peer: PeerId(3),
+            attempt: 1,
+        });
+        trace.record(NetEvent::Accept);
+        trace.record(NetEvent::HandshakeOk {
+            peer: PeerId(3),
+            dialer: true,
+        });
+        trace.record(NetEvent::Retry {
+            peer: PeerId(7),
+            delay_ms: 40,
+        });
+        trace.record(NetEvent::SendStall {
+            peer: PeerId(3),
+            kind: FrameKind::Dispatch,
+        });
+        trace.record(NetEvent::Drain { peer: PeerId(3) });
+
+        let jsonl = trace.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[0].contains("\"event\":\"dial\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"peer\":3"), "{}", lines[0]);
+        assert!(lines[0].contains("\"attempt\":1"), "{}", lines[0]);
+        assert!(lines[1].ends_with("\"event\":\"accept\"}"), "{}", lines[1]);
+        assert!(lines[2].contains("\"dialer\":true"), "{}", lines[2]);
+        assert!(lines[3].contains("\"delay_ms\":40"), "{}", lines[3]);
+        assert!(lines[4].contains("\"kind\":\"dispatch\""), "{}", lines[4]);
+        assert!(lines[5].contains("\"event\":\"drain\""), "{}", lines[5]);
+        // Every line is a braced object with a leading "us" offset.
+        for line in lines {
+            assert!(line.starts_with("{\"us\":"), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn empty_slot_is_a_no_op() {
+        let slot = TraceSlot::new();
+        record(&slot, NetEvent::Accept); // must not panic
+        let trace = std::sync::Arc::new(NetTrace::new());
+        slot.set(std::sync::Arc::clone(&trace)).expect("first set");
+        record(&slot, NetEvent::Accept);
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.events()[0].event.label(), "accept");
+    }
+}

@@ -66,6 +66,28 @@ impl Listener {
         }
     }
 
+    /// The address actually bound — for TCP this resolves a port-0
+    /// bind to the kernel-assigned port, which is how the stats
+    /// endpoint advertises a scrapable address without a fixed port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates getsockname failures; fails for an unnamed
+    /// Unix-domain listener (never produced by [`Listener::bind`]).
+    pub fn local_addr(&self) -> io::Result<EndpointAddr> {
+        match self {
+            Listener::Tcp(l) => l.local_addr().map(EndpointAddr::Tcp),
+            Listener::Unix(l) => {
+                let addr = l.local_addr()?;
+                addr.as_pathname()
+                    .map(|p| EndpointAddr::Unix(p.to_path_buf()))
+                    .ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidData, "unnamed unix listener")
+                    })
+            }
+        }
+    }
+
     /// Accepts one pending connection, or `None` when nothing is
     /// waiting. The returned stream is switched back to blocking
     /// mode.
@@ -240,6 +262,25 @@ mod tests {
         frame.write_to(&mut server).unwrap();
         assert_eq!(Frame::read_from(&mut client).unwrap(), frame);
         assert!(addr.to_string().starts_with("tcp://127.0.0.1:"));
+    }
+
+    #[test]
+    fn local_addr_resolves_port_zero() {
+        let wildcard = EndpointAddr::Tcp("127.0.0.1:0".parse().unwrap());
+        let listener = Listener::bind(&wildcard).unwrap();
+        let bound = listener.local_addr().unwrap();
+        match &bound {
+            EndpointAddr::Tcp(addr) => assert_ne!(addr.port(), 0, "kernel assigned a port"),
+            EndpointAddr::Unix(_) => panic!("bound a TCP listener"),
+        }
+        assert!(Stream::connect(&bound).is_ok());
+
+        let unix = scratch_unix_addr("la");
+        let listener = Listener::bind(&unix).unwrap();
+        assert_eq!(listener.local_addr().unwrap(), unix);
+        if let EndpointAddr::Unix(path) = &unix {
+            let _ = std::fs::remove_file(path);
+        }
     }
 
     #[test]

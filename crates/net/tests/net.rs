@@ -6,9 +6,11 @@
 use bsub_baselines::{Pull, Push};
 use bsub_core::{BsubConfig, BsubProtocol, DfMode};
 use bsub_net::{
-    peer_addr, run_coordinator, run_worker, ClusterSpec, ConnState, Frame, FrameKind, PeerConfig,
-    PeerId, PeerManager,
+    peer_addr, render_prometheus, run_coordinator, run_coordinator_with, run_worker, scrape,
+    ClusterSpec, ConnState, EndpointAddr, Frame, FrameKind, PeerConfig, PeerId, PeerManager,
+    StatsHandle, StatsServer,
 };
+use bsub_obs::{Counter, TimeHist};
 use bsub_sim::{Protocol, ProtocolFactory, SimConfig, SubscriptionTable};
 use bsub_traces::synthetic::SyntheticTrace;
 use bsub_traces::{NodeId, SimDuration};
@@ -213,15 +215,38 @@ fn assert_cluster_matches_serial(tag: &str, factory: &dyn ProtocolFactory, worke
                 .expect("spawn worker")
         })
         .collect();
-    let outcome = run_coordinator(&spec, factory, &dir).expect("coordinator completes");
-    for handle in workers_handles {
-        handle.join().expect("worker thread").expect("worker ok");
-    }
+    let outcome = finish_cluster(run_coordinator(&spec, factory, &dir), workers_handles);
     assert_eq!(
         outcome.report, serial,
         "cluster report equals the serial simulator ({tag})"
     );
     assert_eq!(outcome.exchange_ns.len(), spec.trace.len());
+}
+
+/// Joins the worker threads and unwraps the coordinator outcome. On
+/// a coordinator failure the workers' own results are part of the
+/// panic message — a stalled coordinator usually means a worker died
+/// first, and its error is the one that explains the run.
+fn finish_cluster(
+    outcome: std::io::Result<bsub_net::ClusterOutcome>,
+    handles: Vec<thread::JoinHandle<std::io::Result<()>>>,
+) -> bsub_net::ClusterOutcome {
+    let worker_results: Vec<std::io::Result<()>> = handles
+        .into_iter()
+        .map(|h| {
+            h.join()
+                .unwrap_or_else(|_| Err(std::io::Error::other("worker thread panicked")))
+        })
+        .collect();
+    match outcome {
+        Ok(outcome) => {
+            for (i, result) in worker_results.into_iter().enumerate() {
+                result.unwrap_or_else(|e| panic!("worker {} failed: {e}", i + 1));
+            }
+            outcome
+        }
+        Err(err) => panic!("coordinator failed: {err}; worker results: {worker_results:?}"),
+    }
 }
 
 /// Rebuilds the factory for a worker thread from the spec alone —
@@ -265,4 +290,70 @@ fn cluster_matches_serial_with_three_workers() {
     let (spec, _nodes) = small_world(3);
     let factory = bsub_factory(&spec);
     assert_cluster_matches_serial("bsub-w3", factory.as_ref(), 3);
+}
+
+/// The live observability plane end to end: with a stats cadence on,
+/// the cluster's protocol report still equals the serial simulator's
+/// (the plane observes, never perturbs), the merged live report covers
+/// every contact, and a scrape of the running [`StatsServer`] returns
+/// exactly the merged report in both exposition formats.
+#[test]
+fn cluster_stats_plane_merges_and_serves_without_perturbing() {
+    let workers = 2u32;
+    let (spec, _nodes) = small_world(workers);
+    let spec = spec.with_stats_cadence(Duration::from_millis(50));
+    let factory = bsub_factory(&spec);
+    let serial = spec.simulation().run_factory(factory.as_ref(), spec.seed).0;
+
+    let dir = scratch_dir("stats");
+    let worker_handles: Vec<_> = (1..=workers)
+        .map(|w| {
+            let spec = spec.clone();
+            let dir = dir.clone();
+            let factory = bsub_factory(&spec);
+            thread::Builder::new()
+                .name(format!("net-it-stats-worker-{w}"))
+                .spawn(move || run_worker(&spec, factory.as_ref(), &dir, w))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    // Serve the handle the coordinator merges into — the endpoint is
+    // scrapeable while the run is live.
+    let stats = StatsHandle::new();
+    let server = StatsServer::serve(
+        &EndpointAddr::Tcp("127.0.0.1:0".parse().unwrap()),
+        stats.clone(),
+    )
+    .expect("stats server binds");
+
+    let outcome = finish_cluster(
+        run_coordinator_with(&spec, factory.as_ref(), &dir, Some(stats.clone())),
+        worker_handles,
+    );
+
+    assert_eq!(
+        outcome.report, serial,
+        "observability plane does not perturb the protocol report"
+    );
+    let merged = outcome.cluster_metrics.expect("plane was on");
+    assert!(!merged.is_empty(), "merged live report is non-empty");
+    assert_eq!(
+        merged.time_hist(TimeHist::NetExchangeNs).count(),
+        spec.trace.len() as u64,
+        "one exchange-latency sample per contact"
+    );
+    assert!(merged.counter(Counter::NetFramesSent) > 0);
+    assert!(merged.counter(Counter::NetStatsFrames) > 0, "deltas merged");
+
+    // The endpoint serves exactly the merged slot, live.
+    let text = scrape(server.local_addr(), "/metrics").expect("text scrape");
+    assert_eq!(text, render_prometheus(&stats.snapshot()));
+    let json = scrape(server.local_addr(), "/metrics.json").expect("json scrape");
+    assert_eq!(json, stats.snapshot().to_json());
+    assert_eq!(
+        stats.snapshot(),
+        merged,
+        "endpoint slot equals the outcome's merged report"
+    );
 }

@@ -34,6 +34,14 @@
 //! scheduling order — wall-clock *timing* histograms are the one
 //! exception, and are excluded from invariance claims.
 //!
+//! For components whose work crosses threads or processes — the
+//! `bsub-net` runtime's socket threads, a cluster shipping per-worker
+//! reports to its coordinator — a report can also be mutated directly
+//! ([`ProfReport::add_counter`] and friends) and moved over a wire
+//! with the versioned binary codec ([`ProfReport::encode`] /
+//! [`ProfReport::decode`]). Merge commutativity is what makes the
+//! cluster-wide live report independent of frame arrival order.
+//!
 //! # Example
 //!
 //! ```

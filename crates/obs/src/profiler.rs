@@ -98,11 +98,21 @@ pub enum Counter {
     MatchCandidates,
     /// Confirmed (subscriber, event) matches produced by the index.
     MatchMatched,
+    /// Poll/wait intervals that elapsed without observable progress in
+    /// `bsub-net`'s connection-assembly waits — the starvation
+    /// visibility counter for single-CPU schedulers.
+    NetPollStarved,
+    /// Outbound sends that found a connection's bounded queue full and
+    /// had to block (`bsub-net` backpressure stalls).
+    NetSendStalls,
+    /// `STATS` frames merged into a live cluster-wide report
+    /// (`bsub-net` coordinator side).
+    NetStatsFrames,
 }
 
 impl Counter {
     /// Every counter, in stable report order.
-    pub const ALL: [Counter; 36] = [
+    pub const ALL: [Counter; 39] = [
         Counter::TcbfInsert,
         Counter::TcbfAMerge,
         Counter::TcbfMMerge,
@@ -139,6 +149,9 @@ impl Counter {
         Counter::MatchTierProbes,
         Counter::MatchCandidates,
         Counter::MatchMatched,
+        Counter::NetPollStarved,
+        Counter::NetSendStalls,
+        Counter::NetStatsFrames,
     ];
 
     /// Stable snake-case name used in JSON and tables.
@@ -181,6 +194,9 @@ impl Counter {
             Counter::MatchTierProbes => "match_tier_probes",
             Counter::MatchCandidates => "match_candidates",
             Counter::MatchMatched => "match_matched",
+            Counter::NetPollStarved => "net_poll_starved",
+            Counter::NetSendStalls => "net_send_stalls",
+            Counter::NetStatsFrames => "net_stats_frames",
         }
     }
 }
@@ -249,11 +265,45 @@ pub enum TimeHist {
     NetExchangeNs,
     /// One batched `match_events` call on a `bsub-match` index.
     MatchBatchNs,
+    /// Socket-write latency of one `HELLO` frame (`bsub-net`). The
+    /// per-frame-kind families below measure the writer thread's
+    /// wall clock from dequeuing a frame to the flushed socket write,
+    /// so OS-buffer backpressure shows up per kind.
+    NetFrameHelloNs,
+    /// Socket-write latency of one `DISPATCH` frame.
+    NetFrameDispatchNs,
+    /// Socket-write latency of one `STATE_REQ` frame.
+    NetFrameStateReqNs,
+    /// Socket-write latency of one `STATE_GRANT` frame.
+    NetFrameStateGrantNs,
+    /// Socket-write latency of one `STATE_RET` frame.
+    NetFrameStateRetNs,
+    /// Socket-write latency of one `RESULT` frame.
+    NetFrameExchangeResultNs,
+    /// Socket-write latency of one `NODE_FREE` frame.
+    NetFrameNodeFreeNs,
+    /// Socket-write latency of one `ADVANCE` frame.
+    NetFrameAdvanceNs,
+    /// Socket-write latency of one `PUBLISH_OK` frame.
+    NetFramePublishOkNs,
+    /// Socket-write latency of one `DONE` frame.
+    NetFrameDoneNs,
+    /// Socket-write latency of one `STATS` frame.
+    NetFrameStatsNs,
+    /// One epoch's A-merge derivation phase in the sharded scale
+    /// engine (phase A, per shard).
+    ScaleDeriveNs,
+    /// One epoch's cross-shard merge phase (phase B, per shard).
+    ScaleMergeNs,
+    /// One epoch's query phase (phase C, per shard).
+    ScaleQueryNs,
+    /// One epoch's decay phase (phase D, per shard).
+    ScaleDecayNs,
 }
 
 impl TimeHist {
     /// Every timing histogram, in stable report order.
-    pub const ALL: [TimeHist; 8] = [
+    pub const ALL: [TimeHist; 23] = [
         TimeHist::MergeNs,
         TimeHist::DecayNs,
         TimeHist::PreferenceNs,
@@ -262,6 +312,21 @@ impl TimeHist {
         TimeHist::ContactNs,
         TimeHist::NetExchangeNs,
         TimeHist::MatchBatchNs,
+        TimeHist::NetFrameHelloNs,
+        TimeHist::NetFrameDispatchNs,
+        TimeHist::NetFrameStateReqNs,
+        TimeHist::NetFrameStateGrantNs,
+        TimeHist::NetFrameStateRetNs,
+        TimeHist::NetFrameExchangeResultNs,
+        TimeHist::NetFrameNodeFreeNs,
+        TimeHist::NetFrameAdvanceNs,
+        TimeHist::NetFramePublishOkNs,
+        TimeHist::NetFrameDoneNs,
+        TimeHist::NetFrameStatsNs,
+        TimeHist::ScaleDeriveNs,
+        TimeHist::ScaleMergeNs,
+        TimeHist::ScaleQueryNs,
+        TimeHist::ScaleDecayNs,
     ];
 
     /// Stable snake-case name used in JSON and tables.
@@ -276,6 +341,21 @@ impl TimeHist {
             TimeHist::ContactNs => "contact_ns",
             TimeHist::NetExchangeNs => "net_exchange_ns",
             TimeHist::MatchBatchNs => "match_batch_ns",
+            TimeHist::NetFrameHelloNs => "net_frame_hello_ns",
+            TimeHist::NetFrameDispatchNs => "net_frame_dispatch_ns",
+            TimeHist::NetFrameStateReqNs => "net_frame_state_req_ns",
+            TimeHist::NetFrameStateGrantNs => "net_frame_state_grant_ns",
+            TimeHist::NetFrameStateRetNs => "net_frame_state_ret_ns",
+            TimeHist::NetFrameExchangeResultNs => "net_frame_exchange_result_ns",
+            TimeHist::NetFrameNodeFreeNs => "net_frame_node_free_ns",
+            TimeHist::NetFrameAdvanceNs => "net_frame_advance_ns",
+            TimeHist::NetFramePublishOkNs => "net_frame_publish_ok_ns",
+            TimeHist::NetFrameDoneNs => "net_frame_done_ns",
+            TimeHist::NetFrameStatsNs => "net_frame_stats_ns",
+            TimeHist::ScaleDeriveNs => "scale_derive_ns",
+            TimeHist::ScaleMergeNs => "scale_merge_ns",
+            TimeHist::ScaleQueryNs => "scale_query_ns",
+            TimeHist::ScaleDecayNs => "scale_decay_ns",
         }
     }
 }
@@ -294,15 +374,51 @@ pub enum SizeHist {
     /// Exact confirmations attempted per batched `match_events` call
     /// (`bsub-match`) — how much work tier pruning let through.
     MatchBatchCandidates,
+    /// Encoded size (header + body) of each `HELLO` frame written to a
+    /// socket (`bsub-net`). The per-frame-kind families are recorded
+    /// on the send side only, so a cluster-wide merge counts each
+    /// frame exactly once.
+    NetFrameHelloBytes,
+    /// Encoded size of each `DISPATCH` frame written.
+    NetFrameDispatchBytes,
+    /// Encoded size of each `STATE_REQ` frame written.
+    NetFrameStateReqBytes,
+    /// Encoded size of each `STATE_GRANT` frame written.
+    NetFrameStateGrantBytes,
+    /// Encoded size of each `STATE_RET` frame written.
+    NetFrameStateRetBytes,
+    /// Encoded size of each `RESULT` frame written.
+    NetFrameExchangeResultBytes,
+    /// Encoded size of each `NODE_FREE` frame written.
+    NetFrameNodeFreeBytes,
+    /// Encoded size of each `ADVANCE` frame written.
+    NetFrameAdvanceBytes,
+    /// Encoded size of each `PUBLISH_OK` frame written.
+    NetFramePublishOkBytes,
+    /// Encoded size of each `DONE` frame written.
+    NetFrameDoneBytes,
+    /// Encoded size of each `STATS` frame written.
+    NetFrameStatsBytes,
 }
 
 impl SizeHist {
     /// Every size histogram, in stable report order.
-    pub const ALL: [SizeHist; 4] = [
+    pub const ALL: [SizeHist; 15] = [
         SizeHist::EncodedFilterBytes,
         SizeHist::ContactBytes,
         SizeHist::MatchBatchEvents,
         SizeHist::MatchBatchCandidates,
+        SizeHist::NetFrameHelloBytes,
+        SizeHist::NetFrameDispatchBytes,
+        SizeHist::NetFrameStateReqBytes,
+        SizeHist::NetFrameStateGrantBytes,
+        SizeHist::NetFrameStateRetBytes,
+        SizeHist::NetFrameExchangeResultBytes,
+        SizeHist::NetFrameNodeFreeBytes,
+        SizeHist::NetFrameAdvanceBytes,
+        SizeHist::NetFramePublishOkBytes,
+        SizeHist::NetFrameDoneBytes,
+        SizeHist::NetFrameStatsBytes,
     ];
 
     /// Stable snake-case name used in JSON and tables.
@@ -313,6 +429,17 @@ impl SizeHist {
             SizeHist::ContactBytes => "contact_bytes",
             SizeHist::MatchBatchEvents => "match_batch_events",
             SizeHist::MatchBatchCandidates => "match_batch_candidates",
+            SizeHist::NetFrameHelloBytes => "net_frame_hello_bytes",
+            SizeHist::NetFrameDispatchBytes => "net_frame_dispatch_bytes",
+            SizeHist::NetFrameStateReqBytes => "net_frame_state_req_bytes",
+            SizeHist::NetFrameStateGrantBytes => "net_frame_state_grant_bytes",
+            SizeHist::NetFrameStateRetBytes => "net_frame_state_ret_bytes",
+            SizeHist::NetFrameExchangeResultBytes => "net_frame_exchange_result_bytes",
+            SizeHist::NetFrameNodeFreeBytes => "net_frame_node_free_bytes",
+            SizeHist::NetFrameAdvanceBytes => "net_frame_advance_bytes",
+            SizeHist::NetFramePublishOkBytes => "net_frame_publish_ok_bytes",
+            SizeHist::NetFrameDoneBytes => "net_frame_done_bytes",
+            SizeHist::NetFrameStatsBytes => "net_frame_stats_bytes",
         }
     }
 }

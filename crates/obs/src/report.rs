@@ -2,7 +2,7 @@
 //! [`MetricsReport`], and the machine-speed calibration used to
 //! normalize timings across hosts.
 
-use crate::hist::Histogram;
+use crate::hist::{take_u16, take_u64, take_u8, Histogram};
 use crate::json::json_string;
 use crate::profiler::{Counter, Gauge, Profiler, SizeHist, TimeHist};
 use std::fmt::Write as _;
@@ -35,6 +35,9 @@ impl Default for ProfReport {
 }
 
 impl ProfReport {
+    /// Version byte leading every wire-encoded report (DESIGN.md §15).
+    pub const WIRE_VERSION: u8 = 1;
+
     pub(crate) fn from_profiler(p: &Profiler) -> Self {
         Self {
             counters: p.counters,
@@ -112,6 +115,106 @@ impl ProfReport {
         for (a, b) in p.size_hists.iter_mut().zip(&self.size_hists) {
             a.merge(b);
         }
+    }
+
+    /// Adds `n` to a counter directly on this report (saturating) —
+    /// the recording path for aggregation sinks that cannot use the
+    /// thread-local profiler, such as `bsub-net`'s socket threads,
+    /// which outlive any one profiled run.
+    pub fn add_counter(&mut self, c: Counter, n: u64) {
+        let slot = &mut self.counters[c as usize];
+        *slot = slot.saturating_add(n);
+    }
+
+    /// Raises a gauge's high-water mark to at least `level`.
+    pub fn raise_gauge(&mut self, g: Gauge, level: u64) {
+        let slot = &mut self.gauges[g as usize];
+        *slot = (*slot).max(level);
+    }
+
+    /// Records one sample into a timing histogram (nanoseconds).
+    pub fn record_time(&mut self, h: TimeHist, ns: u64) {
+        self.time_hists[h as usize].record(ns);
+    }
+
+    /// Records one sample into a size histogram (bytes).
+    pub fn record_size(&mut self, h: SizeHist, value: u64) {
+        self.size_hists[h as usize].record(value);
+    }
+
+    /// Encodes the report for the wire (DESIGN.md §15): a version
+    /// byte, a reserved zero byte, the four taxonomy lengths as u16
+    /// LE (counters, gauges, timing histograms, size histograms),
+    /// then every counter and gauge as u64 LE followed by every
+    /// histogram record, all in taxonomy declaration order. Histogram
+    /// records are sparse (zero buckets omitted), so an
+    /// almost-empty report encodes in a few hundred bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + 8 * self.counters.len());
+        out.push(Self::WIRE_VERSION);
+        out.push(0); // reserved
+        for len in [
+            Counter::ALL.len(),
+            Gauge::ALL.len(),
+            TimeHist::ALL.len(),
+            SizeHist::ALL.len(),
+        ] {
+            out.extend_from_slice(&(len as u16).to_le_bytes());
+        }
+        for &c in &self.counters {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        for &g in &self.gauges {
+            out.extend_from_slice(&g.to_le_bytes());
+        }
+        for h in &self.time_hists {
+            h.encode_into(&mut out);
+        }
+        for h in &self.size_hists {
+            h.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// Decodes a report encoded by [`ProfReport::encode`]. `None` on
+    /// a version or taxonomy-length mismatch, truncation, a malformed
+    /// histogram record, or trailing bytes — decoding never guesses
+    /// (the same reset discipline as the frame layer: a peer built
+    /// against a different taxonomy is rejected, not reinterpreted).
+    #[must_use]
+    pub fn decode(body: &[u8]) -> Option<Self> {
+        let mut input = body;
+        if take_u8(&mut input)? != Self::WIRE_VERSION || take_u8(&mut input)? != 0 {
+            return None;
+        }
+        for expected in [
+            Counter::ALL.len(),
+            Gauge::ALL.len(),
+            TimeHist::ALL.len(),
+            SizeHist::ALL.len(),
+        ] {
+            if take_u16(&mut input)? as usize != expected {
+                return None;
+            }
+        }
+        let mut report = Self::default();
+        for slot in &mut report.counters {
+            *slot = take_u64(&mut input)?;
+        }
+        for slot in &mut report.gauges {
+            *slot = take_u64(&mut input)?;
+        }
+        for slot in &mut report.time_hists {
+            *slot = Histogram::decode_from(&mut input)?;
+        }
+        for slot in &mut report.size_hists {
+            *slot = Histogram::decode_from(&mut input)?;
+        }
+        if !input.is_empty() {
+            return None;
+        }
+        Some(report)
     }
 
     /// Equality over the deterministic portion only: counters, gauges,
@@ -431,5 +534,81 @@ mod tests {
     #[test]
     fn calibration_is_positive() {
         assert!(calibrate_ns() > 0);
+    }
+
+    fn busy_report() -> ProfReport {
+        profiler::start();
+        profiler::count(Counter::NetFramesSent, 12);
+        profiler::count(Counter::ControlBytes, 9001);
+        profiler::gauge_set(Gauge::BufferMsgs, 17);
+        profiler::observe(SizeHist::NetFrameStatsBytes, 512);
+        profiler::observe_ns(TimeHist::NetExchangeNs, 12_345);
+        profiler::observe_ns(TimeHist::NetExchangeNs, 1 << 33);
+        profiler::finish()
+    }
+
+    #[test]
+    fn wire_round_trip_is_exact() {
+        let report = busy_report();
+        let bytes = report.encode();
+        let back = ProfReport::decode(&bytes).expect("decodes");
+        assert_eq!(back, report, "full equality, timing histograms included");
+
+        let empty = ProfReport::default();
+        assert_eq!(ProfReport::decode(&empty.encode()), Some(empty));
+    }
+
+    #[test]
+    fn wire_header_layout_is_pinned() {
+        // DESIGN.md §15: version at 0, reserved at 1, then the four
+        // taxonomy lengths as u16 LE at 2, 4, 6, 8; payload at 10.
+        let bytes = busy_report().encode();
+        assert_eq!(bytes[0], ProfReport::WIRE_VERSION);
+        assert_eq!(bytes[1], 0);
+        let at = |o: usize| u16::from_le_bytes(bytes[o..o + 2].try_into().unwrap()) as usize;
+        assert_eq!(at(2), Counter::ALL.len());
+        assert_eq!(at(4), Gauge::ALL.len());
+        assert_eq!(at(6), TimeHist::ALL.len());
+        assert_eq!(at(8), SizeHist::ALL.len());
+        // First counter (u64 LE) sits at offset 10.
+        let first = u64::from_le_bytes(bytes[10..18].try_into().unwrap());
+        assert_eq!(first, busy_report().counter(Counter::ALL[0]));
+    }
+
+    #[test]
+    fn wire_decode_rejects_mismatch_and_truncation() {
+        let report = busy_report();
+        let bytes = report.encode();
+        // Any truncation fails — a decoder never guesses.
+        for cut in [0, 1, 9, 10, bytes.len() - 1] {
+            assert!(ProfReport::decode(&bytes[..cut]).is_none(), "cut {cut}");
+        }
+        // Trailing bytes fail.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(ProfReport::decode(&long).is_none());
+        // Version and taxonomy-length mismatches fail.
+        let mut wrong_version = bytes.clone();
+        wrong_version[0] = 99;
+        assert!(ProfReport::decode(&wrong_version).is_none());
+        let mut wrong_len = bytes.clone();
+        wrong_len[2] ^= 0x01;
+        assert!(ProfReport::decode(&wrong_len).is_none());
+        let mut reserved = bytes;
+        reserved[1] = 1;
+        assert!(ProfReport::decode(&reserved).is_none());
+    }
+
+    #[test]
+    fn direct_recording_matches_profiled_recording() {
+        let via_profiler = busy_report();
+        let mut direct = ProfReport::default();
+        direct.add_counter(Counter::NetFramesSent, 12);
+        direct.add_counter(Counter::ControlBytes, 9001);
+        direct.raise_gauge(Gauge::BufferMsgs, 17);
+        direct.record_size(SizeHist::NetFrameStatsBytes, 512);
+        direct.record_time(TimeHist::NetExchangeNs, 12_345);
+        direct.record_time(TimeHist::NetExchangeNs, 1 << 33);
+        assert_eq!(direct, via_profiler);
     }
 }
