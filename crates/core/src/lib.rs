@@ -67,7 +67,7 @@ mod config;
 pub mod df;
 mod node;
 mod protocol;
-mod snapshot;
+pub mod snapshot;
 
 pub use crate::config::{
     BrokerPolicy, BsubConfig, BsubConfigBuilder, DfMode, ForwardingPolicy, MergeRule,

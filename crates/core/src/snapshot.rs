@@ -31,6 +31,7 @@ use crate::config::{BsubConfig, DfMode};
 use crate::node::{Carried, NodeState, Produced, RelayState, Role};
 use bsub_bloom::wire::{self, CounterMode};
 use bsub_bloom::{Decayer, KeyHasher, Tcbf};
+use bsub_match::{IndexState, MatchIndex, MatchParams, SubscriberState};
 use bsub_sim::snapshot::{SnapReader, SnapWriter};
 use bsub_sim::MessageId;
 use bsub_traces::NodeId;
@@ -39,6 +40,123 @@ use std::sync::Arc;
 
 /// Snapshot format version; bump on any layout change.
 const VERSION: u8 = 1;
+
+/// Match-index snapshot format version; bump on any layout change.
+const INDEX_VERSION: u8 = 1;
+
+/// Encodes a live [`MatchIndex`]'s state — parameters, decay epoch,
+/// and every subscriber in tier-member order — into a self-contained
+/// byte snapshot a restarted broker can [`decode_match_index`] from.
+///
+/// Exactness follows the [`bsub_match::IndexState`] contract: the
+/// decoded index produces identical match results (members, positions,
+/// strengths, deadlines, tier layout all preserved; tier pools come
+/// back compacted).
+#[must_use]
+pub fn encode_match_index(index: &MatchIndex) -> Vec<u8> {
+    let state = index.export_state();
+    let mut w = SnapWriter::new();
+    w.u8(INDEX_VERSION);
+    w.u64(state.params.member_bits as u64);
+    w.u64(state.params.member_hashes as u64);
+    w.u32(state.params.initial);
+    w.u64(state.params.tier_size as u64);
+    w.u64(state.params.tier_budget_bytes as u64);
+    w.u64(state.params.keys_per_subscriber_hint as u64);
+    w.f64(state.params.compact_ratio);
+    w.u64(state.epoch);
+    w.u32(state.subs.len() as u32);
+    for sub in &state.subs {
+        w.u64(sub.id);
+        w.u64(sub.tier as u64);
+        w.u64(sub.born);
+        match sub.deadline {
+            None => w.flag(false),
+            Some(d) => {
+                w.flag(true);
+                w.u64(d);
+            }
+        }
+        w.u32(sub.digests.len() as u32);
+        for &(a, b) in &sub.digests {
+            w.u64(a);
+            w.u64(b);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Rebuilds a [`MatchIndex`] from an [`encode_match_index`] snapshot.
+/// Returns `None` on any malformed input: truncation, trailing bytes,
+/// version mismatch, degenerate parameters, duplicate subscriber ids,
+/// or a tier over `tier_size`.
+#[must_use]
+pub fn decode_match_index(bytes: &[u8]) -> Option<MatchIndex> {
+    let mut r = SnapReader::new(bytes);
+    if r.u8()? != INDEX_VERSION {
+        return None;
+    }
+    let params = MatchParams {
+        member_bits: usize::try_from(r.u64()?).ok()?,
+        member_hashes: usize::try_from(r.u64()?).ok()?,
+        initial: r.u32()?,
+        tier_size: usize::try_from(r.u64()?).ok()?,
+        tier_budget_bytes: usize::try_from(r.u64()?).ok()?,
+        keys_per_subscriber_hint: usize::try_from(r.u64()?).ok()?,
+        compact_ratio: r.f64()?,
+    };
+    if params.member_bits == 0
+        || params.member_hashes == 0
+        || params.initial == 0
+        || params.tier_size == 0
+        || !params.compact_ratio.is_finite()
+        || params.compact_ratio <= 0.0
+    {
+        return None;
+    }
+    let epoch = r.u64()?;
+    let count = r.u32()?;
+    let mut subs = Vec::with_capacity(count as usize);
+    let mut seen = HashSet::new();
+    let mut tier_fill: HashMap<usize, usize> = HashMap::new();
+    for _ in 0..count {
+        let id = r.u64()?;
+        if !seen.insert(id) {
+            return None;
+        }
+        let tier = usize::try_from(r.u64()?).ok()?;
+        let fill = tier_fill.entry(tier).or_insert(0);
+        *fill += 1;
+        if *fill > params.tier_size {
+            return None;
+        }
+        let born = r.u64()?;
+        if born > epoch {
+            return None;
+        }
+        let deadline = if r.flag()? { Some(r.u64()?) } else { None };
+        let digest_count = r.u32()?;
+        let mut digests = Vec::with_capacity(digest_count as usize);
+        for _ in 0..digest_count {
+            digests.push((r.u64()?, r.u64()?));
+        }
+        subs.push(SubscriberState {
+            id,
+            digests,
+            born,
+            deadline,
+            tier,
+        });
+    }
+    if !r.is_empty() {
+        return None; // trailing garbage
+    }
+    Some(MatchIndex::from_state(&IndexState {
+        params,
+        epoch,
+        subs,
+    }))
+}
 
 /// Encodes `state` into a self-contained byte snapshot.
 pub(crate) fn encode_node(state: &NodeState) -> Vec<u8> {
@@ -387,6 +505,74 @@ mod tests {
 
         // And none of the rejects touched the node.
         assert_eq!(sibling.export_node(node).unwrap(), baseline);
+    }
+
+    /// Builds a worked match index: several tiers, deadline and
+    /// plain subscriptions, decay in flight, and churn-driven
+    /// compactions.
+    fn worked_index() -> MatchIndex {
+        let mut idx = MatchIndex::new(bsub_match::MatchParams {
+            member_bits: 512,
+            member_hashes: 4,
+            initial: 8,
+            tier_size: 4,
+            tier_budget_bytes: 4 * 1024,
+            keys_per_subscriber_hint: 2,
+            compact_ratio: 0.5,
+        });
+        for id in 0..20u64 {
+            let keys = vec![format!("topic-{}", id % 6), format!("extra-{id}")];
+            if id % 3 == 0 {
+                idx.subscribe_until(id, &keys, 50 + id);
+            } else {
+                idx.subscribe(id, &keys);
+            }
+            if id % 4 == 0 {
+                idx.decay(1);
+            }
+        }
+        for id in (0..20u64).step_by(5) {
+            idx.unsubscribe(id);
+        }
+        idx
+    }
+
+    /// Snapshot → decode → re-snapshot must be byte-identical, and the
+    /// decoded index must match events exactly like the original.
+    #[test]
+    fn match_index_snapshot_round_trips() {
+        let idx = worked_index();
+        let snap = encode_match_index(&idx);
+        let back = decode_match_index(&snap).expect("decodes");
+        assert_eq!(encode_match_index(&back), snap, "re-export byte-identical");
+        assert_eq!(back.live_count(), idx.live_count());
+        assert_eq!(back.epoch(), idx.epoch());
+        let events: Vec<bsub_match::Event> = (0..8)
+            .map(|t| bsub_match::Event::new(format!("topic-{t}")))
+            .collect();
+        assert_eq!(
+            back.match_events(&events).matches,
+            idx.match_events(&events).matches,
+            "decoded index must match identically"
+        );
+        for id in 0..20u64 {
+            assert_eq!(back.strength(id), idx.strength(id), "strength of {id}");
+            assert_eq!(back.deadline(id), idx.deadline(id), "deadline of {id}");
+        }
+    }
+
+    #[test]
+    fn malformed_match_index_snapshots_reject() {
+        let snap = encode_match_index(&worked_index());
+        assert!(decode_match_index(&snap).is_some());
+        assert!(decode_match_index(&[]).is_none());
+        assert!(decode_match_index(&snap[..snap.len() - 1]).is_none());
+        let mut trailing = snap.clone();
+        trailing.push(0);
+        assert!(decode_match_index(&trailing).is_none());
+        let mut bad_version = snap.clone();
+        bad_version[0] = INDEX_VERSION + 1;
+        assert!(decode_match_index(&bad_version).is_none());
     }
 
     #[test]

@@ -161,6 +161,45 @@ impl MatchSet {
     }
 }
 
+/// One subscriber's portable state, as exported by
+/// [`MatchIndex::export_state`]: everything needed to rebuild the
+/// member exactly — positions are rederived from the digests, and the
+/// uniform counter from `born` against the index epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscriberState {
+    /// The subscriber id.
+    pub id: u64,
+    /// The Kirsch–Mitzenmacher digest pair of each subscribed key, in
+    /// subscription order.
+    pub digests: Vec<(u64, u64)>,
+    /// Birth epoch (uniform counter is `C ∸ (epoch − born)`).
+    pub born: u64,
+    /// Optional expiry deadline ([`MatchIndex::expire`] semantics).
+    pub deadline: Option<u64>,
+    /// Tier the member lives in.
+    pub tier: usize,
+}
+
+/// A portable snapshot of a whole [`MatchIndex`]: parameters, the
+/// decay epoch, and every live subscriber in tier-member order.
+///
+/// [`MatchIndex::from_state`] rebuilds an index whose *matching
+/// behavior* is identical to the exported one — same members, same
+/// positions, same strengths, same deadlines, same tier layout. Tier
+/// pools come back compacted (reinforced from live members at current
+/// strength), so tombstone over-approximation is not carried across a
+/// snapshot; match *results* are unaffected because the final
+/// member-level confirmation is exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexState {
+    /// Geometry and policy parameters.
+    pub params: MatchParams,
+    /// Accumulated decay epochs at export time.
+    pub epoch: u64,
+    /// Live subscribers, grouped by tier in member order.
+    pub subs: Vec<SubscriberState>,
+}
+
 /// A subscriber's aggregated state: its keys' digests (for tier
 /// rebuilds), the sorted position union of its member-geometry filter,
 /// and its birth epoch. Counters are uniform `C ∸ (E − born)`.
@@ -405,6 +444,63 @@ impl MatchIndex {
         ids.iter().filter(|&&id| self.unsubscribe(id)).count()
     }
 
+    /// Unsubscribes `id` and immediately rebuilds its tier pool, so the
+    /// member's keys stop contributing to the tier aggregate *now*
+    /// rather than after enough tombstones accumulate. Returns whether
+    /// it was subscribed.
+    ///
+    /// The lazy path ([`MatchIndex::unsubscribe`]) leaves the pool
+    /// over-approximating until the compaction threshold trips — sound
+    /// (extra candidate probes, never missed matches) but wrong for a
+    /// live broker honoring an explicit unsubscribe: the departed
+    /// member must not keep inflating tier hits for its former keys.
+    pub fn purge(&mut self, id: u64) -> bool {
+        let Some(tier) = self.subs.get(&id).map(|s| s.tier) else {
+            return false;
+        };
+        obs::count(Counter::MatchUnsubscribe, 1);
+        self.remove(id);
+        // `remove` may already have compacted; only rebuild when
+        // tombstones (this one included) are still in the pool.
+        if self.tiers[tier].tombstones > 0 {
+            self.compact(tier);
+        }
+        true
+    }
+
+    /// A subscriber's deadline, or `None` when not subscribed or
+    /// subscribed without one.
+    #[must_use]
+    pub fn deadline(&self, id: u64) -> Option<u64> {
+        self.subs.get(&id).and_then(|s| s.deadline)
+    }
+
+    /// Targeted expiry for deadline-wheel callers: re-checks each
+    /// candidate's *current* deadline against `now` and removes only
+    /// those actually due (or fully decayed). Returns how many were
+    /// removed.
+    ///
+    /// Unlike [`MatchIndex::expire`], this never scans the whole
+    /// subscriber map — a broker's clock wheel hands over exactly the
+    /// ids whose bucket came due. The re-check makes stale wheel
+    /// entries harmless: a resubscribe under the same id moved the
+    /// deadline forward, and the old bucket entry must not evict it.
+    pub fn expire_candidates(&mut self, ids: &[u64], now: u64) -> usize {
+        let mut removed = 0;
+        for &id in ids {
+            let due = self
+                .subs
+                .get(&id)
+                .is_some_and(|s| s.deadline.is_some_and(|d| now >= d) || self.strength_of(s) == 0);
+            if due {
+                obs::count(Counter::MatchExpire, 1);
+                self.remove(id);
+                removed += 1;
+            }
+        }
+        removed
+    }
+
     /// Removes every subscription whose deadline has passed
     /// (`now >= deadline`) or whose counters have fully decayed.
     /// Returns how many were removed.
@@ -546,6 +642,103 @@ impl MatchIndex {
         obs::observe(SizeHist::MatchBatchEvents, stats.events);
         obs::observe(SizeHist::MatchBatchCandidates, stats.candidates);
         MatchSet { matches, stats }
+    }
+
+    /// Exports the index's live state for checkpointing or transfer
+    /// (see [`IndexState`] for the rebuild contract).
+    #[must_use]
+    pub fn export_state(&self) -> IndexState {
+        let mut subs = Vec::with_capacity(self.subs.len());
+        for (tier, t) in self.tiers.iter().enumerate() {
+            for &id in &t.members {
+                let sub = &self.subs[&id];
+                subs.push(SubscriberState {
+                    id,
+                    digests: sub.digests.clone(),
+                    born: sub.born,
+                    deadline: sub.deadline,
+                    tier,
+                });
+            }
+        }
+        IndexState {
+            params: self.params,
+            epoch: self.epoch,
+            subs,
+        }
+    }
+
+    /// Rebuilds an index from exported state. Tier membership and
+    /// member order are restored verbatim; each tier pool is rebuilt by
+    /// reinforcing live members at their current strength (exactly the
+    /// compaction rebuild), so the no-false-negative superset invariant
+    /// holds from the first probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is inconsistent: duplicate subscriber ids,
+    /// or a tier holding more members than `params.tier_size`.
+    #[must_use]
+    pub fn from_state(state: &IndexState) -> Self {
+        let mut idx = Self::new(state.params);
+        idx.epoch = state.epoch;
+        let tiers = state.subs.iter().map(|s| s.tier + 1).max().unwrap_or(0);
+        for _ in 0..tiers {
+            idx.tiers.push(Tier {
+                pool: TcbfPool::new(
+                    state.params.member_bits,
+                    state.params.member_hashes,
+                    state.params.initial,
+                    idx.theta,
+                ),
+                members: Vec::new(),
+                tombstones: 0,
+            });
+        }
+        let k = state.params.member_hashes;
+        for sub in &state.subs {
+            let mut positions: Vec<u32> = Vec::with_capacity(sub.digests.len() * k);
+            for &digest in &sub.digests {
+                positions.extend(
+                    KeyHasher::positions_from_digests(digest, k, state.params.member_bits)
+                        .map(|p| p as u32),
+                );
+            }
+            positions.sort_unstable();
+            positions.dedup();
+            let tier = &mut idx.tiers[sub.tier];
+            tier.members.push(sub.id);
+            assert!(
+                tier.members.len() <= state.params.tier_size,
+                "tier {} overflows tier_size",
+                sub.tier
+            );
+            let previous = idx.subs.insert(
+                sub.id,
+                Subscriber {
+                    digests: sub.digests.clone(),
+                    positions,
+                    born: sub.born,
+                    deadline: sub.deadline,
+                    tier: sub.tier,
+                },
+            );
+            assert!(previous.is_none(), "duplicate subscriber id {}", sub.id);
+        }
+        for tier in 0..idx.tiers.len() {
+            let members = idx.tiers[tier].members.clone();
+            for id in members {
+                let strength = idx.strength_of(&idx.subs[&id]);
+                if strength == 0 {
+                    continue;
+                }
+                let digests = idx.subs[&id].digests.clone();
+                for digest in digests {
+                    idx.tiers[tier].pool.reinforce(digest, strength);
+                }
+            }
+        }
+        idx
     }
 }
 

@@ -33,6 +33,8 @@ mod index;
 mod probe;
 mod reference;
 
-pub use crate::index::{Event, MatchIndex, MatchParams, MatchSet, MatchStats};
+pub use crate::index::{
+    Event, IndexState, MatchIndex, MatchParams, MatchSet, MatchStats, SubscriberState,
+};
 pub use crate::probe::{Probe, ProbeCache};
 pub use crate::reference::ReferenceMatcher;

@@ -72,11 +72,25 @@ pub enum FrameKind {
     /// `bsub_obs` wire codec). Coordinator → worker: a drain-time
     /// poll for the final delta (body: the request op byte alone).
     Stats = 11,
+    /// Broker service plane (DESIGN.md §16). Client → broker: register
+    /// interest in a key set with an optional real-clock deadline
+    /// (body: `broker::SubscribeBody`).
+    Subscribe = 12,
+    /// Client → broker: withdraw every interest of the sending client
+    /// (empty body).
+    Unsubscribe = 13,
+    /// Client → broker: match one keyed event against the live index
+    /// (body: `broker::PublishBody`).
+    Publish = 14,
+    /// Broker → client: one matched publication, echoing the
+    /// publisher's sequence number and send timestamp (body:
+    /// `broker::DeliverBody`).
+    Deliver = 15,
 }
 
 impl FrameKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [FrameKind; 11] = [
+    pub const ALL: [FrameKind; 15] = [
         FrameKind::Hello,
         FrameKind::Dispatch,
         FrameKind::StateReq,
@@ -88,6 +102,10 @@ impl FrameKind {
         FrameKind::PublishOk,
         FrameKind::Done,
         FrameKind::Stats,
+        FrameKind::Subscribe,
+        FrameKind::Unsubscribe,
+        FrameKind::Publish,
+        FrameKind::Deliver,
     ];
 
     /// Decodes the on-wire `kind` byte; `None` for unknown values.
@@ -117,6 +135,10 @@ impl FrameKind {
             FrameKind::PublishOk => "publish_ok",
             FrameKind::Done => "done",
             FrameKind::Stats => "stats",
+            FrameKind::Subscribe => "subscribe",
+            FrameKind::Unsubscribe => "unsubscribe",
+            FrameKind::Publish => "publish",
+            FrameKind::Deliver => "deliver",
         }
     }
 }
@@ -324,7 +346,7 @@ mod tests {
     #[test]
     fn kind_bytes_are_stable() {
         // The discriminants are the wire contract (DESIGN.md §12.3).
-        let expected: [(FrameKind, u8); 11] = [
+        let expected: [(FrameKind, u8); 15] = [
             (FrameKind::Hello, 1),
             (FrameKind::Dispatch, 2),
             (FrameKind::StateReq, 3),
@@ -336,12 +358,16 @@ mod tests {
             (FrameKind::PublishOk, 9),
             (FrameKind::Done, 10),
             (FrameKind::Stats, 11),
+            (FrameKind::Subscribe, 12),
+            (FrameKind::Unsubscribe, 13),
+            (FrameKind::Publish, 14),
+            (FrameKind::Deliver, 15),
         ];
         for (kind, byte) in expected {
             assert_eq!(kind.byte(), byte);
             assert_eq!(FrameKind::from_byte(byte), Some(kind));
         }
         assert_eq!(FrameKind::from_byte(0), None);
-        assert_eq!(FrameKind::from_byte(12), None);
+        assert_eq!(FrameKind::from_byte(16), None);
     }
 }

@@ -33,6 +33,12 @@
 //! - [`stats`] — the live observability endpoint: a [`StatsHandle`]
 //!   the coordinator merges worker `STATS` deltas into, served as
 //!   Prometheus text and JSON by a [`StatsServer`] (DESIGN.md §15).
+//! - [`broker`] — the live broker service (DESIGN.md §16): a
+//!   [`BrokerNode`] owns a `bsub_match::MatchIndex` behind the peer
+//!   state machine, serving `SUBSCRIBE`/`UNSUBSCRIBE`/`PUBLISH`
+//!   streams with real-clock deadline expiry (a coarse [`ClockWheel`])
+//!   and batched matching, fanning `DELIVER` frames out on the
+//!   backpressured outbound queues.
 //!
 //! # Run a loopback cluster
 //!
@@ -51,6 +57,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod backoff;
+pub mod broker;
 pub mod cluster;
 pub mod frame;
 pub mod metrics;
@@ -60,6 +67,10 @@ pub mod trace;
 pub mod transport;
 
 pub use backoff::Backoff;
+pub use broker::{
+    unix_ns, BrokerClient, BrokerConfig, BrokerNode, BrokerOp, ClockWheel, DeliverBody, Delivery,
+    PublishBody, SubscribeBody,
+};
 pub use cluster::{
     peer_addr, run_coordinator, run_coordinator_with, run_worker, ClusterOutcome, ClusterSpec,
     COORDINATOR,

@@ -125,6 +125,10 @@ pub fn frame_time_hist(kind: FrameKind) -> TimeHist {
         FrameKind::PublishOk => TimeHist::NetFramePublishOkNs,
         FrameKind::Done => TimeHist::NetFrameDoneNs,
         FrameKind::Stats => TimeHist::NetFrameStatsNs,
+        FrameKind::Subscribe => TimeHist::NetFrameSubscribeNs,
+        FrameKind::Unsubscribe => TimeHist::NetFrameUnsubscribeNs,
+        FrameKind::Publish => TimeHist::NetFramePublishNs,
+        FrameKind::Deliver => TimeHist::NetFrameDeliverNs,
     }
 }
 
@@ -144,6 +148,10 @@ pub fn frame_size_hist(kind: FrameKind) -> SizeHist {
         FrameKind::PublishOk => SizeHist::NetFramePublishOkBytes,
         FrameKind::Done => SizeHist::NetFrameDoneBytes,
         FrameKind::Stats => SizeHist::NetFrameStatsBytes,
+        FrameKind::Subscribe => SizeHist::NetFrameSubscribeBytes,
+        FrameKind::Unsubscribe => SizeHist::NetFrameUnsubscribeBytes,
+        FrameKind::Publish => SizeHist::NetFramePublishBytes,
+        FrameKind::Deliver => SizeHist::NetFrameDeliverBytes,
     }
 }
 

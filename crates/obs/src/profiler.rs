@@ -108,11 +108,27 @@ pub enum Counter {
     /// `STATS` frames merged into a live cluster-wide report
     /// (`bsub-net` coordinator side).
     NetStatsFrames,
+    /// `SUBSCRIBE` frames applied to a live broker's match index
+    /// (`bsub-net` broker service loop).
+    BrokerSubscribes,
+    /// `UNSUBSCRIBE` frames applied to a live broker's match index.
+    BrokerUnsubscribes,
+    /// `PUBLISH` frames matched through a live broker's index.
+    BrokerPublishes,
+    /// `DELIVER` frames a live broker enqueued toward subscribers
+    /// (one per confirmed or false-positive match).
+    BrokerDeliveries,
+    /// Subscriptions a live broker evicted because their real-clock
+    /// deadline passed (clock-wheel expiry).
+    BrokerExpired,
+    /// Service-loop batches a live broker drained from its inbound
+    /// queues (each batch is one drain + match + deliver cycle).
+    BrokerBatches,
 }
 
 impl Counter {
     /// Every counter, in stable report order.
-    pub const ALL: [Counter; 39] = [
+    pub const ALL: [Counter; 45] = [
         Counter::TcbfInsert,
         Counter::TcbfAMerge,
         Counter::TcbfMMerge,
@@ -152,6 +168,12 @@ impl Counter {
         Counter::NetPollStarved,
         Counter::NetSendStalls,
         Counter::NetStatsFrames,
+        Counter::BrokerSubscribes,
+        Counter::BrokerUnsubscribes,
+        Counter::BrokerPublishes,
+        Counter::BrokerDeliveries,
+        Counter::BrokerExpired,
+        Counter::BrokerBatches,
     ];
 
     /// Stable snake-case name used in JSON and tables.
@@ -197,6 +219,12 @@ impl Counter {
             Counter::NetPollStarved => "net_poll_starved",
             Counter::NetSendStalls => "net_send_stalls",
             Counter::NetStatsFrames => "net_stats_frames",
+            Counter::BrokerSubscribes => "broker_subscribes",
+            Counter::BrokerUnsubscribes => "broker_unsubscribes",
+            Counter::BrokerPublishes => "broker_publishes",
+            Counter::BrokerDeliveries => "broker_deliveries",
+            Counter::BrokerExpired => "broker_expired",
+            Counter::BrokerBatches => "broker_batches",
         }
     }
 }
@@ -290,6 +318,18 @@ pub enum TimeHist {
     NetFrameDoneNs,
     /// Socket-write latency of one `STATS` frame.
     NetFrameStatsNs,
+    /// Socket-write latency of one `SUBSCRIBE` frame.
+    NetFrameSubscribeNs,
+    /// Socket-write latency of one `UNSUBSCRIBE` frame.
+    NetFrameUnsubscribeNs,
+    /// Socket-write latency of one `PUBLISH` frame.
+    NetFramePublishNs,
+    /// Socket-write latency of one `DELIVER` frame.
+    NetFrameDeliverNs,
+    /// One broker service-loop batch: drain the inbound queues, expire
+    /// due deadlines, apply subscribe/unsubscribe, match the publish
+    /// run, enqueue deliveries (`bsub-net` broker).
+    BrokerBatchNs,
     /// One epoch's A-merge derivation phase in the sharded scale
     /// engine (phase A, per shard).
     ScaleDeriveNs,
@@ -303,7 +343,7 @@ pub enum TimeHist {
 
 impl TimeHist {
     /// Every timing histogram, in stable report order.
-    pub const ALL: [TimeHist; 23] = [
+    pub const ALL: [TimeHist; 28] = [
         TimeHist::MergeNs,
         TimeHist::DecayNs,
         TimeHist::PreferenceNs,
@@ -323,6 +363,11 @@ impl TimeHist {
         TimeHist::NetFramePublishOkNs,
         TimeHist::NetFrameDoneNs,
         TimeHist::NetFrameStatsNs,
+        TimeHist::NetFrameSubscribeNs,
+        TimeHist::NetFrameUnsubscribeNs,
+        TimeHist::NetFramePublishNs,
+        TimeHist::NetFrameDeliverNs,
+        TimeHist::BrokerBatchNs,
         TimeHist::ScaleDeriveNs,
         TimeHist::ScaleMergeNs,
         TimeHist::ScaleQueryNs,
@@ -352,6 +397,11 @@ impl TimeHist {
             TimeHist::NetFramePublishOkNs => "net_frame_publish_ok_ns",
             TimeHist::NetFrameDoneNs => "net_frame_done_ns",
             TimeHist::NetFrameStatsNs => "net_frame_stats_ns",
+            TimeHist::NetFrameSubscribeNs => "net_frame_subscribe_ns",
+            TimeHist::NetFrameUnsubscribeNs => "net_frame_unsubscribe_ns",
+            TimeHist::NetFramePublishNs => "net_frame_publish_ns",
+            TimeHist::NetFrameDeliverNs => "net_frame_deliver_ns",
+            TimeHist::BrokerBatchNs => "broker_batch_ns",
             TimeHist::ScaleDeriveNs => "scale_derive_ns",
             TimeHist::ScaleMergeNs => "scale_merge_ns",
             TimeHist::ScaleQueryNs => "scale_query_ns",
@@ -399,11 +449,22 @@ pub enum SizeHist {
     NetFrameDoneBytes,
     /// Encoded size of each `STATS` frame written.
     NetFrameStatsBytes,
+    /// Encoded size of each `SUBSCRIBE` frame written.
+    NetFrameSubscribeBytes,
+    /// Encoded size of each `UNSUBSCRIBE` frame written.
+    NetFrameUnsubscribeBytes,
+    /// Encoded size of each `PUBLISH` frame written.
+    NetFramePublishBytes,
+    /// Encoded size of each `DELIVER` frame written.
+    NetFrameDeliverBytes,
+    /// Operations (subscribes + unsubscribes + publishes) applied per
+    /// broker service-loop batch (`bsub-net` broker).
+    BrokerBatchOps,
 }
 
 impl SizeHist {
     /// Every size histogram, in stable report order.
-    pub const ALL: [SizeHist; 15] = [
+    pub const ALL: [SizeHist; 20] = [
         SizeHist::EncodedFilterBytes,
         SizeHist::ContactBytes,
         SizeHist::MatchBatchEvents,
@@ -419,6 +480,11 @@ impl SizeHist {
         SizeHist::NetFramePublishOkBytes,
         SizeHist::NetFrameDoneBytes,
         SizeHist::NetFrameStatsBytes,
+        SizeHist::NetFrameSubscribeBytes,
+        SizeHist::NetFrameUnsubscribeBytes,
+        SizeHist::NetFramePublishBytes,
+        SizeHist::NetFrameDeliverBytes,
+        SizeHist::BrokerBatchOps,
     ];
 
     /// Stable snake-case name used in JSON and tables.
@@ -440,6 +506,11 @@ impl SizeHist {
             SizeHist::NetFramePublishOkBytes => "net_frame_publish_ok_bytes",
             SizeHist::NetFrameDoneBytes => "net_frame_done_bytes",
             SizeHist::NetFrameStatsBytes => "net_frame_stats_bytes",
+            SizeHist::NetFrameSubscribeBytes => "net_frame_subscribe_bytes",
+            SizeHist::NetFrameUnsubscribeBytes => "net_frame_unsubscribe_bytes",
+            SizeHist::NetFramePublishBytes => "net_frame_publish_bytes",
+            SizeHist::NetFrameDeliverBytes => "net_frame_deliver_bytes",
+            SizeHist::BrokerBatchOps => "broker_batch_ops",
         }
     }
 }
